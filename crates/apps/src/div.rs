@@ -1,0 +1,100 @@
+//! The 3-D discrete divergence operator (Table V: *Div*, 3 in / 1 out).
+//!
+//! Maps a vector field `F = (Fx, Fy, Fz)` to the scalar
+//! `div F = ∂Fx/∂x + ∂Fy/∂y + ∂Fz/∂z` with second-order central
+//! differences on a uniform grid of spacing `h`.
+
+use stencil_grid::{Grid3, MultiGridKernel, Real};
+
+/// Central-difference divergence, radius 1.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Grid spacing.
+    pub h: f64,
+}
+
+impl Default for Divergence {
+    fn default() -> Self {
+        Divergence { h: 1.0 }
+    }
+}
+
+impl<T: Real> MultiGridKernel<T> for Divergence {
+    fn name(&self) -> &str {
+        "Div"
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn num_inputs(&self) -> usize {
+        3
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn num_streamed_inputs(&self) -> usize {
+        3
+    }
+    fn flops_per_point(&self) -> usize {
+        // 3 central differences (1 sub + 1 mul each) + 2 adds.
+        11
+    }
+    fn eval(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize) -> T {
+        let inv2h = T::from_f64(0.5 / self.h);
+        let dx = inputs[0].get(i + 1, j, k) - inputs[0].get(i - 1, j, k);
+        let dy = inputs[1].get(i, j + 1, k) - inputs[1].get(i, j - 1, k);
+        let dz = inputs[2].get(i, j, k + 1) - inputs[2].get(i, j, k - 1);
+        inv2h * (dx + dy + dz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{apply_multigrid, Boundary, FillPattern, GridSet};
+
+    #[test]
+    fn divergence_of_linear_field_is_constant() {
+        // F = (2x, 3y, -z): div F = 2 + 3 - 1 = 4.
+        let fx: Grid3<f64> = FillPattern::Linear { a: 2.0, b: 0.0, c: 0.0 }.build(6, 6, 6);
+        let fy: Grid3<f64> = FillPattern::Linear { a: 0.0, b: 3.0, c: 0.0 }.build(6, 6, 6);
+        let fz: Grid3<f64> = FillPattern::Linear { a: 0.0, b: 0.0, c: -1.0 }.build(6, 6, 6);
+        let inputs = GridSet::new(vec![fx, fy, fz]);
+        let mut out = GridSet::zeros(1, 6, 6, 6);
+        apply_multigrid(&Divergence::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        for k in 1..5 {
+            for j in 1..5 {
+                for i in 1..5 {
+                    assert!((out.grid(0).get(i, j, k) - 4.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_of_constant_field_is_zero() {
+        let c: Grid3<f64> = FillPattern::Constant(5.0).build(5, 5, 5);
+        let inputs = GridSet::new(vec![c.clone(), c.clone(), c]);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Divergence::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        assert!(out.grid(0).get(2, 2, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spacing_scales_result() {
+        let fx: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 0.0, c: 0.0 }.build(5, 5, 5);
+        let zero: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
+        let inputs = GridSet::new(vec![fx, zero.clone(), zero]);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Divergence { h: 0.5 }, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_grid_counts() {
+        let d = Divergence::default();
+        assert_eq!(MultiGridKernel::<f32>::num_inputs(&d), 3);
+        assert_eq!(MultiGridKernel::<f32>::num_outputs(&d), 1);
+        assert_eq!(MultiGridKernel::<f32>::num_streamed_inputs(&d), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! The 3-D discrete gradient operator (Table V: *Grad*, 1 in / 3 out).
+//!
+//! Maps a scalar function `f` to the vector field
+//! `∇f = (∂f/∂x, ∂f/∂y, ∂f/∂z)` with second-order central differences.
+
+use stencil_grid::{Grid3, MultiGridKernel, Real};
+
+/// Central-difference gradient, radius 1.
+#[derive(Clone, Debug)]
+pub struct Gradient {
+    /// Grid spacing.
+    pub h: f64,
+}
+
+impl Default for Gradient {
+    fn default() -> Self {
+        Gradient { h: 1.0 }
+    }
+}
+
+impl<T: Real> MultiGridKernel<T> for Gradient {
+    fn name(&self) -> &str {
+        "Grad"
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        3
+    }
+    fn flops_per_point(&self) -> usize {
+        // Per output point: 1 sub + 1 mul, three output grids per input
+        // point amortised in the harness; counted per written point.
+        2
+    }
+    fn eval(&self, inputs: &[Grid3<T>], o: usize, i: usize, j: usize, k: usize) -> T {
+        let inv2h = T::from_f64(0.5 / self.h);
+        let f = &inputs[0];
+        let d = match o {
+            0 => f.get(i + 1, j, k) - f.get(i - 1, j, k),
+            1 => f.get(i, j + 1, k) - f.get(i, j - 1, k),
+            2 => f.get(i, j, k + 1) - f.get(i, j, k - 1),
+            _ => unreachable!("gradient has exactly three outputs"),
+        };
+        inv2h * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{apply_multigrid, Boundary, FillPattern, GridSet};
+
+    #[test]
+    fn gradient_of_linear_field() {
+        // f = x + 2y - 3z: grad = (1, 2, -3).
+        let f: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 2.0, c: -3.0 }.build(6, 6, 6);
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(3, 6, 6, 6);
+        apply_multigrid(&Gradient::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        let expect = [1.0, 2.0, -3.0];
+        for (o, e) in expect.iter().enumerate() {
+            for k in 1..5 {
+                assert!(
+                    (out.grid(o).get(2, 3, k) - e).abs() < 1e-12,
+                    "component {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_of_constant_vanishes() {
+        let f: Grid3<f32> = FillPattern::Constant(9.0).build(4, 4, 4);
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(3, 4, 4, 4);
+        apply_multigrid(&Gradient::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        for o in 0..3 {
+            assert_eq!(out.grid(o).get(1, 1, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn grad_then_div_is_laplacian_like() {
+        // div(grad f) of f = x² is 2 (the 1-D second difference).
+        let f: Grid3<f64> = {
+            let mut g = Grid3::new(8, 8, 8);
+            g.fill_with(|i, _, _| (i * i) as f64);
+            g
+        };
+        let inputs = GridSet::new(vec![f]);
+        let mut grad_out = GridSet::zeros(3, 8, 8, 8);
+        apply_multigrid(&Gradient::default(), &inputs, &mut grad_out, Boundary::LeaveOutput);
+        let mut div_out = GridSet::zeros(1, 8, 8, 8);
+        apply_multigrid(
+            &crate::Divergence::default(),
+            &GridSet::new(grad_out.into_inner()),
+            &mut div_out,
+            Boundary::LeaveOutput,
+        );
+        // Interior away from the (unset) boundary ring of the gradient.
+        for i in 2..6 {
+            assert!((div_out.grid(0).get(i, 3, 3) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table5_grid_counts() {
+        let g = Gradient::default();
+        assert_eq!(MultiGridKernel::<f64>::num_inputs(&g), 1);
+        assert_eq!(MultiGridKernel::<f64>::num_outputs(&g), 3);
+        assert_eq!(MultiGridKernel::<f64>::num_streamed_inputs(&g), 1);
+    }
+}

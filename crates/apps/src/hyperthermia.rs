@@ -1,0 +1,136 @@
+//! The hyperthermia cancer-treatment stencil (Table V: *Hyperthermia*,
+//! 10 in / 1 out), after the Pennes bioheat kernel used in the Patus
+//! framework the paper takes it from [17].
+//!
+//! The temperature update at each point combines the six neighbours and
+//! the centre with **spatially varying** coefficients — tissue
+//! conductivity, perfusion and metabolic heat differ per voxel — so the
+//! kernel reads one streamed temperature grid plus nine coefficient
+//! grids:
+//!
+//! ```text
+//! T'[p] = ca[p]·T[p] + cb[p]
+//!       + cxl[p]·T[x−1] + cxr[p]·T[x+1]
+//!       + cyl[p]·T[y−1] + cyr[p]·T[y+1]
+//!       + czl[p]·T[z−1] + czr[p]·T[z+1]
+//!       + q[p]
+//! ```
+//!
+//! Nine of the eleven grids being coefficient data is exactly why §V-A
+//! reports only marginal in-plane gains here: the method can only
+//! improve the halo traffic of the single streamed grid.
+
+use stencil_grid::{Grid3, MultiGridKernel, Real};
+
+/// Pennes-style bioheat update, radius 1, inputs
+/// `[T, ca, cb, cxl, cxr, cyl, cyr, czl, czr, q]`.
+#[derive(Clone, Debug, Default)]
+pub struct Hyperthermia;
+
+impl<T: Real> MultiGridKernel<T> for Hyperthermia {
+    fn name(&self) -> &str {
+        "Hyperthermia"
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn num_inputs(&self) -> usize {
+        10
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn num_streamed_inputs(&self) -> usize {
+        1 // only the temperature field streams; 9 coefficient grids
+    }
+    fn flops_per_point(&self) -> usize {
+        // 7 multiplies + 8 adds.
+        15
+    }
+    fn eval(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize) -> T {
+        let t = &inputs[0];
+        let (ca, cb) = (&inputs[1], &inputs[2]);
+        let (cxl, cxr) = (&inputs[3], &inputs[4]);
+        let (cyl, cyr) = (&inputs[5], &inputs[6]);
+        let (czl, czr) = (&inputs[7], &inputs[8]);
+        let q = &inputs[9];
+        ca.get(i, j, k) * t.get(i, j, k)
+            + cb.get(i, j, k)
+            + cxl.get(i, j, k) * t.get(i - 1, j, k)
+            + cxr.get(i, j, k) * t.get(i + 1, j, k)
+            + cyl.get(i, j, k) * t.get(i, j - 1, k)
+            + cyr.get(i, j, k) * t.get(i, j + 1, k)
+            + czl.get(i, j, k) * t.get(i, j, k - 1)
+            + czr.get(i, j, k) * t.get(i, j, k + 1)
+            + q.get(i, j, k)
+    }
+}
+
+/// Build a physically plausible coefficient set for tests/benchmarks:
+/// diffusion-like weights that sum to 1 plus a small source term.
+pub fn default_inputs<T: Real>(nx: usize, ny: usize, nz: usize, seed: u64) -> Vec<Grid3<T>> {
+    use stencil_grid::FillPattern;
+    let t: Grid3<T> = FillPattern::Random { lo: 36.5, hi: 37.5, seed }.build(nx, ny, nz);
+    let ca: Grid3<T> = FillPattern::Constant(0.4).build(nx, ny, nz);
+    let cb: Grid3<T> = FillPattern::Constant(0.0).build(nx, ny, nz);
+    let side: Grid3<T> = FillPattern::Constant(0.1).build(nx, ny, nz);
+    let q: Grid3<T> = FillPattern::Constant(0.0).build(nx, ny, nz);
+    let mut v = vec![t, ca, cb];
+    for _ in 0..6 {
+        v.push(side.clone());
+    }
+    v.push(q);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{apply_multigrid, Boundary, FillPattern, GridSet};
+
+    #[test]
+    fn uniform_temperature_is_steady_state() {
+        // Weights sum to 1 with zero sources: T' = T.
+        let mut inputs = default_inputs::<f64>(5, 5, 5, 1);
+        inputs[0] = FillPattern::Constant(37.0).build(5, 5, 5);
+        let inputs = GridSet::new(inputs);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Hyperthermia, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_term_adds_heat() {
+        let mut inputs = default_inputs::<f64>(5, 5, 5, 1);
+        inputs[0] = FillPattern::Constant(37.0).build(5, 5, 5);
+        inputs[9] = FillPattern::Constant(0.5).build(5, 5, 5);
+        let inputs = GridSet::new(inputs);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Hyperthermia, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatially_varying_coefficients_are_honoured() {
+        let mut inputs = default_inputs::<f64>(5, 5, 5, 1);
+        inputs[0] = FillPattern::Constant(0.0).build(5, 5, 5);
+        inputs[0].set(1, 2, 2, 10.0); // hot spot at x-neighbour
+        // Zero all side coefficients except cxl at the probe point.
+        for g in inputs.iter_mut().skip(3) {
+            g.fill(0.0);
+        }
+        inputs[3].set(2, 2, 2, 0.25);
+        let inputs = GridSet::new(inputs);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Hyperthermia, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 2.5).abs() < 1e-12);
+        assert!(out.grid(0).get(3, 2, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_grid_counts() {
+        assert_eq!(MultiGridKernel::<f32>::num_inputs(&Hyperthermia), 10);
+        assert_eq!(MultiGridKernel::<f32>::num_outputs(&Hyperthermia), 1);
+        assert_eq!(MultiGridKernel::<f32>::num_streamed_inputs(&Hyperthermia), 1);
+    }
+}

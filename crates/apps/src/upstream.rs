@@ -1,0 +1,125 @@
+//! The upstream (upwind-biased advection) stencil from weather-forecast
+//! code (Table V: *Upstream*, 1 in / 1 out), after the Patus kernel the
+//! paper takes it from [17].
+//!
+//! A first-order upwind advection update with a constant wind vector
+//! `(ux, uy, uz)`: each axis takes its difference against the upstream
+//! neighbour, making the stencil *asymmetric* — unlike the symmetric
+//! star kernels, the used neighbourhood depends on the wind signs, but
+//! the loaded halo footprint is the full radius-1 frame either way.
+
+use stencil_grid::{Grid3, MultiGridKernel, Real};
+
+/// Upwind advection step, radius 1.
+#[derive(Clone, Debug)]
+pub struct Upstream {
+    /// Courant numbers `u·Δt/h` per axis; magnitudes should be < 1 for
+    /// stability.
+    pub cx: f64,
+    /// See `cx`.
+    pub cy: f64,
+    /// See `cx`.
+    pub cz: f64,
+}
+
+impl Default for Upstream {
+    fn default() -> Self {
+        Upstream { cx: 0.3, cy: 0.2, cz: 0.1 }
+    }
+}
+
+impl Upstream {
+    /// Upwind difference along one axis: `c·(f_up − f_c)` with the
+    /// upstream side selected by the sign of `c`.
+    #[inline]
+    pub(crate) fn upwind<T: Real>(c: f64, centre: T, minus: T, plus: T) -> T {
+        if c >= 0.0 {
+            T::from_f64(c) * (minus - centre)
+        } else {
+            T::from_f64(-c) * (plus - centre)
+        }
+    }
+}
+
+impl<T: Real> MultiGridKernel<T> for Upstream {
+    fn name(&self) -> &str {
+        "Upstream"
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn flops_per_point(&self) -> usize {
+        // 3 axes × (1 sub + 1 mul) + 3 adds + centre add.
+        13
+    }
+    fn eval(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize) -> T {
+        let f = &inputs[0];
+        let c = f.get(i, j, k);
+        c + Self::upwind(self.cx, c, f.get(i - 1, j, k), f.get(i + 1, j, k))
+            + Self::upwind(self.cy, c, f.get(i, j - 1, k), f.get(i, j + 1, k))
+            + Self::upwind(self.cz, c, f.get(i, j, k - 1), f.get(i, j, k + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{apply_multigrid, Boundary, FillPattern, GridSet};
+
+    #[test]
+    fn constant_field_is_invariant() {
+        let f: Grid3<f64> = FillPattern::Constant(4.0).build(5, 5, 5);
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&Upstream::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_wind_advects_from_minus_side() {
+        let mut f: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
+        f.set(1, 2, 2, 1.0); // mass upstream (x-minus side)
+        let u = Upstream { cx: 0.5, cy: 0.0, cz: 0.0 };
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&u, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 0.5).abs() < 1e-12);
+        // The plus-side neighbour is not consulted for positive wind.
+        assert!((out.grid(0).get(1, 2, 2) - (1.0 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_wind_advects_from_plus_side() {
+        let mut f: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
+        f.set(3, 2, 2, 1.0);
+        let u = Upstream { cx: -0.5, cy: 0.0, cz: 0.0 };
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&u, &inputs, &mut out, Boundary::LeaveOutput);
+        assert!((out.grid(0).get(2, 2, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_step_preserves_bounds() {
+        // With Courant magnitudes summing below 1, the update is a convex
+        // combination: outputs stay within input bounds.
+        let f: Grid3<f64> = FillPattern::Random { lo: 0.0, hi: 1.0, seed: 4 }.build(6, 6, 6);
+        let inputs = GridSet::new(vec![f]);
+        let mut out = GridSet::zeros(1, 6, 6, 6);
+        apply_multigrid(&Upstream::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        for k in 1..5 {
+            for j in 1..5 {
+                for i in 1..5 {
+                    let v = out.grid(0).get(i, j, k);
+                    assert!((-1e-12..=1.0 + 1e-12).contains(&v), "({i},{j},{k}): {v}");
+                }
+            }
+        }
+    }
+}

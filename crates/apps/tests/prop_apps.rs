@@ -1,0 +1,135 @@
+//! Property-based tests for the application stencils: operator
+//! identities that must hold for arbitrary fields and parameters.
+
+use proptest::prelude::*;
+use stencil_apps::{Divergence, Gradient, Laplacian3d, Poisson, Upstream};
+use stencil_grid::{apply_multigrid, Boundary, FillPattern, Grid3, GridSet, MultiGridKernel};
+
+fn random_grid(n: usize, seed: u64) -> Grid3<f64> {
+    FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n)
+}
+
+fn run_single_out(
+    k: &dyn MultiGridKernel<f64>,
+    inputs: Vec<Grid3<f64>>,
+    n: usize,
+) -> Grid3<f64> {
+    let inputs = GridSet::new(inputs);
+    let mut out = GridSet::zeros(k.num_outputs(), n, n, n);
+    apply_multigrid(k, &inputs, &mut out, Boundary::LeaveOutput);
+    out.into_inner().remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Divergence is linear: div(aF + bG) = a·div F + b·div G.
+    #[test]
+    fn divergence_is_linear(a in -2.0f64..2.0, b in -2.0f64..2.0, seed in 0u64..100) {
+        let n = 7;
+        let f: Vec<Grid3<f64>> = (0..3).map(|c| random_grid(n, seed + c)).collect();
+        let g: Vec<Grid3<f64>> = (0..3).map(|c| random_grid(n, seed + 10 + c)).collect();
+        let combo: Vec<Grid3<f64>> = (0..3)
+            .map(|c| {
+                let mut h = Grid3::new(n, n, n);
+                h.fill_with(|i, j, k| a * f[c].get(i, j, k) + b * g[c].get(i, j, k));
+                h
+            })
+            .collect();
+        let div = Divergence::default();
+        let df = run_single_out(&div, f, n);
+        let dg = run_single_out(&div, g, n);
+        let dc = run_single_out(&div, combo, n);
+        for kk in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let expect = a * df.get(i, j, kk) + b * dg.get(i, j, kk);
+                    prop_assert!((dc.get(i, j, kk) - expect).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    /// div(grad f) equals the 7-point Laplacian applied at double spacing
+    /// — a discrete vector-calculus identity both operators must satisfy.
+    #[test]
+    fn div_grad_is_symmetric_in_its_stencil(seed in 0u64..100) {
+        let n = 9;
+        let f = random_grid(n, seed);
+        let grad = Gradient::default();
+        let inputs = GridSet::new(vec![f.clone()]);
+        let mut gout = GridSet::zeros(3, n, n, n);
+        apply_multigrid(&grad, &inputs, &mut gout, Boundary::LeaveOutput);
+        let dg = run_single_out(&Divergence::default(), gout.into_inner(), n);
+        // div grad f at p = (f(p+2e) + f(p-2e) - 2f(p)) / 4 summed over axes.
+        for kk in 2..n - 2 {
+            for j in 2..n - 2 {
+                for i in 2..n - 2 {
+                    let expect = (f.get(i + 2, j, kk) + f.get(i - 2, j, kk)
+                        + f.get(i, j + 2, kk)
+                        + f.get(i, j - 2, kk)
+                        + f.get(i, j, kk + 2)
+                        + f.get(i, j, kk - 2)
+                        - 6.0 * f.get(i, j, kk))
+                        / 4.0;
+                    prop_assert!((dg.get(i, j, kk) - expect).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    /// The Laplacian annihilates affine fields for any spacing.
+    #[test]
+    fn laplacian_annihilates_affine(h in 0.1f64..4.0, a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let n = 6;
+        let mut f = Grid3::new(n, n, n);
+        f.fill_with(|i, j, k| a * i as f64 + b * j as f64 - k as f64 + 2.0);
+        let out = run_single_out(&Laplacian3d { h }, vec![f], n);
+        for kk in 1..n - 1 {
+            prop_assert!(out.get(2, 2, kk).abs() < 1e-9);
+        }
+    }
+
+    /// Upwind advection with |cx|+|cy|+|cz| <= 1 is a convex combination:
+    /// output bounded by input range.
+    #[test]
+    fn upstream_is_monotone_for_stable_courant(
+        cx in -0.4f64..0.4,
+        cy in -0.3f64..0.3,
+        cz in -0.3f64..0.3,
+        seed in 0u64..100,
+    ) {
+        let n = 7;
+        let f: Grid3<f64> = FillPattern::Random { lo: 0.0, hi: 1.0, seed }.build(n, n, n);
+        let out = run_single_out(&Upstream { cx, cy, cz }, vec![f], n);
+        for kk in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let v = out.get(i, j, kk);
+                    prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "({i},{j},{kk}) = {v}");
+                }
+            }
+        }
+    }
+
+    /// One Poisson relaxation step from the exact solution of ∇²u = f
+    /// is a fixed point, for arbitrary quadratic coefficients.
+    #[test]
+    fn poisson_fixed_point(ax in -2.0f64..2.0, ay in -2.0f64..2.0, az in -2.0f64..2.0) {
+        let n = 7;
+        let mut u = Grid3::new(n, n, n);
+        u.fill_with(|i, j, k| {
+            ax * (i * i) as f64 + ay * (j * j) as f64 + az * (k * k) as f64
+        });
+        let rhs_val = 2.0 * (ax + ay + az);
+        let f: Grid3<f64> = FillPattern::Constant(rhs_val).build(n, n, n);
+        let out = run_single_out(&Poisson::default(), vec![u.clone(), f], n);
+        for kk in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    prop_assert!((out.get(i, j, kk) - u.get(i, j, kk)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

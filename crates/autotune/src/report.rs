@@ -1,0 +1,137 @@
+//! Human-readable tuning reports: what the paper's performance surfaces
+//! (Fig 8) summarise, as numbers — distribution statistics over the
+//! search space, the top candidates, and what limits them.
+
+use crate::exhaustive::TuneOutcome;
+use gpu_sim::{DeviceSpec, GridDims, LimitingFactor, SimOptions};
+use inplane_core::{simulate_kernel, KernelSpec};
+
+/// Distribution summary of a tuning run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneReport {
+    /// Configurations measured.
+    pub evaluated: usize,
+    /// Best measured MPoint/s.
+    pub best: f64,
+    /// Median measured MPoint/s.
+    pub median: f64,
+    /// Lower-quartile MPoint/s.
+    pub q1: f64,
+    /// Upper-quartile MPoint/s.
+    pub q3: f64,
+    /// Worst feasible MPoint/s.
+    pub worst_feasible: f64,
+    /// Ratio best / median: how much auto-tuning buys over a blind pick.
+    pub tuning_gain_over_median: f64,
+    /// The limiting factor of the winning configuration.
+    pub best_limited_by: LimitingFactor,
+}
+
+/// Summarise a completed tuning run (re-pricing the winner for its
+/// limiting factor).
+pub fn summarize(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    outcome: &TuneOutcome,
+) -> TuneReport {
+    let mut feasible: Vec<f64> = outcome
+        .samples
+        .iter()
+        .map(|s| s.mpoints)
+        .filter(|&m| m > 0.0)
+        .collect();
+    feasible.sort_by(f64::total_cmp);
+    let pick = |q: f64| {
+        if feasible.is_empty() {
+            0.0
+        } else {
+            feasible[((feasible.len() - 1) as f64 * q) as usize]
+        }
+    };
+    let best = outcome.best.mpoints;
+    let median = pick(0.5);
+    let rep = simulate_kernel(device, kernel, &outcome.best.config, dims, &SimOptions::default());
+    TuneReport {
+        evaluated: outcome.evaluated(),
+        best,
+        median,
+        q1: pick(0.25),
+        q3: pick(0.75),
+        worst_feasible: pick(0.0),
+        tuning_gain_over_median: if median > 0.0 { best / median } else { 0.0 },
+        best_limited_by: rep.limiting,
+    }
+}
+
+impl TuneReport {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "evaluated {} configurations\n\
+             best {:.0} MPoint/s (limited by {:?})\n\
+             quartiles: {:.0} / {:.0} / {:.0} MPoint/s; worst feasible {:.0}\n\
+             tuning gain over the median configuration: {:.2}x",
+            self.evaluated,
+            self.best,
+            self.best_limited_by,
+            self.q1,
+            self.median,
+            self.q3,
+            self.worst_feasible,
+            self.tuning_gain_over_median,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exhaustive_tune, ParameterSpace};
+    use inplane_core::{Method, Variant};
+    use stencil_grid::Precision;
+
+    fn run() -> (DeviceSpec, KernelSpec, GridDims, TuneOutcome) {
+        let dev = DeviceSpec::gtx580();
+        let k =
+            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dims = GridDims::new(256, 256, 32);
+        let space = ParameterSpace::quick_space(&dev, &k, &dims);
+        let out = exhaustive_tune(&dev, &k, dims, &space, 1);
+        (dev, k, dims, out)
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let (dev, k, dims, out) = run();
+        let rep = summarize(&dev, &k, dims, &out);
+        assert!(rep.worst_feasible <= rep.q1);
+        assert!(rep.q1 <= rep.median);
+        assert!(rep.median <= rep.q3);
+        assert!(rep.q3 <= rep.best);
+        assert!(rep.tuning_gain_over_median >= 1.0);
+        assert!(rep.evaluated > 0);
+    }
+
+    #[test]
+    fn tuning_buys_something_real() {
+        // The paper's whole §IV-C point: the spread between a blind pick
+        // and the tuned optimum is large.
+        let (dev, k, dims, out) = run();
+        let rep = summarize(&dev, &k, dims, &out);
+        assert!(
+            rep.tuning_gain_over_median > 1.15,
+            "tuning gain {:.2}",
+            rep.tuning_gain_over_median
+        );
+    }
+
+    #[test]
+    fn render_contains_the_numbers() {
+        let (dev, k, dims, out) = run();
+        let rep = summarize(&dev, &k, dims, &out);
+        let s = rep.render();
+        assert!(s.contains("best"));
+        assert!(s.contains("quartiles"));
+    }
+}

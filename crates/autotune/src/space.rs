@@ -1,0 +1,235 @@
+//! The `(TX, TY, RX, RY)` parameter space and the paper's feasibility
+//! constraints (§IV-C):
+//!
+//! 1. `TX` is a multiple of a half-warp (memory coalescing);
+//!    `TY` has no such constraint;
+//! 2. `TX × TY` is within the device's thread-per-block limit;
+//! 3. the shared-memory staging buffer fits the device's per-SM limit;
+//! 4. `TY × RY` divides the vertical grid size.
+//!
+//! Two practical constraints close the space: the register estimate must
+//! fit the per-thread hardware cap (otherwise the "kernel" would not
+//! compile at that unrolling), and a block's tile cannot exceed the grid
+//! extent.
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::resources::{regs_per_thread, smem_bytes};
+use inplane_core::{KernelSpec, LaunchConfig};
+
+/// An enumerated, constraint-filtered set of launch configurations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParameterSpace {
+    configs: Vec<LaunchConfig>,
+}
+
+impl ParameterSpace {
+    /// The paper's search space for `kernel` on `device` over `dims`:
+    /// `TX ∈ {16, 32, 48, ..., 512}`, `TY ∈ {1..=32}`,
+    /// `RX, RY ∈ {1, 2, 4, 8}`, filtered by the constraints above.
+    pub fn paper_space(device: &DeviceSpec, kernel: &KernelSpec, dims: &GridDims) -> Self {
+        let half_warp = device.warp_size / 2;
+        let reg_factors = [1usize, 2, 4, 8];
+        let mut configs = Vec::new();
+        for tx in (half_warp..=512).step_by(half_warp) {
+            for ty in 1..=32usize {
+                if tx * ty > device.max_threads_per_block || tx * ty < device.warp_size {
+                    continue;
+                }
+                for rx in reg_factors {
+                    for ry in reg_factors {
+                        let c = LaunchConfig::new(tx, ty, rx, ry);
+                        if Self::feasible(device, kernel, dims, &c) {
+                            configs.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        ParameterSpace { configs }
+    }
+
+    /// Check the constraints for one configuration.
+    pub fn feasible(
+        device: &DeviceSpec,
+        kernel: &KernelSpec,
+        dims: &GridDims,
+        c: &LaunchConfig,
+    ) -> bool {
+        let half_warp = device.warp_size / 2;
+        // (i) TX multiple of a half-warp.
+        if !c.tx.is_multiple_of(half_warp) {
+            return false;
+        }
+        // (ii) thread limit.
+        if c.threads() > device.max_threads_per_block {
+            return false;
+        }
+        // (iii) shared-memory limit.
+        if smem_bytes(kernel, c) > device.smem_per_sm {
+            return false;
+        }
+        // (iv) TY·RY divides LY.
+        if !dims.ly.is_multiple_of(c.tile_y()) {
+            return false;
+        }
+        // Tile must fit the plane; register estimate must compile.
+        c.tile_x() <= dims.lx
+            && c.tile_y() <= dims.ly
+            && regs_per_thread(kernel, c) <= device.max_regs_per_thread
+    }
+
+    /// Wrap an explicit list (used by tests and reduced sweeps).
+    pub fn from_configs(configs: Vec<LaunchConfig>) -> Self {
+        ParameterSpace { configs }
+    }
+
+    /// A reduced space for quick runs: powers-of-two TX/TY only.
+    pub fn quick_space(device: &DeviceSpec, kernel: &KernelSpec, dims: &GridDims) -> Self {
+        let full = Self::paper_space(device, kernel, dims);
+        let configs = full
+            .configs
+            .into_iter()
+            .filter(|c| c.tx.is_power_of_two() && c.ty.is_power_of_two())
+            .collect();
+        ParameterSpace { configs }
+    }
+
+    /// The configurations, in enumeration order.
+    pub fn configs(&self) -> &[LaunchConfig] {
+        &self.configs
+    }
+
+    /// Number of configurations (`M` in §VI).
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when no configuration survives the constraints.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inplane_core::{Method, Variant};
+    use stencil_grid::Precision;
+
+    fn kernel(order: usize) -> KernelSpec {
+        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single)
+    }
+
+    #[test]
+    fn space_is_nonempty_and_all_feasible() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = kernel(4);
+        let space = ParameterSpace::paper_space(&dev, &k, &dims);
+        assert!(space.len() > 100, "space has {} configs", space.len());
+        for c in space.configs() {
+            assert!(ParameterSpace::feasible(&dev, &k, &dims, c), "{c} infeasible");
+        }
+    }
+
+    #[test]
+    fn constraint_tx_half_warp() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = kernel(2);
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(24, 4, 1, 1)));
+        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(48, 4, 1, 1)));
+    }
+
+    #[test]
+    fn constraint_thread_limit() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = kernel(2);
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(512, 4, 1, 1)));
+    }
+
+    #[test]
+    fn constraint_smem() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        // A 512×8-tile order-12 slab exceeds 48 KB of shared memory.
+        let k = kernel(12);
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(512, 1, 1, 8)));
+    }
+
+    #[test]
+    fn constraint_ty_ry_divides_ly() {
+        let dev = DeviceSpec::gtx580();
+        let k = kernel(2);
+        let dims = GridDims::new(512, 96, 64);
+        // 96 = 2^5·3: TY·RY = 5 never divides it; 3 does... TY in 1..32.
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 5, 1, 1)));
+        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 3, 1, 1)));
+        // TY·RY = 10 does not divide 96; TY·RY = 32 does.
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 5, 1, 2)));
+        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 4, 1, 8)));
+    }
+
+    #[test]
+    fn constraint_register_cap_prunes_big_dp_tiles() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            12,
+            Precision::Double,
+        );
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(16, 8, 2, 2)));
+        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(16, 8, 1, 1)));
+    }
+
+    #[test]
+    fn tile_must_fit_grid() {
+        let dev = DeviceSpec::gtx580();
+        let k = kernel(2);
+        let dims = GridDims::new(64, 64, 64);
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(128, 1, 1, 1)));
+        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 1, 4, 1)));
+    }
+
+    #[test]
+    fn quick_space_is_subset() {
+        let dev = DeviceSpec::gtx680();
+        let dims = GridDims::paper();
+        let k = kernel(4);
+        let full = ParameterSpace::paper_space(&dev, &k, &dims);
+        let quick = ParameterSpace::quick_space(&dev, &k, &dims);
+        assert!(quick.len() < full.len());
+        for c in quick.configs() {
+            assert!(full.configs().contains(c));
+        }
+    }
+
+    #[test]
+    fn paper_optimal_configs_are_in_the_space() {
+        // Every optimal configuration reported in Table IV must be
+        // enumerable by our space (for its device and precision).
+        let dims = GridDims::paper();
+        type Case = (DeviceSpec, usize, Precision, (usize, usize, usize, usize));
+        let cases: [Case; 6] = [
+            (DeviceSpec::gtx580(), 2, Precision::Single, (256, 1, 1, 8)),
+            (DeviceSpec::gtx680(), 2, Precision::Single, (256, 4, 1, 4)),
+            (DeviceSpec::c2070(), 4, Precision::Single, (32, 2, 2, 4)),
+            (DeviceSpec::gtx580(), 10, Precision::Single, (32, 8, 1, 2)),
+            (DeviceSpec::gtx580(), 2, Precision::Double, (128, 1, 1, 4)),
+            (DeviceSpec::c2070(), 12, Precision::Double, (16, 16, 1, 1)),
+        ];
+        for (dev, order, prec, (tx, ty, rx, ry)) in cases {
+            let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, prec);
+            let space = ParameterSpace::paper_space(&dev, &k, &dims);
+            let c = LaunchConfig::new(tx, ty, rx, ry);
+            assert!(
+                space.configs().contains(&c),
+                "{} order {order} {}: {c} missing from space",
+                dev.name,
+                prec.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the functional kernel executors: what the
+//! emulated methods cost in actual Rust wall time, versus the plain CPU
+//! reference. (The *simulated GPU* performance is a model output; these
+//! numbers measure this library itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inplane_core::{execute_step, LaunchConfig, Method, Variant};
+use stencil_grid::{apply_reference, Boundary, FillPattern, Grid3, StarStencil};
+
+fn bench_methods(c: &mut Criterion) {
+    let n = 64usize;
+    let mut group = c.benchmark_group("one_jacobi_step_64cubed");
+    group.throughput(Throughput::Elements((n as u64).pow(3)));
+    for order in [2usize, 8] {
+        let stencil = StarStencil::<f32>::from_order(order);
+        let input: Grid3<f32> =
+            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 1 }.build(n, n, n);
+        let config = LaunchConfig::new(16, 8, 1, 2);
+
+        group.bench_with_input(BenchmarkId::new("cpu_reference", order), &order, |b, _| {
+            let mut out = Grid3::new(n, n, n);
+            b.iter(|| apply_reference(&stencil, &input, &mut out, Boundary::CopyInput));
+        });
+        for (label, method) in [
+            ("forward_plane", Method::ForwardPlane),
+            ("inplane_full_slice", Method::InPlane(Variant::FullSlice)),
+            ("inplane_vertical", Method::InPlane(Variant::Vertical)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, order), &order, |b, _| {
+                let mut out = Grid3::new(n, n, n);
+                b.iter(|| {
+                    execute_step(method, &stencil, &config, &input, &mut out, Boundary::CopyInput)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_iterative_loop(c: &mut Criterion) {
+    let n = 48usize;
+    let stencil = StarStencil::<f64>::diffusion(1);
+    let initial: Grid3<f64> =
+        FillPattern::GaussianPulse { amplitude: 1.0, sigma: 0.1 }.build(n, n, n);
+    c.bench_function("iterate_10_steps_48cubed_dp", |b| {
+        b.iter(|| {
+            stencil_grid::iterate_stencil_loop(initial.clone(), 1, 10, |inp, out| {
+                apply_reference(&stencil, inp, out, Boundary::CopyInput)
+            })
+        });
+    });
+}
+
+criterion_group!(benches, bench_methods, bench_iterative_loop);
+criterion_main!(benches);

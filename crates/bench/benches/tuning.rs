@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the auto-tuning engines: the wall-time cost
+//! of exhaustive search versus model-based tuning — the practical point
+//! of §VI (the model prunes ~95% of the configurations that would
+//! otherwise have to be executed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{KernelSpec, Method, Variant};
+use stencil_autotune::{exhaustive_tune, model_based_tune, predict_mpoints, ParameterSpace};
+use stencil_grid::Precision;
+
+fn bench_tuners(c: &mut Criterion) {
+    let dev = DeviceSpec::gtx580();
+    let dims = GridDims::paper();
+    let kernel =
+        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+    let space = ParameterSpace::quick_space(&dev, &kernel, &dims);
+
+    let mut group = c.benchmark_group("autotune");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::new("exhaustive", space.len()), &space, |b, s| {
+        b.iter(|| exhaustive_tune(&dev, &kernel, dims, s, 1));
+    });
+    group.bench_with_input(BenchmarkId::new("model_based_5pct", space.len()), &space, |b, s| {
+        b.iter(|| model_based_tune(&dev, &kernel, dims, s, 5.0, 1));
+    });
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let dev = DeviceSpec::gtx680();
+    let dims = GridDims::paper();
+    let kernel =
+        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 8, Precision::Single);
+    let config = inplane_core::LaunchConfig::new(64, 4, 1, 4);
+    c.bench_function("model_predict_single_config", |b| {
+        b.iter(|| predict_mpoints(&dev, &kernel, &config, &dims));
+    });
+}
+
+fn bench_space_enumeration(c: &mut Criterion) {
+    let dev = DeviceSpec::c2070();
+    let dims = GridDims::paper();
+    let kernel =
+        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 8, Precision::Double);
+    c.bench_function("paper_space_enumeration", |b| {
+        b.iter(|| ParameterSpace::paper_space(&dev, &kernel, &dims).len());
+    });
+}
+
+criterion_group!(benches, bench_tuners, bench_model, bench_space_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Fig 11 / Table V: application stencil benchmarks.
+use stencil_bench::{exp::fig11, RunOpts};
+fn main() {
+    let opts = RunOpts::from_env();
+    for r in fig11::compute(&opts) {
+        fig11::render(&r).print(&format!(
+            "Fig 11 / Table V: application stencils on {} ({})",
+            r.device,
+            r.precision.label()
+        ));
+    }
+    println!("\nPaper shape: Laplacian gains most (~1.8x); Hyperthermia least (coefficient-bound).");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the section V-B literature comparison.
+use stencil_bench::{exp::litcompare, RunOpts};
+fn main() {
+    let opts = RunOpts::from_env();
+    litcompare::render(&litcompare::compute(&opts)).print("Section V-B: comparison with previous work");
+}

@@ -1,0 +1,71 @@
+//! Extension: multi-GPU strong and weak scaling of the tuned in-plane
+//! kernel with z-slab decomposition and PCIe halo exchange.
+//!
+//! ```sh
+//! cargo run --release -p stencil-bench --bin scaling [-- --quick]
+//! ```
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
+use stencil_bench::{fmt, RunOpts};
+use stencil_grid::Precision;
+use stencil_multigpu::{simulate_scaling, Interconnect};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let dev = DeviceSpec::gtx580();
+    let ic = Interconnect::pcie2();
+    let config = LaunchConfig::new(128, 4, 1, 2);
+
+    for order in [2usize, 8] {
+        let kernel =
+            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+
+        // Strong scaling: fixed global grid.
+        let dims = opts.dims();
+        let mut t = fmt::Table::new(&[
+            "GPUs",
+            "step ms",
+            "MPoint/s",
+            "efficiency",
+            "exchange %",
+        ]);
+        for p in simulate_scaling(&dev, &kernel, &config, dims, &ic, 8) {
+            t.row(vec![
+                p.devices.to_string(),
+                fmt::f(p.step_time_s * 1e3, 3),
+                fmt::f(p.mpoints_per_s, 0),
+                fmt::f(p.efficiency, 2),
+                fmt::f(p.exchange_fraction * 100.0, 1),
+            ]);
+        }
+        t.print(&format!(
+            "Strong scaling, order-{order} SP in-plane on {}x GTX580 ({}x{}x{})",
+            8, dims.lx, dims.ly, dims.lz
+        ));
+        t.maybe_csv(&opts.csv_dir, &format!("scaling_strong_order{order}"));
+
+        // Weak scaling: grid depth grows with the device count.
+        let mut w = fmt::Table::new(&["GPUs", "LZ", "step ms", "MPoint/s"]);
+        for devices in 1..=8usize {
+            let dims_w = GridDims::new(dims.lx, dims.ly, dims.lz * devices);
+            if let Some(p) =
+                simulate_scaling(&dev, &kernel, &config, dims_w, &ic, devices).last()
+            {
+                if p.devices == devices {
+                    w.row(vec![
+                        devices.to_string(),
+                        dims_w.lz.to_string(),
+                        fmt::f(p.step_time_s * 1e3, 3),
+                        fmt::f(p.mpoints_per_s, 0),
+                    ]);
+                }
+            }
+        }
+        w.print(&format!("Weak scaling, order-{order} SP (LZ grows with device count)"));
+        w.maybe_csv(&opts.csv_dir, &format!("scaling_weak_order{order}"));
+    }
+    println!("\nStrong scaling saturates as the fixed per-step halo exchange stops");
+    println!("shrinking; weak scaling stays near-flat — the standard distributed-stencil");
+    println!("behaviour, composed from the single-GPU simulator plus a PCIe model.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I (stencil specifications).
+fn main() {
+    stencil_bench::exp::table1::render().print("Table I: stencil kernel specifications");
+}

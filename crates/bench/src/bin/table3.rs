@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III (GPU specs + measured bandwidth).
+fn main() {
+    stencil_bench::exp::table3::render()
+        .print("Table III: simulated GPU specifications and measured bandwidth");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table IV: auto-tuned full-slice results (SP & DP).
+use stencil_bench::{exp::table4, RunOpts};
+fn main() {
+    let opts = RunOpts::from_env();
+    let cells = table4::compute(&opts);
+    let table = table4::render(&cells);
+    table.print("Table IV: auto-tuned in-plane full-slice (thread + register blocking)");
+    table.maybe_csv(&opts.csv_dir, "table4");
+}

@@ -1,0 +1,118 @@
+//! User-facing auto-tuning CLI: pick a device, stencil order, precision
+//! and method, and get the tuned configuration — the workflow the
+//! paper's auto-tuning engine supports, as a tool.
+//!
+//! ```sh
+//! cargo run --release -p stencil-bench --bin tune -- \
+//!     --device gtx680 --order 8 --precision sp --method full-slice \
+//!     --beta 5 --lx 512 --ly 512 --lz 256
+//! ```
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{KernelSpec, Method, Variant};
+use stencil_autotune::{exhaustive_tune, model_based_tune, ParameterSpace};
+use stencil_grid::Precision;
+
+struct Args {
+    device: DeviceSpec,
+    order: usize,
+    precision: Precision,
+    method: Method,
+    beta: Option<f64>,
+    dims: GridDims,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune [--device gtx580|gtx680|c2070] [--order N] [--precision sp|dp]\n\
+         \x20           [--method nvstencil|classical|vertical|horizontal|full-slice]\n\
+         \x20           [--beta PCT] [--lx N --ly N --lz N] [--seed N]\n\
+         --beta selects model-based tuning (execute only the top PCT% of the space);\n\
+         without it the search is exhaustive."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        device: DeviceSpec::gtx580(),
+        order: 4,
+        precision: Precision::Single,
+        method: Method::InPlane(Variant::FullSlice),
+        beta: None,
+        dims: GridDims::paper(),
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    let (mut lx, mut ly, mut lz) = (512usize, 512usize, 256usize);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--device" => {
+                args.device = match val().as_str() {
+                    "gtx580" => DeviceSpec::gtx580(),
+                    "gtx680" => DeviceSpec::gtx680(),
+                    "c2070" => DeviceSpec::c2070(),
+                    _ => usage(),
+                }
+            }
+            "--order" => args.order = val().parse().unwrap_or_else(|_| usage()),
+            "--precision" => {
+                args.precision = match val().as_str() {
+                    "sp" => Precision::Single,
+                    "dp" => Precision::Double,
+                    _ => usage(),
+                }
+            }
+            "--method" => {
+                args.method = match val().as_str() {
+                    "nvstencil" | "forward" => Method::ForwardPlane,
+                    "classical" => Method::InPlane(Variant::Classical),
+                    "vertical" => Method::InPlane(Variant::Vertical),
+                    "horizontal" => Method::InPlane(Variant::Horizontal),
+                    "full-slice" => Method::InPlane(Variant::FullSlice),
+                    _ => usage(),
+                }
+            }
+            "--beta" => args.beta = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--lx" => lx = val().parse().unwrap_or_else(|_| usage()),
+            "--ly" => ly = val().parse().unwrap_or_else(|_| usage()),
+            "--lz" => lz = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args.dims = GridDims::new(lx, ly, lz);
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let kernel = KernelSpec::star_order(a.method, a.order, a.precision);
+    println!(
+        "tuning {} on {} over {}x{}x{}",
+        kernel.name, a.device.name, a.dims.lx, a.dims.ly, a.dims.lz
+    );
+    let space = ParameterSpace::paper_space(&a.device, &kernel, &a.dims);
+    println!("{} feasible configurations", space.len());
+    match a.beta {
+        Some(beta) => {
+            let out = model_based_tune(&a.device, &kernel, a.dims, &space, beta, a.seed);
+            println!(
+                "model-based (beta = {beta}%): executed {} configurations",
+                out.executed
+            );
+            println!("optimal: {} -> {:.0} MPoint/s", out.best.config, out.best.mpoints);
+        }
+        None => {
+            let out = exhaustive_tune(&a.device, &kernel, a.dims, &space, a.seed);
+            println!("optimal: {} -> {:.0} MPoint/s", out.best.config, out.best.mpoints);
+            println!("runners-up:");
+            for s in out.top(6).iter().skip(1) {
+                println!("  {} -> {:.0} MPoint/s", s.config, s.mpoints);
+            }
+        }
+    }
+}

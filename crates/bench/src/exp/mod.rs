@@ -1,0 +1,87 @@
+//! Experiment implementations, one module per table/figure.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod litcompare;
+pub mod table1;
+pub mod temporal_cmp;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::KernelSpec;
+use stencil_autotune::{exhaustive_tune, ParameterSpace, TuneSample};
+
+/// The stencil orders of the paper's evaluation.
+pub const ORDERS: [usize; 6] = [2, 4, 6, 8, 10, 12];
+
+/// Build the tuning space for `kernel`, optionally restricted to thread
+/// blocking only (`RX = RY = 1`, as in Fig 7) and/or the reduced quick
+/// space.
+pub fn space_for(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: &GridDims,
+    register_blocking: bool,
+    quick: bool,
+) -> ParameterSpace {
+    let base = if quick {
+        ParameterSpace::quick_space(device, kernel, dims)
+    } else {
+        ParameterSpace::paper_space(device, kernel, dims)
+    };
+    if register_blocking {
+        base
+    } else {
+        ParameterSpace::from_configs(
+            base.configs().iter().copied().filter(|c| !c.has_register_blocking()).collect(),
+        )
+    }
+}
+
+/// Tune `kernel` and return the best sample.
+pub fn tune_best(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    register_blocking: bool,
+    quick: bool,
+    seed: u64,
+) -> TuneSample {
+    let space = space_for(device, kernel, &dims, register_blocking, quick);
+    exhaustive_tune(device, kernel, dims, &space, seed).best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inplane_core::{Method, Variant};
+    use stencil_grid::Precision;
+
+    #[test]
+    fn no_rb_space_has_only_unit_register_blocks() {
+        let dev = DeviceSpec::gtx580();
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dims = GridDims::paper();
+        let s = space_for(&dev, &k, &dims, false, true);
+        assert!(!s.is_empty());
+        assert!(s.configs().iter().all(|c| c.rx == 1 && c.ry == 1));
+    }
+
+    #[test]
+    fn rb_space_is_strictly_larger() {
+        let dev = DeviceSpec::gtx580();
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dims = GridDims::paper();
+        assert!(
+            space_for(&dev, &k, &dims, true, true).len()
+                > space_for(&dev, &k, &dims, false, true).len()
+        );
+    }
+}

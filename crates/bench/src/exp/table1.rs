@@ -1,0 +1,61 @@
+//! Table I: stencil kernel specifications — extent, memory accesses per
+//! element, flops per element — for orders 2 through 12.
+
+use crate::fmt::Table;
+
+/// One row: (order, extent, memory accesses/elem, flops/elem).
+pub type Row = (usize, usize, usize, usize);
+
+/// The paper's Table I values, for side-by-side comparison.
+pub const PAPER: [Row; 6] = [
+    (2, 3, 8, 8),
+    (4, 5, 14, 15),
+    (6, 7, 20, 22),
+    (8, 9, 26, 29),
+    (10, 11, 32, 36),
+    (12, 13, 38, 43),
+];
+
+/// Regenerate the table from the library's operation counts.
+pub fn compute() -> Vec<Row> {
+    stencil_grid::stencil::table1_rows()
+}
+
+/// Render the comparison table.
+pub fn render() -> Table {
+    let ours = compute();
+    let mut t = Table::new(&[
+        "Order",
+        "Extent",
+        "MemAcc/Elem (ours)",
+        "(paper)",
+        "Flops/Elem (ours)",
+        "(paper)",
+    ]);
+    for (row, paper) in ours.iter().zip(PAPER.iter()) {
+        t.row(vec![
+            row.0.to_string(),
+            format!("{0}x{0}x{0}", row.1),
+            row.2.to_string(),
+            paper.2.to_string(),
+            row.3.to_string(),
+            paper.3.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_exactly() {
+        assert_eq!(compute(), PAPER.to_vec());
+    }
+
+    #[test]
+    fn render_has_six_rows() {
+        assert_eq!(render().len(), 6);
+    }
+}

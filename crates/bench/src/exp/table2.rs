@@ -1,0 +1,63 @@
+//! Table II: operation counts per grid point — data references and flops
+//! under the in-plane versus the forward-plane (nvstencil) formulation.
+
+use crate::fmt::Table;
+
+/// One row: (order, data refs, flops in-plane, flops nvstencil).
+pub type Row = (usize, usize, usize, usize);
+
+/// The paper's Table II values.
+pub const PAPER: [Row; 6] = [
+    (2, 8, 9, 8),
+    (4, 14, 17, 15),
+    (6, 20, 25, 22),
+    (8, 26, 33, 29),
+    (10, 32, 41, 36),
+    (12, 38, 49, 43),
+];
+
+/// Regenerate from the library's operation counts.
+pub fn compute() -> Vec<Row> {
+    stencil_grid::stencil::table2_rows()
+}
+
+/// Render the comparison table.
+pub fn render() -> Table {
+    let ours = compute();
+    let mut t = Table::new(&[
+        "Order",
+        "Data Refs",
+        "Flops in-plane (ours)",
+        "(paper)",
+        "Flops nvstencil (ours)",
+        "(paper)",
+    ]);
+    for (row, paper) in ours.iter().zip(PAPER.iter()) {
+        t.row(vec![
+            row.0.to_string(),
+            row.1.to_string(),
+            row.2.to_string(),
+            paper.2.to_string(),
+            row.3.to_string(),
+            paper.3.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_exactly() {
+        assert_eq!(compute(), PAPER.to_vec());
+    }
+
+    #[test]
+    fn inplane_always_costs_r_more_flops() {
+        for (order, _, inplane, forward) in compute() {
+            assert_eq!(inplane - forward, order / 2);
+        }
+    }
+}

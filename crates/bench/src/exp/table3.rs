@@ -1,0 +1,85 @@
+//! Table III: GPU specifications, plus the §IV-A measured throughput
+//! (the simulator's bandwidth micro-benchmark plays the measurement).
+
+use crate::fmt::{f, Table};
+use gpu_sim::{measure_achieved_bandwidth, DeviceSpec};
+
+/// One row of the reproduced table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Device name.
+    pub name: String,
+    /// Pin bandwidth, GB/s.
+    pub peak_bw_gbs: f64,
+    /// Peak SP throughput, GFlop/s.
+    pub peak_sp_gflops: f64,
+    /// Peak DP throughput, GFlop/s.
+    pub peak_dp_gflops: f64,
+    /// Micro-benchmark "measured" bandwidth, GB/s.
+    pub measured_bw_gbs: f64,
+    /// The paper's measured bandwidth, GB/s.
+    pub paper_measured_bw_gbs: f64,
+}
+
+/// Compute every row.
+pub fn compute() -> Vec<Row> {
+    let paper_measured = [161.0, 150.0, 117.5];
+    DeviceSpec::paper_devices()
+        .into_iter()
+        .zip(paper_measured)
+        .map(|(d, paper)| Row {
+            name: d.name.to_string(),
+            peak_bw_gbs: d.peak_bandwidth / 1e9,
+            peak_sp_gflops: d.peak_sp_flops() / 1e9,
+            peak_dp_gflops: d.peak_dp_flops() / 1e9,
+            measured_bw_gbs: measure_achieved_bandwidth(&d),
+            paper_measured_bw_gbs: paper,
+        })
+        .collect()
+}
+
+/// Render the comparison table.
+pub fn render() -> Table {
+    let mut t = Table::new(&[
+        "GPU",
+        "Peak BW GB/s",
+        "Peak SP GF/s",
+        "Peak DP GF/s",
+        "Measured BW (ours)",
+        "(paper)",
+    ]);
+    for r in compute() {
+        t.row(vec![
+            r.name,
+            f(r.peak_bw_gbs, 1),
+            f(r.peak_sp_gflops, 0),
+            f(r.peak_dp_gflops, 0),
+            f(r.measured_bw_gbs, 1),
+            f(r.paper_measured_bw_gbs, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_devices_measured_close_to_paper() {
+        let rows = compute();
+        assert_eq!(rows.len(), 3);
+        for r in rows {
+            let rel = (r.measured_bw_gbs - r.paper_measured_bw_gbs).abs() / r.paper_measured_bw_gbs;
+            assert!(rel < 0.03, "{}: {:.1} vs paper {:.1}", r.name, r.measured_bw_gbs, r.paper_measured_bw_gbs);
+        }
+    }
+
+    #[test]
+    fn peak_flops_match_table3() {
+        let rows = compute();
+        assert!((rows[0].peak_sp_gflops - 1581.0).abs() < 2.0);
+        assert!((rows[1].peak_sp_gflops - 3090.0).abs() < 2.0);
+        assert!((rows[2].peak_dp_gflops - 515.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Command-line options shared by all experiment binaries.
+
+use gpu_sim::GridDims;
+
+/// Run options parsed from the command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOpts {
+    /// Reduced grid / search space for fast runs.
+    pub quick: bool,
+    /// Seed for the deterministic measurement noise.
+    pub seed: u64,
+    /// Directory to write per-experiment CSV data into (`--csv <dir>`).
+    pub csv_dir: Option<String>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { quick: false, seed: 1, csv_dir: None }
+    }
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args`-style strings: `--quick`,
+    /// `--seed <n>`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = RunOpts::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--csv" => {
+                    opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The evaluation grid: the paper's 512×512×256, or a quarter-size
+    /// grid in quick mode.
+    pub fn dims(&self) -> GridDims {
+        if self.quick {
+            GridDims::new(256, 256, 64)
+        } else {
+            GridDims::paper()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_grid() {
+        let o = RunOpts::default();
+        assert!(!o.quick);
+        assert_eq!(o.dims(), GridDims::paper());
+    }
+
+    #[test]
+    fn parses_quick_and_seed() {
+        let o = RunOpts::parse(
+            ["--quick", "--seed", "7"].iter().map(|s| s.to_string()),
+        );
+        assert!(o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.dims(), GridDims::new(256, 256, 64));
+    }
+
+    #[test]
+    fn parses_csv_dir() {
+        let o = RunOpts::parse(["--csv", "out"].iter().map(|s| s.to_string()));
+        assert_eq!(o.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let o = RunOpts::parse(["--whatever"].iter().map(|s| s.to_string()));
+        assert_eq!(o, RunOpts::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn seed_without_value_panics() {
+        RunOpts::parse(["--seed"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,158 @@
+//! A small indentation- and brace-tracking C source writer.
+//!
+//! Keeping emission structured (blocks open and close through the
+//! writer, never through raw strings) makes "the generated source is
+//! well-formed" a checkable invariant instead of a hope.
+
+/// Indented C source builder with brace accounting.
+#[derive(Debug, Default)]
+pub struct CWriter {
+    out: String,
+    indent: usize,
+    open_braces: usize,
+}
+
+impl CWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit one line at the current indent. The line must not contain
+    /// `{` or `}` — use [`CWriter::open`] / [`CWriter::close`] for those
+    /// so brace accounting stays exact.
+    pub fn line(&mut self, s: &str) -> &mut Self {
+        assert!(
+            !s.contains('{') && !s.contains('}'),
+            "braces must go through open()/close(): {s:?}"
+        );
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit a blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit a raw preprocessor or comment line at column zero.
+    pub fn raw(&mut self, s: &str) -> &mut Self {
+        self.out.push_str(s);
+        self.out.push('\n');
+        self
+    }
+
+    /// Open a block: emits `header {` and indents.
+    pub fn open(&mut self, header: &str) -> &mut Self {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(header);
+        if !header.is_empty() {
+            self.out.push(' ');
+        }
+        self.out.push_str("{\n");
+        self.indent += 1;
+        self.open_braces += 1;
+        self
+    }
+
+    /// Close the innermost block; `suffix` is appended after the brace
+    /// (e.g. `";"` for struct/initialiser blocks).
+    pub fn close(&mut self, suffix: &str) -> &mut Self {
+        assert!(self.open_braces > 0, "close() without matching open()");
+        self.indent -= 1;
+        self.open_braces -= 1;
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push('}');
+        self.out.push_str(suffix);
+        self.out.push('\n');
+        self
+    }
+
+    /// Number of currently open blocks.
+    pub fn depth(&self) -> usize {
+        self.open_braces
+    }
+
+    /// Finish: panics if any block is still open, returns the source.
+    pub fn finish(self) -> String {
+        assert_eq!(self.open_braces, 0, "unclosed block in generated source");
+        self.out
+    }
+}
+
+/// Count occurrences of a pattern in generated source (test helper).
+pub fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_indented_blocks() {
+        let mut w = CWriter::new();
+        w.open("void f(void)");
+        w.line("int x = 1;");
+        w.open("if (x)");
+        w.line("x = 2;");
+        w.close("");
+        w.close("");
+        let s = w.finish();
+        assert_eq!(s, "void f(void) {\n    int x = 1;\n    if (x) {\n        x = 2;\n    }\n}\n");
+    }
+
+    #[test]
+    fn brace_counts_balance() {
+        let mut w = CWriter::new();
+        w.open("a");
+        assert_eq!(w.depth(), 1);
+        w.open("b");
+        assert_eq!(w.depth(), 2);
+        w.close("");
+        w.close(";");
+        assert_eq!(w.depth(), 0);
+        let s = w.finish();
+        assert_eq!(count_occurrences(&s, "{"), count_occurrences(&s, "}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed block")]
+    fn unbalanced_finish_panics() {
+        let mut w = CWriter::new();
+        w.open("void f(void)");
+        w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "braces must go through")]
+    fn braces_in_line_rejected() {
+        let mut w = CWriter::new();
+        w.line("if (x) { }");
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching open")]
+    fn close_without_open_panics() {
+        let mut w = CWriter::new();
+        w.close("");
+    }
+
+    #[test]
+    fn raw_lines_bypass_indent() {
+        let mut w = CWriter::new();
+        w.open("void f(void)");
+        w.raw("#pragma unroll");
+        w.close("");
+        assert!(w.finish().contains("\n#pragma unroll\n"));
+    }
+}

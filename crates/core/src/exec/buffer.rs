@@ -1,0 +1,158 @@
+//! The emulated shared-memory staging buffer.
+//!
+//! Cells must be explicitly staged before they can be read; reading an
+//! un-staged cell panics. That turns the variants' structural promises
+//! into checked invariants: e.g. the horizontal pattern never stages the
+//! corner cells, so a kernel that accidentally read a corner would fail
+//! its tests instead of silently reading stale shared memory (which is
+//! what the real CUDA kernel would do).
+
+use stencil_grid::Real;
+
+/// A 2-D staging buffer covering grid columns `[x0, x0+w)` and rows
+/// `[y0, y0+h)` of the current z-plane.
+#[derive(Clone, Debug)]
+pub struct SharedBuffer<T> {
+    x0: isize,
+    y0: isize,
+    w: usize,
+    h: usize,
+    data: Vec<T>,
+    staged: Vec<bool>,
+    stage_count: u64,
+}
+
+impl<T: Real> SharedBuffer<T> {
+    /// Allocate a buffer for the given grid-coordinate window.
+    pub fn new(x0: isize, y0: isize, w: usize, h: usize) -> Self {
+        SharedBuffer {
+            x0,
+            y0,
+            w,
+            h,
+            data: vec![T::ZERO; w * h],
+            staged: vec![false; w * h],
+            stage_count: 0,
+        }
+    }
+
+    /// Buffer for a tile `[x0, x0+w) × [y0, y0+h)` framed by a halo of
+    /// width `r` on every side.
+    pub fn for_tile(x0: usize, y0: usize, w: usize, h: usize, r: usize) -> Self {
+        Self::new(
+            x0 as isize - r as isize,
+            y0 as isize - r as isize,
+            w + 2 * r,
+            h + 2 * r,
+        )
+    }
+
+    #[inline]
+    fn index(&self, x: isize, y: isize) -> usize {
+        let lx = x - self.x0;
+        let ly = y - self.y0;
+        assert!(
+            lx >= 0 && (lx as usize) < self.w && ly >= 0 && (ly as usize) < self.h,
+            "shared-buffer access ({x},{y}) outside window [{},{})x[{},{})",
+            self.x0,
+            self.x0 + self.w as isize,
+            self.y0,
+            self.y0 + self.h as isize,
+        );
+        ly as usize * self.w + lx as usize
+    }
+
+    /// Stage a value at grid coordinates `(x, y)`.
+    pub fn stage(&mut self, x: isize, y: isize, v: T) {
+        let i = self.index(x, y);
+        self.data[i] = v;
+        self.staged[i] = true;
+        self.stage_count += 1;
+    }
+
+    /// Read a staged value.
+    ///
+    /// # Panics
+    /// Panics if the cell was never staged since the last
+    /// [`SharedBuffer::clear`] — the emulated equivalent of reading
+    /// garbage shared memory.
+    pub fn read(&self, x: isize, y: isize) -> T {
+        let i = self.index(x, y);
+        assert!(self.staged[i], "read of un-staged shared-buffer cell ({x},{y})");
+        self.data[i]
+    }
+
+    /// Whether a cell currently holds staged data.
+    pub fn is_staged(&self, x: isize, y: isize) -> bool {
+        self.staged[self.index(x, y)]
+    }
+
+    /// Invalidate all cells (the per-plane restage).
+    pub fn clear(&mut self) {
+        self.staged.fill(false);
+    }
+
+    /// Total stage operations performed over the buffer's lifetime.
+    pub fn stage_count(&self) -> u64 {
+        self.stage_count
+    }
+
+    /// Window extent `(w, h)`.
+    pub fn extent(&self) -> (usize, usize) {
+        (self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_then_read_roundtrips() {
+        let mut b: SharedBuffer<f32> = SharedBuffer::new(10, 20, 4, 4);
+        b.stage(11, 21, 3.5);
+        assert_eq!(b.read(11, 21), 3.5);
+        assert!(b.is_staged(11, 21));
+        assert!(!b.is_staged(10, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "un-staged")]
+    fn unstaged_read_panics() {
+        let b: SharedBuffer<f64> = SharedBuffer::new(0, 0, 2, 2);
+        b.read(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn out_of_window_access_panics() {
+        let b: SharedBuffer<f32> = SharedBuffer::new(0, 0, 2, 2);
+        let _ = b.is_staged(2, 0);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut b: SharedBuffer<f32> = SharedBuffer::new(0, 0, 2, 2);
+        b.stage(1, 1, 1.0);
+        b.clear();
+        assert!(!b.is_staged(1, 1));
+        assert_eq!(b.stage_count(), 1);
+    }
+
+    #[test]
+    fn for_tile_frames_with_halo() {
+        let b: SharedBuffer<f32> = SharedBuffer::for_tile(8, 8, 4, 4, 2);
+        assert_eq!(b.extent(), (8, 8));
+        // Halo corners are inside the window (stageable but never
+        // required to be staged).
+        assert!(!b.is_staged(6, 6));
+        assert!(!b.is_staged(13, 13));
+    }
+
+    #[test]
+    fn negative_window_coordinates_work() {
+        let mut b: SharedBuffer<f64> = SharedBuffer::new(-3, -2, 4, 4);
+        b.stage(-3, -2, 7.0);
+        assert_eq!(b.read(-3, -2), 7.0);
+    }
+}

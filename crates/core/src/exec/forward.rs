@@ -1,0 +1,152 @@
+//! Functional emulation of the forward-plane (*nvstencil*) method.
+//!
+//! Per §III-B: each thread keeps the `2r + 1` z-values of its column in a
+//! register pipeline; the current plane's centre values are published to
+//! shared memory (with the four halo arms loaded from global memory) for
+//! the xy-neighbour exchange; as the block marches down z, the pipeline
+//! shifts and the *forward* plane `k + r` is fetched from global memory.
+//!
+//! Summation order per point matches [`stencil_grid::apply_reference`]
+//! exactly (centre; then per `m`: −x, +x, −y, +y, −z, +z), so SP results
+//! are bit-identical to the golden model.
+
+use super::buffer::SharedBuffer;
+use super::{tiles, ExecStats};
+use crate::config::LaunchConfig;
+use stencil_grid::{Grid3, Real, StarStencil};
+
+/// Run one Jacobi step with the forward-plane method. Interior only;
+/// the caller applies the boundary policy.
+pub fn execute_forward_plane<T: Real>(
+    stencil: &StarStencil<T>,
+    config: &LaunchConfig,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+) -> ExecStats {
+    let r = stencil.radius();
+    let (nx, ny, nz) = input.dims();
+    let mut stats = ExecStats::default();
+
+    for (x0, y0, w, h) in tiles(nx, ny, r, config) {
+        stats.blocks += 1;
+        let idx = |x: usize, y: usize| (y - y0) * w + (x - x0);
+
+        // Register pipelines: pipeline[p][d] = in(p, k - r + d), d = 0..2r.
+        let mut pipeline: Vec<Vec<T>> = vec![vec![T::ZERO; 2 * r + 1]; w * h];
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                for (d, slot) in pipeline[idx(x, y)].iter_mut().enumerate() {
+                    *slot = input.get(x, y, d); // planes 0..2r for k = r
+                }
+            }
+        }
+
+        let mut buf: SharedBuffer<T> = SharedBuffer::for_tile(x0, y0, w, h, r);
+
+        for k in r..nz - r {
+            stats.planes_staged += 1;
+            buf.clear();
+            // Publish centre registers (plane k) to shared memory.
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    buf.stage(x as isize, y as isize, pipeline[idx(x, y)][r]);
+                    stats.cells_staged += 1;
+                }
+            }
+            // Halo arms of plane k from global memory (no corners).
+            for m in 1..=r as isize {
+                for y in y0..y0 + h {
+                    let (xl, xr) = (x0 as isize - m, (x0 + w - 1) as isize + m);
+                    buf.stage(xl, y as isize, input.get(xl as usize, y, k));
+                    buf.stage(xr, y as isize, input.get(xr as usize, y, k));
+                    stats.cells_staged += 2;
+                }
+                for x in x0..x0 + w {
+                    let (yt, yb) = (y0 as isize - m, (y0 + h - 1) as isize + m);
+                    buf.stage(x as isize, yt, input.get(x, yt as usize, k));
+                    buf.stage(x as isize, yb, input.get(x, yb as usize, k));
+                    stats.cells_staged += 2;
+                }
+            }
+            // __syncthreads(); compute.
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    let p = idx(x, y);
+                    let (xi, yi) = (x as isize, y as isize);
+                    let mut acc = stencil.c0() * buf.read(xi, yi);
+                    for m in 1..=r {
+                        let d = m as isize;
+                        let six = buf.read(xi - d, yi)
+                            + buf.read(xi + d, yi)
+                            + buf.read(xi, yi - d)
+                            + buf.read(xi, yi + d)
+                            + pipeline[p][r - m]
+                            + pipeline[p][r + m];
+                        acc += stencil.c(m) * six;
+                    }
+                    out.set(x, y, k, acc);
+                    stats.global_writes += 1;
+                }
+            }
+            // Shift pipelines; fetch the next forward plane k + r + 1.
+            if k + 1 < nz - r {
+                for y in y0..y0 + h {
+                    for x in x0..x0 + w {
+                        let p = idx(x, y);
+                        pipeline[p].rotate_left(1);
+                        let last = 2 * r;
+                        pipeline[p][last] = input.get(x, y, k + r + 1);
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{apply_reference, max_abs_diff, Boundary, FillPattern};
+
+    #[test]
+    fn single_tile_matches_reference_exactly() {
+        let s: StarStencil<f32> = StarStencil::from_order(4);
+        let input: Grid3<f32> =
+            FillPattern::Random { lo: -2.0, hi: 2.0, seed: 42 }.build(12, 12, 12);
+        let mut golden = Grid3::new(12, 12, 12);
+        apply_reference(&s, &input, &mut golden, Boundary::LeaveOutput);
+        let mut got = Grid3::new(12, 12, 12);
+        execute_forward_plane(&s, &LaunchConfig::new(8, 8, 1, 1), &input, &mut got);
+        assert_eq!(max_abs_diff(&got, &golden), 0.0);
+    }
+
+    #[test]
+    fn large_radius_small_tile() {
+        let s: StarStencil<f64> = StarStencil::from_order(10);
+        let input: Grid3<f64> = FillPattern::HashNoise.build(15, 15, 15);
+        let mut golden = Grid3::new(15, 15, 15);
+        apply_reference(&s, &input, &mut golden, Boundary::LeaveOutput);
+        let mut got = Grid3::new(15, 15, 15);
+        execute_forward_plane(&s, &LaunchConfig::new(2, 2, 1, 1), &input, &mut got);
+        assert_eq!(max_abs_diff(&got, &golden), 0.0);
+    }
+
+    #[test]
+    fn pipeline_depth_is_2r_plus_1() {
+        // Radius 1 on a minimal 4³ grid: exactly two output planes
+        // (k = 1, 2) exercise both the initial fill and one shift.
+        let s: StarStencil<f64> = StarStencil::laplacian7();
+        let input: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 1.0, c: 1.0 }.build(4, 4, 4);
+        let mut got = Grid3::new(4, 4, 4);
+        execute_forward_plane(&s, &LaunchConfig::new(4, 4, 1, 1), &input, &mut got);
+        // Laplacian of a linear field vanishes.
+        for k in 1..3 {
+            for j in 1..3 {
+                for i in 1..3 {
+                    assert!(got.get(i, j, k).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Device-memory layout of the grid and the tile a block works on.
+//!
+//! Addresses are what the coalescing model consumes, so this module is
+//! the single source of truth for where element `(x, y)` of the current
+//! z-plane lives. The grid allocation mirrors what a tuned CUDA stencil
+//! does: base pointer segment-aligned, rows padded to a whole number of
+//! segments (the array-padding optimisation of §I/§III-C2), planes
+//! therefore segment-aligned too — which is why the per-plane load plan
+//! of one interior block is identical on every plane and for every block
+//! at the same x-offset class.
+
+use crate::config::LaunchConfig;
+
+/// Geometry of the tile one representative interior block loads from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Tile origin (x) in grid elements.
+    pub x0: usize,
+    /// Tile origin (y).
+    pub y0: usize,
+    /// Tile width, `TX·RX`.
+    pub wx: usize,
+    /// Tile height, `TY·RY`.
+    pub wy: usize,
+    /// Stencil radius.
+    pub r: usize,
+    /// Element width in bytes (4 = SP, 8 = DP).
+    pub elem_bytes: u64,
+    /// Padded row stride of the grid, in elements.
+    pub row_stride: usize,
+    /// Physical x-shift of the whole layout, in elements.
+    ///
+    /// The in-plane implementation pads the allocation so that tile
+    /// origins land on segment boundaries (§III-C2's alignment
+    /// precondition for vector loads): shift 0. The stock SDK baseline
+    /// (*nvstencil*) allocates the raw `LX×LY×LZ` volume, so the interior
+    /// (and with it every tile origin) is offset by the boundary ring
+    /// width `r` — each row's loads and stores straddle one extra segment
+    /// and the separately-issued halo loads re-fetch segments the
+    /// interior load already touched. This is the array-padding
+    /// optimisation of §I that the baseline lacks.
+    pub x_shift: usize,
+}
+
+impl TileGeometry {
+    /// Geometry for a representative *interior* block: the block at tile
+    /// index (1, 1), so halos on every side stay inside the allocation.
+    ///
+    /// `lx` is only used to compute the padded row stride; rows are
+    /// padded up to a whole number of `segment_bytes` segments.
+    pub fn interior(config: &LaunchConfig, r: usize, elem_bytes: u64, lx: usize, segment_bytes: u64) -> Self {
+        let elems_per_segment = (segment_bytes / elem_bytes) as usize;
+        let row_stride = lx.div_ceil(elems_per_segment) * elems_per_segment;
+        TileGeometry {
+            x0: config.tile_x(),
+            y0: config.tile_y(),
+            wx: config.tile_x(),
+            wy: config.tile_y(),
+            r,
+            elem_bytes,
+            row_stride,
+            x_shift: 0,
+        }
+    }
+
+    /// The same geometry in the *unpadded* baseline layout: everything
+    /// shifted right by the boundary-ring width `r` (see [`Self::x_shift`]).
+    pub fn unaligned_baseline(mut self) -> Self {
+        self.x_shift = self.r;
+        self
+    }
+
+    /// Byte address of element `(x, y)` on the current plane. `x`/`y` are
+    /// absolute grid coordinates (signed so halo offsets just work); the
+    /// base offset keeps everything comfortably positive and
+    /// segment-aligned.
+    #[inline]
+    pub fn addr(&self, x: isize, y: isize) -> u64 {
+        const BASE: i64 = 1 << 24; // segment-aligned, larger than any halo reach
+        let lin = y as i64 * self.row_stride as i64 + x as i64 + self.x_shift as i64;
+        (BASE + lin * self.elem_bytes as i64) as u64
+    }
+
+    /// x-range of the tile's interior columns `[x0, x0 + wx)`.
+    pub fn interior_x(&self) -> (isize, isize) {
+        (self.x0 as isize, (self.x0 + self.wx) as isize)
+    }
+
+    /// y-range of the tile's interior rows `[y0, y0 + wy)`.
+    pub fn interior_y(&self) -> (isize, isize) {
+        (self.y0 as isize, (self.y0 + self.wy) as isize)
+    }
+
+    /// x-range including halos `[x0 - r, x0 + wx + r)`.
+    pub fn slab_x(&self) -> (isize, isize) {
+        (self.x0 as isize - self.r as isize, (self.x0 + self.wx + self.r) as isize)
+    }
+
+    /// y-range including halos `[y0 - r, y0 + wy + r)`.
+    pub fn slab_y(&self) -> (isize, isize) {
+        (self.y0 as isize - self.r as isize, (self.y0 + self.wy + self.r) as isize)
+    }
+
+    /// Elements the in-plane slab covers including corners (full-slice).
+    pub fn full_slab_elems(&self) -> usize {
+        (self.wx + 2 * self.r) * (self.wy + 2 * self.r)
+    }
+
+    /// Redundant corner elements the full-slice pattern loads: `4r²`
+    /// (§III-C1 — independent of the block size).
+    pub fn corner_elems(&self) -> usize {
+        4 * self.r * self.r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> TileGeometry {
+        TileGeometry::interior(&LaunchConfig::new(32, 4, 1, 4), 2, 4, 512, 128)
+    }
+
+    #[test]
+    fn interior_tile_is_offset_by_one_tile() {
+        let g = geom();
+        assert_eq!((g.x0, g.y0), (32, 16));
+        assert_eq!((g.wx, g.wy), (32, 16));
+    }
+
+    #[test]
+    fn row_stride_padded_to_segments() {
+        let g = TileGeometry::interior(&LaunchConfig::new(8, 8, 1, 1), 1, 4, 100, 128);
+        // 128-byte segments hold 32 SP elements; 100 pads to 128.
+        assert_eq!(g.row_stride, 128);
+        let g2 = TileGeometry::interior(&LaunchConfig::new(8, 8, 1, 1), 1, 8, 100, 128);
+        // 16 DP elements per segment; 100 pads to 112.
+        assert_eq!(g2.row_stride, 112);
+    }
+
+    #[test]
+    fn addresses_are_row_major() {
+        let g = geom();
+        let a = g.addr(10, 5);
+        assert_eq!(g.addr(11, 5), a + 4);
+        assert_eq!(g.addr(10, 6), a + 512 * 4);
+    }
+
+    #[test]
+    fn base_is_segment_aligned() {
+        let g = geom();
+        assert_eq!(g.addr(0, 0) % 128, 0);
+    }
+
+    #[test]
+    fn halo_addresses_stay_positive() {
+        let g = geom();
+        let (xs, _) = g.slab_x();
+        let (ys, _) = g.slab_y();
+        assert!(xs >= 0 - 512); // reach is tiny vs the base offset
+        let _ = g.addr(xs - 10, ys - 10); // must not underflow u64
+    }
+
+    #[test]
+    fn ranges() {
+        let g = geom();
+        assert_eq!(g.interior_x(), (32, 64));
+        assert_eq!(g.slab_x(), (30, 66));
+        assert_eq!(g.interior_y(), (16, 32));
+        assert_eq!(g.slab_y(), (14, 34));
+    }
+
+    #[test]
+    fn corner_count_is_4r_squared() {
+        let g = geom();
+        assert_eq!(g.corner_elems(), 16);
+        assert_eq!(g.full_slab_elems(), 36 * 20);
+    }
+}

@@ -1,0 +1,134 @@
+//! The stencil computation methods the paper compares.
+
+use std::fmt;
+
+/// Memory-loading variants of the in-plane method (Fig 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Fig 6(a): interior loaded first, then each halo separately with
+    /// thread-index addressing — the same inefficient pattern as
+    /// *nvstencil* (Fig 4). Representable but excluded from the paper's
+    /// evaluation ("we leave this variant out").
+    Classical,
+    /// Fig 6(b): top and bottom halos merged with the interior (one
+    /// vectorised slab of full rows); left and right halos loaded
+    /// separately as columns.
+    Vertical,
+    /// Fig 6(c): left and right halos merged into the interior rows
+    /// (rows of `TX·RX + 2r`); top and bottom halos loaded as separate
+    /// full-width rows. No corners loaded.
+    Horizontal,
+    /// Fig 6(d): the whole `(TX·RX + 2r) × (TY·RY + 2r)` slice loaded as
+    /// one uniform region — corners included (`4r²` redundant elements,
+    /// independent of block size) — with warp-aligned vector loads.
+    FullSlice,
+}
+
+impl Variant {
+    /// The variants the paper evaluates in Fig 7 (classical excluded).
+    pub fn evaluated() -> [Variant; 3] {
+        [Variant::Vertical, Variant::Horizontal, Variant::FullSlice]
+    }
+
+    /// All four variants.
+    pub fn all() -> [Variant; 4] {
+        [Variant::Classical, Variant::Vertical, Variant::Horizontal, Variant::FullSlice]
+    }
+
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Classical => "classical",
+            Variant::Vertical => "vertical",
+            Variant::Horizontal => "horizontal",
+            Variant::FullSlice => "full-slice",
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A stencil computation method: what plane is loaded relative to the
+/// plane being written, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The conventional 2.5-D forward-plane method of the Nvidia SDK
+    /// sample (*nvstencil*, Fig 5a): the loaded plane leads the output
+    /// plane by `r`; every output is computed in full from registers
+    /// (z-terms) and shared memory (xy-terms). Scalar classical loading.
+    ForwardPlane,
+    /// The proposed in-plane method (Fig 5b): the loaded plane coincides
+    /// with the halo/output plane; outputs are accumulated incrementally
+    /// through a depth-`r` register pipeline (Eqns (3)–(5)).
+    InPlane(Variant),
+}
+
+impl Method {
+    /// Short label for tables ("nvstencil", "in-plane/full-slice", ...).
+    pub fn label(&self) -> String {
+        match self {
+            Method::ForwardPlane => "nvstencil".to_string(),
+            Method::InPlane(v) => format!("in-plane/{}", v.label()),
+        }
+    }
+
+    /// Flops per grid point for a radius-`r` star stencil under this
+    /// method: `7r + 1` forward, `8r + 1` in-plane (Table II).
+    pub fn star_flops_per_point(&self, radius: usize) -> usize {
+        match self {
+            Method::ForwardPlane => 7 * radius + 1,
+            Method::InPlane(_) => 8 * radius + 1,
+        }
+    }
+
+    /// True for any in-plane variant.
+    pub fn is_inplane(&self) -> bool {
+        matches!(self, Method::InPlane(_))
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluated_excludes_classical() {
+        assert!(!Variant::evaluated().contains(&Variant::Classical));
+        assert_eq!(Variant::evaluated().len(), 3);
+        assert_eq!(Variant::all().len(), 4);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Method::ForwardPlane.label(), "nvstencil");
+        assert_eq!(Method::InPlane(Variant::FullSlice).label(), "in-plane/full-slice");
+        assert_eq!(format!("{}", Variant::Vertical), "vertical");
+    }
+
+    #[test]
+    fn table2_flop_counts() {
+        for r in 1..=6 {
+            assert_eq!(Method::ForwardPlane.star_flops_per_point(r), 7 * r + 1);
+            assert_eq!(
+                Method::InPlane(Variant::FullSlice).star_flops_per_point(r),
+                8 * r + 1
+            );
+        }
+    }
+
+    #[test]
+    fn is_inplane() {
+        assert!(Method::InPlane(Variant::Vertical).is_inplane());
+        assert!(!Method::ForwardPlane.is_inplane());
+    }
+}

@@ -1,0 +1,195 @@
+//! Glue: lower a kernel + configuration to a [`gpu_sim::BlockPlan`] and
+//! price it on a device — the "run it and time it" entry point the
+//! auto-tuner and all benchmarks use.
+
+use crate::config::LaunchConfig;
+use crate::kernel::KernelSpec;
+use crate::loadplan::plan_for_device;
+use gpu_sim::plan::{BlockPlan, GridDims, LaunchGeometry};
+use gpu_sim::{DeviceSpec, SimOptions, SimReport};
+
+/// Lower `(kernel, config)` for `device` over `dims`.
+pub fn build_block_plan(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    dims: GridDims,
+) -> BlockPlan {
+    let (plane, resources, _geom) = plan_for_device(
+        kernel,
+        config,
+        dims.lx,
+        device.segment_bytes,
+        device.warp_size,
+    );
+    BlockPlan {
+        plane,
+        resources,
+        geometry: LaunchGeometry {
+            blocks: config.blocks_per_plane(dims.lx, dims.ly),
+            threads_per_block: config.threads(),
+            planes: dims.lz,
+        },
+        elem_bytes: kernel.elem_bytes,
+    }
+}
+
+/// Simulate one full grid sweep with explicit options.
+pub fn simulate_kernel(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    dims: GridDims,
+    opts: &SimOptions,
+) -> SimReport {
+    let plan = build_block_plan(device, kernel, config, dims);
+    gpu_sim::simulate(device, &plan, &dims, opts)
+}
+
+/// Simulate with default options (no noise) — the quickstart entry point.
+pub fn simulate_star_kernel(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    dims: GridDims,
+) -> SimReport {
+    simulate_kernel(device, kernel, config, dims, &SimOptions::default())
+}
+
+/// "Measure" a configuration the way the auto-tuner does: simulate with
+/// deterministic measurement noise keyed by the kernel + config label.
+pub fn measure_kernel(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    dims: GridDims,
+    seed: u64,
+) -> SimReport {
+    let key = format!("{}@{}", kernel.name, config);
+    // ±2% run-to-run jitter, the order real CUDA wall-clock timing shows.
+    let opts = SimOptions::with_noise(key, seed, 0.02);
+    simulate_kernel(device, kernel, config, dims, &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{Method, Variant};
+    use stencil_grid::Precision;
+
+    fn spec(method: Method, order: usize) -> KernelSpec {
+        KernelSpec::star_order(method, order, Precision::Single)
+    }
+
+    fn cfg() -> LaunchConfig {
+        LaunchConfig::new(32, 8, 1, 1)
+    }
+
+    #[test]
+    fn paper_grid_runs_and_is_memory_bound_at_order_2() {
+        let dev = DeviceSpec::gtx580();
+        let rep = simulate_star_kernel(
+            &dev,
+            &spec(Method::InPlane(Variant::FullSlice), 2),
+            &cfg(),
+            GridDims::paper(),
+        );
+        assert!(rep.feasible());
+        assert!(rep.mpoints_per_s() > 5000.0, "got {}", rep.mpoints_per_s());
+        assert_eq!(rep.limiting, gpu_sim::LimitingFactor::MemoryBandwidth);
+    }
+
+    #[test]
+    fn full_slice_beats_nvstencil_when_both_are_tuned() {
+        // The core claim of Fig 7: with each method at its best thread
+        // block, full-slice wins at every order.
+        let dev = DeviceSpec::gtx580();
+        let candidates = [
+            LaunchConfig::new(32, 8, 1, 1),
+            LaunchConfig::new(64, 8, 1, 1),
+            LaunchConfig::new(64, 16, 1, 1),
+            LaunchConfig::new(128, 4, 1, 1),
+            LaunchConfig::new(128, 8, 1, 1),
+        ];
+        let best = |k: &KernelSpec| {
+            candidates
+                .iter()
+                .map(|c| simulate_star_kernel(&dev, k, c, GridDims::paper()).mpoints_per_s())
+                .fold(0.0f64, f64::max)
+        };
+        for order in [2usize, 4, 6, 8, 12] {
+            let nv = best(&spec(Method::ForwardPlane, order));
+            let fs = best(&spec(Method::InPlane(Variant::FullSlice), order));
+            assert!(
+                fs > nv,
+                "order {order}: tuned full-slice {fs:.0} must beat tuned nvstencil {nv:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_decreases_with_order() {
+        // §IV-C: the 4r² corner overhead erodes the gain as r grows.
+        let dev = DeviceSpec::gtx580();
+        let speedup = |order: usize| {
+            let nv = simulate_star_kernel(&dev, &spec(Method::ForwardPlane, order), &cfg(), GridDims::paper());
+            let fs = simulate_star_kernel(
+                &dev,
+                &spec(Method::InPlane(Variant::FullSlice), order),
+                &cfg(),
+                GridDims::paper(),
+            );
+            nv.time_s / fs.time_s
+        };
+        assert!(speedup(2) > speedup(12));
+    }
+
+    #[test]
+    fn measured_time_is_deterministic() {
+        let dev = DeviceSpec::gtx680();
+        let k = spec(Method::InPlane(Variant::FullSlice), 4);
+        let a = measure_kernel(&dev, &k, &cfg(), GridDims::paper(), 7);
+        let b = measure_kernel(&dev, &k, &cfg(), GridDims::paper(), 7);
+        assert_eq!(a.time_s, b.time_s);
+        let clean = simulate_star_kernel(&dev, &k, &cfg(), GridDims::paper());
+        assert!((a.time_s / clean.time_s - 1.0).abs() <= 0.0201);
+    }
+
+    #[test]
+    fn infeasible_config_reported() {
+        // 1024 threads × big register block blows the register budget.
+        let dev = DeviceSpec::gtx580();
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 12, Precision::Double);
+        let rep = simulate_star_kernel(&dev, &k, &LaunchConfig::new(32, 32, 2, 2), GridDims::paper());
+        assert!(!rep.feasible());
+    }
+
+    #[test]
+    fn dp_is_slower_than_sp() {
+        let dev = DeviceSpec::gtx580();
+        let sp = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dp = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Double);
+        let t_sp = simulate_star_kernel(&dev, &sp, &cfg(), GridDims::paper()).time_s;
+        let t_dp = simulate_star_kernel(&dev, &dp, &cfg(), GridDims::paper()).time_s;
+        assert!(t_dp > 1.25 * t_sp, "DP/SP time ratio {}", t_dp / t_sp);
+    }
+
+    #[test]
+    fn order2_sp_absolute_rate_matches_paper_ballpark() {
+        // Table IV: tuned order-2 SP on GTX580 reaches 17294 MPoint/s.
+        // The paper's own optimal config should land in that ballpark
+        // (±35%) in our simulator.
+        let dev = DeviceSpec::gtx580();
+        let rep = simulate_star_kernel(
+            &dev,
+            &spec(Method::InPlane(Variant::FullSlice), 2),
+            &LaunchConfig::new(256, 1, 1, 8),
+            GridDims::paper(),
+        );
+        let mp = rep.mpoints_per_s();
+        assert!(
+            (11000.0..24000.0).contains(&mp),
+            "order-2 SP at (256,1,1,8): {mp:.0} MPoint/s"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Simulation results — the simulator's answer to `nvprof` plus a
+//! wall-clock measurement.
+
+use crate::mem::MemCounters;
+use crate::occupancy::Occupancy;
+
+/// Which per-plane cost term dominated the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimitingFactor {
+    /// DRAM bandwidth bound (transferred bytes / achieved bandwidth).
+    MemoryBandwidth,
+    /// Load/store-unit issue bound (too many memory instructions).
+    IssueLsu,
+    /// Arithmetic throughput bound.
+    Compute,
+    /// Exposed memory latency (occupancy too low to hide it).
+    Latency,
+    /// The configuration cannot run at all (occupancy = 0).
+    Infeasible,
+}
+
+/// Result of simulating one kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Simulated wall-clock time for the full grid sweep, seconds.
+    /// `f64::INFINITY` when the launch is infeasible.
+    pub time_s: f64,
+    /// Grid points in the sweep.
+    pub points: u64,
+    /// Aggregated global-memory counters for the whole sweep.
+    pub mem: MemCounters,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Dominant cost term.
+    pub limiting: LimitingFactor,
+    /// Number of scheduling stages (Eqn (8)).
+    pub stages: usize,
+    /// Total floating-point operations performed.
+    pub flops: u64,
+}
+
+impl SimReport {
+    /// An infeasible-launch report.
+    pub fn infeasible(points: u64, occupancy: Occupancy) -> Self {
+        SimReport {
+            time_s: f64::INFINITY,
+            points,
+            mem: MemCounters::default(),
+            occupancy,
+            limiting: LimitingFactor::Infeasible,
+            stages: 0,
+            flops: 0,
+        }
+    }
+
+    /// True when the launch could run.
+    pub fn feasible(&self) -> bool {
+        self.time_s.is_finite()
+    }
+
+    /// The paper's headline metric: millions of grid points per second.
+    pub fn mpoints_per_s(&self) -> f64 {
+        if self.feasible() {
+            self.points as f64 / self.time_s / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Achieved floating-point rate in GFlop/s (used for the §V-B
+    /// literature comparison).
+    pub fn gflops(&self) -> f64 {
+        if self.feasible() {
+            self.flops as f64 / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// DRAM bandwidth actually consumed, GB/s.
+    pub fn achieved_bandwidth_gbs(&self) -> f64 {
+        if self.feasible() {
+            self.mem.transferred_bytes as f64 / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Global-memory load/store efficiency (requested / transferred).
+    pub fn load_efficiency(&self) -> f64 {
+        self.mem.efficiency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::OccupancyLimit;
+
+    fn dummy_occ() -> Occupancy {
+        Occupancy {
+            active_blocks: 0,
+            active_warps: 0,
+            occupancy: 0.0,
+            limited_by: OccupancyLimit::Infeasible,
+        }
+    }
+
+    #[test]
+    fn infeasible_report() {
+        let r = SimReport::infeasible(1000, dummy_occ());
+        assert!(!r.feasible());
+        assert_eq!(r.mpoints_per_s(), 0.0);
+        assert_eq!(r.gflops(), 0.0);
+        assert_eq!(r.achieved_bandwidth_gbs(), 0.0);
+        assert_eq!(r.limiting, LimitingFactor::Infeasible);
+    }
+
+    #[test]
+    fn mpoints_arithmetic() {
+        let mut r = SimReport::infeasible(2_000_000, dummy_occ());
+        r.time_s = 0.5;
+        r.limiting = LimitingFactor::MemoryBandwidth;
+        assert!((r.mpoints_per_s() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_arithmetic() {
+        let mut r = SimReport::infeasible(1, dummy_occ());
+        r.time_s = 2.0;
+        r.flops = 8_000_000_000;
+        assert!((r.gflops() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! Device specifications for the simulated GPUs.
+//!
+//! The three presets are the cards of the paper's Table III. Published
+//! micro-architecture limits (CUDA compute capability 2.0 for Fermi, 3.0
+//! for Kepler) supply the occupancy bounds; the achieved-bandwidth
+//! fractions are calibrated to the paper's own measurements (§IV-A: 161,
+//! 150 and 117.5 GB/s — "typically around 75% to 85% of the pin
+//! bandwidths").
+
+/// GPU micro-architecture family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// CC 2.0: GTX580, Tesla C2070. 128-byte cached global transactions,
+    /// 16 LSUs and 2 warp schedulers per SM, 32 K registers.
+    Fermi,
+    /// CC 3.0: GTX680. 32-byte L2 sectors, 32 LSUs and 4 dual-issue warp
+    /// schedulers per SMX, 64 K registers.
+    Kepler,
+}
+
+/// Full specification of a simulated device.
+///
+/// All rates are per-SM unless stated otherwise; clocks are in MHz,
+/// memory sizes in bytes, bandwidths in bytes/second.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name as used in the paper's tables.
+    pub name: &'static str,
+    /// Micro-architecture family.
+    pub arch: Architecture,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores (SP lanes) per SM.
+    pub cores_per_sm: usize,
+    /// Shader (core) clock in MHz — the clock compute and issue run at.
+    pub clock_mhz: f64,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Register allocation granularity per warp (registers are handed out
+    /// in units of this many per warp).
+    pub reg_alloc_per_warp: usize,
+    /// Maximum registers addressable by one thread.
+    pub max_regs_per_thread: usize,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: usize,
+    /// Shared-memory allocation granularity, bytes.
+    pub smem_alloc_granularity: usize,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: usize,
+    /// Hardware limit on resident warps per SM (`Warp_SM` in the paper).
+    pub max_warps_per_sm: usize,
+    /// Hardware limit on resident blocks per SM (`Blk_SM` in the paper).
+    pub max_blocks_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Pin (theoretical peak) memory bandwidth, bytes/s.
+    pub peak_bandwidth: f64,
+    /// Fraction of pin bandwidth a tuned streaming kernel achieves
+    /// (calibrated to the paper's measured 161/150/117.5 GB/s).
+    pub achieved_bw_fraction: f64,
+    /// Global-memory transaction (segment) size in bytes: 128 for Fermi's
+    /// cached loads, 32 for Kepler's L2 sectors.
+    pub segment_bytes: u64,
+    /// Global memory latency, cycles (`Lat` in the paper's model).
+    pub mem_latency_cycles: f64,
+    /// Load/store units per SM (warp load issue cost = warp_size / lsu).
+    pub lsu_per_sm: usize,
+    /// Warp instructions the schedulers can issue per cycle per SM.
+    pub issue_per_cycle: f64,
+    /// DP throughput as a fraction of SP throughput (1/8 GTX580, 1/24
+    /// GTX680, 1/2 C2070).
+    pub dp_ratio: f64,
+    /// Shared memory banks (32 on both generations).
+    pub smem_banks: usize,
+    /// Fraction of *duplicate* segment fetches (the same segment touched
+    /// by more than one load instruction within one block-plane) that
+    /// still reach DRAM. Fermi caches global loads in L1, so roughly half
+    /// of such re-references hit cache (0.5, limited by the 16 KB L1
+    /// versus the resident working set); Kepler GK104 does not cache
+    /// global loads in L1 at all (1.0).
+    pub l1_dup_charge: f64,
+}
+
+impl DeviceSpec {
+    /// GeForce GTX580 (Fermi GF110): 16 SM × 32 cores, 1544 MHz shader
+    /// clock, 192.4 GB/s pin bandwidth, measured 161 GB/s.
+    pub fn gtx580() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX580",
+            arch: Architecture::Fermi,
+            sm_count: 16,
+            cores_per_sm: 32,
+            clock_mhz: 1544.0,
+            regs_per_sm: 32 * 1024,
+            reg_alloc_per_warp: 64,
+            max_regs_per_thread: 63,
+            smem_per_sm: 48 * 1024,
+            smem_alloc_granularity: 128,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            warp_size: 32,
+            peak_bandwidth: 192.4e9,
+            achieved_bw_fraction: 161.0 / 192.4,
+            segment_bytes: 128,
+            mem_latency_cycles: 560.0,
+            lsu_per_sm: 16,
+            issue_per_cycle: 2.0,
+            dp_ratio: 1.0 / 8.0,
+            smem_banks: 32,
+            l1_dup_charge: 0.5,
+        }
+    }
+
+    /// GeForce GTX680 (Kepler GK104): 8 SMX × 192 cores, 1006 MHz,
+    /// 192.3 GB/s pin bandwidth, measured 150 GB/s.
+    pub fn gtx680() -> Self {
+        DeviceSpec {
+            name: "GeForce GTX680",
+            arch: Architecture::Kepler,
+            sm_count: 8,
+            cores_per_sm: 192,
+            clock_mhz: 1006.0,
+            regs_per_sm: 64 * 1024,
+            reg_alloc_per_warp: 256,
+            max_regs_per_thread: 63,
+            smem_per_sm: 48 * 1024,
+            smem_alloc_granularity: 256,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            warp_size: 32,
+            peak_bandwidth: 192.3e9,
+            achieved_bw_fraction: 150.0 / 192.3,
+            segment_bytes: 32,
+            mem_latency_cycles: 440.0,
+            lsu_per_sm: 32,
+            issue_per_cycle: 7.0,
+            dp_ratio: 1.0 / 24.0,
+            smem_banks: 32,
+            l1_dup_charge: 1.0,
+        }
+    }
+
+    /// Tesla C2070 (Fermi GF100): 14 SM × 32 cores, 1150 MHz, 144 GB/s
+    /// pin bandwidth, measured 117.5 GB/s; full-rate DP (1/2 of SP).
+    pub fn c2070() -> Self {
+        DeviceSpec {
+            name: "Tesla C2070",
+            arch: Architecture::Fermi,
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_mhz: 1150.0,
+            regs_per_sm: 32 * 1024,
+            reg_alloc_per_warp: 64,
+            max_regs_per_thread: 63,
+            smem_per_sm: 48 * 1024,
+            smem_alloc_granularity: 128,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            warp_size: 32,
+            peak_bandwidth: 144.0e9,
+            achieved_bw_fraction: 117.5 / 144.0,
+            segment_bytes: 128,
+            mem_latency_cycles: 600.0,
+            lsu_per_sm: 16,
+            issue_per_cycle: 2.0,
+            dp_ratio: 1.0 / 2.0,
+            smem_banks: 32,
+            l1_dup_charge: 0.5,
+        }
+    }
+
+    /// The paper's three evaluation devices, in table order.
+    pub fn paper_devices() -> Vec<DeviceSpec> {
+        vec![Self::gtx580(), Self::gtx680(), Self::c2070()]
+    }
+
+    /// Shader clock in Hz.
+    #[inline]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// Peak single-precision throughput, flop/s (2 flops per core-cycle —
+    /// FMA counts as two). Matches Table III: 1581 / 3090 / 1030 GFlop/s.
+    pub fn peak_sp_flops(&self) -> f64 {
+        self.sm_count as f64 * self.cores_per_sm as f64 * 2.0 * self.clock_hz()
+    }
+
+    /// Peak double-precision throughput, flop/s. Matches Table III:
+    /// 198 / 129 / 515 GFlop/s.
+    pub fn peak_dp_flops(&self) -> f64 {
+        self.peak_sp_flops() * self.dp_ratio
+    }
+
+    /// Bandwidth a tuned streaming kernel can sustain, bytes/s.
+    #[inline]
+    pub fn achieved_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * self.achieved_bw_fraction
+    }
+
+    /// Achieved bandwidth per SM (`BW_SM` in the paper's model), bytes/s.
+    #[inline]
+    pub fn bandwidth_per_sm(&self) -> f64 {
+        self.achieved_bandwidth() / self.sm_count as f64
+    }
+
+    /// Achieved bytes per shader-clock cycle per SM.
+    #[inline]
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.bandwidth_per_sm() / self.clock_hz()
+    }
+
+    /// Peak flops per cycle per SM at the given element width (4 = SP,
+    /// 8 = DP).
+    pub fn flops_per_cycle_per_sm(&self, elem_bytes: usize) -> f64 {
+        let base = self.cores_per_sm as f64 * 2.0;
+        match elem_bytes {
+            4 => base,
+            8 => base * self.dp_ratio,
+            other => panic!("unsupported element width: {other} bytes"),
+        }
+    }
+
+    /// Cycles for one warp-wide load/store instruction to clear the LSUs.
+    #[inline]
+    pub fn lsu_cycles_per_warp_instr(&self) -> f64 {
+        self.warp_size as f64 / self.lsu_per_sm as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_peak_sp_flops() {
+        // Paper Table III: 1581, 3090, 1030 GFlop/s.
+        assert!((DeviceSpec::gtx580().peak_sp_flops() / 1e9 - 1581.0).abs() < 1.0);
+        assert!((DeviceSpec::gtx680().peak_sp_flops() / 1e9 - 3090.0).abs() < 1.0);
+        assert!((DeviceSpec::c2070().peak_sp_flops() / 1e9 - 1030.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table3_peak_dp_flops() {
+        // Paper Table III: 198, 129, 515 GFlop/s.
+        assert!((DeviceSpec::gtx580().peak_dp_flops() / 1e9 - 197.6).abs() < 1.0);
+        assert!((DeviceSpec::gtx680().peak_dp_flops() / 1e9 - 128.8).abs() < 1.0);
+        assert!((DeviceSpec::c2070().peak_dp_flops() / 1e9 - 515.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn achieved_bandwidth_matches_measurements() {
+        // Paper §IV-A: 161, 150, 117.5 GB/s.
+        assert!((DeviceSpec::gtx580().achieved_bandwidth() / 1e9 - 161.0).abs() < 0.1);
+        assert!((DeviceSpec::gtx680().achieved_bandwidth() / 1e9 - 150.0).abs() < 0.1);
+        assert!((DeviceSpec::c2070().achieved_bandwidth() / 1e9 - 117.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn achieved_fraction_is_75_to_85_percent() {
+        for d in DeviceSpec::paper_devices() {
+            assert!(
+                (0.75..=0.85).contains(&d.achieved_bw_fraction),
+                "{}: fraction {}",
+                d.name,
+                d.achieved_bw_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn core_counts_match_paper() {
+        assert_eq!(DeviceSpec::gtx580().sm_count * DeviceSpec::gtx580().cores_per_sm, 512);
+        assert_eq!(DeviceSpec::gtx680().sm_count * DeviceSpec::gtx680().cores_per_sm, 1536);
+        assert_eq!(DeviceSpec::c2070().sm_count * DeviceSpec::c2070().cores_per_sm, 448);
+    }
+
+    #[test]
+    fn register_files_match_paper() {
+        // §IV-A: 32K registers on Fermi SMs, 65536 on Kepler SMX.
+        assert_eq!(DeviceSpec::gtx580().regs_per_sm, 32768);
+        assert_eq!(DeviceSpec::gtx680().regs_per_sm, 65536);
+        assert_eq!(DeviceSpec::gtx580().smem_per_sm, 48 * 1024);
+    }
+
+    #[test]
+    fn dp_flops_per_cycle_uses_ratio() {
+        let d = DeviceSpec::gtx580();
+        assert!((d.flops_per_cycle_per_sm(8) - d.flops_per_cycle_per_sm(4) / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_element_width_panics() {
+        DeviceSpec::gtx580().flops_per_cycle_per_sm(16);
+    }
+
+    #[test]
+    fn lsu_cycles() {
+        assert_eq!(DeviceSpec::gtx580().lsu_cycles_per_warp_instr(), 2.0);
+        assert_eq!(DeviceSpec::gtx680().lsu_cycles_per_warp_instr(), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_per_sm_partitions_total() {
+        let d = DeviceSpec::c2070();
+        assert!((d.bandwidth_per_sm() * d.sm_count as f64 - d.achieved_bandwidth()).abs() < 1.0);
+    }
+}

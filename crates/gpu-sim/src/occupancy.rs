@@ -1,0 +1,251 @@
+//! Occupancy: how many blocks fit on one SM.
+//!
+//! This is Eqn (7) of the paper,
+//!
+//! ```text
+//! ActBlks = min( Reg/K_R, Smem/K_S, Warp_SM/Warp_Blk, Blk_SM )
+//! ```
+//!
+//! refined with the hardware allocation granularities the CUDA occupancy
+//! calculator applies: registers are allocated per warp in units of
+//! `reg_alloc_per_warp`, shared memory in units of
+//! `smem_alloc_granularity`.
+
+use crate::device::DeviceSpec;
+
+/// Resource usage of one launched block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockResources {
+    /// Threads per block (`TX × TY`).
+    pub threads: usize,
+    /// Registers per thread (`K_R` per thread).
+    pub regs_per_thread: usize,
+    /// Shared memory per block, bytes (`K_S`).
+    pub smem_bytes: usize,
+}
+
+/// The outcome of an occupancy calculation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM (`ActBlks`); zero means the launch is
+    /// infeasible on this device.
+    pub active_blocks: usize,
+    /// Resident warps per SM.
+    pub active_warps: usize,
+    /// Fraction of the SM's warp slots occupied (0..=1).
+    pub occupancy: f64,
+    /// Which resource bound `active_blocks` (for diagnostics).
+    pub limited_by: OccupancyLimit,
+}
+
+/// The binding resource in Eqn (7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// Register file exhausted first.
+    Registers,
+    /// Shared memory exhausted first.
+    SharedMemory,
+    /// Warp slots exhausted first.
+    WarpSlots,
+    /// Hardware block-slot limit reached first.
+    BlockSlots,
+    /// The block itself violates a per-block hardware limit.
+    Infeasible,
+}
+
+/// Warps per block, rounded up (partial warps occupy a full slot).
+pub fn warps_per_block(device: &DeviceSpec, threads: usize) -> usize {
+    threads.div_ceil(device.warp_size)
+}
+
+/// Compute Eqn (7) with allocation granularities.
+pub fn active_blocks(device: &DeviceSpec, res: &BlockResources) -> Occupancy {
+    let infeasible = Occupancy {
+        active_blocks: 0,
+        active_warps: 0,
+        occupancy: 0.0,
+        limited_by: OccupancyLimit::Infeasible,
+    };
+    if res.threads == 0
+        || res.threads > device.max_threads_per_block
+        || res.regs_per_thread > device.max_regs_per_thread
+        || res.smem_bytes > device.smem_per_sm
+    {
+        return infeasible;
+    }
+    let warps = warps_per_block(device, res.threads);
+    if warps > device.max_warps_per_sm {
+        return infeasible;
+    }
+
+    // Registers: allocated per warp in granules.
+    let regs_per_warp_raw = res.regs_per_thread * device.warp_size;
+    let regs_per_warp =
+        regs_per_warp_raw.div_ceil(device.reg_alloc_per_warp) * device.reg_alloc_per_warp;
+    let regs_per_block = (regs_per_warp * warps).max(1);
+    let by_regs = device.regs_per_sm / regs_per_block;
+
+    // Shared memory: rounded up to the allocation granularity.
+    let smem = res
+        .smem_bytes
+        .div_ceil(device.smem_alloc_granularity)
+        .max(1)
+        * device.smem_alloc_granularity;
+    let by_smem = device.smem_per_sm / smem;
+
+    let by_warps = device.max_warps_per_sm / warps;
+    let by_slots = device.max_blocks_per_sm;
+
+    let (active, limited_by) = [
+        (by_regs, OccupancyLimit::Registers),
+        (by_smem, OccupancyLimit::SharedMemory),
+        (by_warps, OccupancyLimit::WarpSlots),
+        (by_slots, OccupancyLimit::BlockSlots),
+    ]
+    .into_iter()
+    .min_by_key(|&(n, _)| n)
+    .expect("non-empty candidate list");
+
+    if active == 0 {
+        return infeasible;
+    }
+    let active_warps = active * warps;
+    Occupancy {
+        active_blocks: active,
+        active_warps,
+        occupancy: active_warps as f64 / device.max_warps_per_sm as f64,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::gtx580()
+    }
+
+    #[test]
+    fn small_block_is_slot_limited() {
+        // 64 threads, 16 regs, tiny smem: 8-block hardware cap binds.
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 64, regs_per_thread: 16, smem_bytes: 1024 },
+        );
+        assert_eq!(occ.active_blocks, 8);
+        assert_eq!(occ.limited_by, OccupancyLimit::BlockSlots);
+        assert_eq!(occ.active_warps, 16);
+    }
+
+    #[test]
+    fn warp_slot_limit() {
+        // 1024-thread blocks = 32 warps each; 48 warp slots → 1 block.
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 1024, regs_per_thread: 16, smem_bytes: 1024 },
+        );
+        assert_eq!(occ.active_blocks, 1);
+        assert_eq!(occ.limited_by, OccupancyLimit::WarpSlots);
+    }
+
+    #[test]
+    fn register_limit() {
+        // 256 threads × 63 regs = 16128 regs (granule-rounded 16384):
+        // 32768-register file → 2 blocks.
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 256, regs_per_thread: 63, smem_bytes: 1024 },
+        );
+        assert_eq!(occ.limited_by, OccupancyLimit::Registers);
+        assert_eq!(occ.active_blocks, 2);
+    }
+
+    #[test]
+    fn smem_limit() {
+        // 20 KB per block on a 48 KB SM → 2 blocks.
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 128, regs_per_thread: 16, smem_bytes: 20 * 1024 },
+        );
+        assert_eq!(occ.active_blocks, 2);
+        assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn smem_overflow_is_infeasible() {
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 128, regs_per_thread: 16, smem_bytes: 49 * 1024 },
+        );
+        assert_eq!(occ.active_blocks, 0);
+        assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
+    }
+
+    #[test]
+    fn too_many_threads_is_infeasible() {
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 2048, regs_per_thread: 16, smem_bytes: 0 },
+        );
+        assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
+    }
+
+    #[test]
+    fn too_many_regs_per_thread_is_infeasible() {
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 128, regs_per_thread: 64, smem_bytes: 0 },
+        );
+        assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 192, regs_per_thread: 20, smem_bytes: 4096 },
+        );
+        // 6 warps per block; check consistency of the fraction.
+        assert_eq!(occ.active_warps, occ.active_blocks * 6);
+        assert!((occ.occupancy - occ.active_warps as f64 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_granularity_rounds_up() {
+        // 33 regs × 32 lanes = 1056 → granule-rounds to 1088 on Fermi
+        // (64-per-warp units); 32768 / (1088 × 4 warps) = 7 blocks, vs 7.75
+        // un-rounded — granularity must bite.
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 128, regs_per_thread: 33, smem_bytes: 0 },
+        );
+        assert_eq!(occ.active_blocks, 7);
+    }
+
+    #[test]
+    fn kepler_has_more_slots() {
+        let k = DeviceSpec::gtx680();
+        let occ = active_blocks(
+            &k,
+            &BlockResources { threads: 64, regs_per_thread: 16, smem_bytes: 1024 },
+        );
+        assert_eq!(occ.active_blocks, 16); // Blk_SM = 16 on Kepler
+    }
+
+    #[test]
+    fn partial_warp_occupies_full_slot() {
+        assert_eq!(warps_per_block(&dev(), 33), 2);
+        assert_eq!(warps_per_block(&dev(), 32), 1);
+        assert_eq!(warps_per_block(&dev(), 1), 1);
+    }
+
+    #[test]
+    fn zero_thread_block_is_infeasible() {
+        let occ = active_blocks(
+            &dev(),
+            &BlockResources { threads: 0, regs_per_thread: 16, smem_bytes: 0 },
+        );
+        assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
+    }
+}

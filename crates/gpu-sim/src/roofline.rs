@@ -1,0 +1,140 @@
+//! Roofline analysis utilities.
+//!
+//! The paper's performance story is a roofline story: low-order stencils
+//! sit far below the ridge point (bandwidth-bound — coalescing is
+//! everything), DP high-order kernels approach or cross it
+//! (compute-bound — the in-plane method's extra `r` flops start to
+//! cost). These helpers compute arithmetic intensity, the roofline
+//! bound, and the ridge point for a device, and classify kernels.
+
+use crate::device::DeviceSpec;
+
+/// Arithmetic intensity in flops per DRAM byte.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Intensity(pub f64);
+
+/// Which side of the ridge a kernel sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RooflineRegime {
+    /// Bound by DRAM bandwidth (left of the ridge).
+    BandwidthBound,
+    /// Bound by arithmetic throughput (right of the ridge).
+    ComputeBound,
+}
+
+/// Arithmetic intensity of a kernel from its per-point flops and bytes.
+pub fn intensity(flops_per_point: f64, bytes_per_point: f64) -> Intensity {
+    assert!(bytes_per_point > 0.0, "bytes per point must be positive");
+    Intensity(flops_per_point / bytes_per_point)
+}
+
+/// The device's ridge point (flops/byte) at the given element width:
+/// peak compute over achieved bandwidth.
+pub fn ridge_point(device: &DeviceSpec, elem_bytes: usize) -> f64 {
+    let peak = match elem_bytes {
+        4 => device.peak_sp_flops(),
+        8 => device.peak_dp_flops(),
+        other => panic!("unsupported element width {other}"),
+    };
+    peak / device.achieved_bandwidth()
+}
+
+/// Attainable flop rate at the given intensity (the roofline itself).
+pub fn attainable_gflops(device: &DeviceSpec, elem_bytes: usize, i: Intensity) -> f64 {
+    let peak = match elem_bytes {
+        4 => device.peak_sp_flops(),
+        8 => device.peak_dp_flops(),
+        other => panic!("unsupported element width {other}"),
+    };
+    (device.achieved_bandwidth() * i.0).min(peak) / 1e9
+}
+
+/// Classify a kernel against the device's ridge.
+pub fn regime(device: &DeviceSpec, elem_bytes: usize, i: Intensity) -> RooflineRegime {
+    if i.0 < ridge_point(device, elem_bytes) {
+        RooflineRegime::BandwidthBound
+    } else {
+        RooflineRegime::ComputeBound
+    }
+}
+
+/// Roofline MPoint/s ceiling for a kernel with the given per-point costs
+/// — the number no single-sweep method can exceed, which is what
+/// temporal blocking steps past.
+pub fn mpoints_ceiling(
+    device: &DeviceSpec,
+    elem_bytes: usize,
+    flops_per_point: f64,
+    bytes_per_point: f64,
+) -> f64 {
+    let i = intensity(flops_per_point, bytes_per_point);
+    attainable_gflops(device, elem_bytes, i) * 1e9 / flops_per_point / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_points_match_table3_ratios() {
+        // GTX580: 1581 GF/s over 161 GB/s ≈ 9.8 flops/byte SP.
+        let d = DeviceSpec::gtx580();
+        assert!((ridge_point(&d, 4) - 1581.0 / 161.0).abs() < 0.1);
+        // C2070 DP: 515 / 117.5 ≈ 4.4 — the best DP ridge of the three.
+        let c = DeviceSpec::c2070();
+        assert!((ridge_point(&c, 8) - 515.2 / 117.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn order2_sp_stencil_is_bandwidth_bound_everywhere() {
+        // 8 flops per ~9 bytes: intensity < 1 — deep in the bandwidth
+        // region on every card, which is why coalescing wins the paper.
+        let i = intensity(8.0, 9.0);
+        for d in DeviceSpec::paper_devices() {
+            assert_eq!(regime(&d, 4, i), RooflineRegime::BandwidthBound);
+        }
+    }
+
+    #[test]
+    fn high_order_dp_crosses_the_ridge_on_gtx680() {
+        // Order 12 DP in-plane: 49 flops per ~17 effective bytes ≈ 2.9 —
+        // past GTX680's DP ridge (128.8/150 ≈ 0.86) by a mile: compute
+        // bound, hence the paper's vanishing DP speedups there.
+        let i = intensity(49.0, 17.0);
+        assert_eq!(regime(&DeviceSpec::gtx680(), 8, i), RooflineRegime::ComputeBound);
+        // The full-rate-DP C2070 keeps it bandwidth-bound.
+        assert_eq!(regime(&DeviceSpec::c2070(), 8, i), RooflineRegime::BandwidthBound);
+    }
+
+    #[test]
+    fn attainable_is_clamped_by_peak() {
+        let d = DeviceSpec::gtx580();
+        let low = attainable_gflops(&d, 4, Intensity(0.5));
+        assert!((low - 0.5 * 161.0).abs() < 1.0);
+        let high = attainable_gflops(&d, 4, Intensity(1000.0));
+        assert!((high - 1581.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn mpoints_ceiling_matches_hand_arithmetic() {
+        // Order-2 SP at 9.6 B/pt on GTX580: 161e9 / 9.6 ≈ 16.8 GPt/s.
+        let d = DeviceSpec::gtx580();
+        let c = mpoints_ceiling(&d, 4, 8.0, 9.6);
+        assert!((c / 1000.0 - 16.8).abs() < 0.1, "{c}");
+    }
+
+    #[test]
+    fn tuned_results_respect_the_ceiling() {
+        // The paper's 17294 MPoint/s headline sits just under the
+        // ceiling of its own traffic (~9.3 B/pt).
+        let d = DeviceSpec::gtx580();
+        let ceiling = mpoints_ceiling(&d, 4, 8.0, 9.3);
+        assert!(17294.0 < ceiling * 1.01, "paper headline vs ceiling {ceiling:.0}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bytes_rejected() {
+        intensity(8.0, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared-memory bank-conflict modelling.
+//!
+//! Shared memory is divided into `banks` (32 on Fermi and Kepler)
+//! word-interleaved banks; a warp instruction that makes its lanes hit
+//! the same bank at *different* addresses serialises into as many
+//! passes as the worst bank's multiplicity (identical addresses
+//! broadcast for free). The classic stencil hazard: a 2-D thread block
+//! with `TX < 32` spans several tile rows per warp, and when the tile's
+//! row pitch is a multiple of the bank count those rows collide — the
+//! reason real kernels pad shared tiles to odd pitches.
+
+/// Number of serialisation passes one warp instruction needs: the
+/// maximum, over banks, of the number of *distinct* word addresses the
+/// instruction's lanes direct at that bank. 1 = conflict-free; identical
+/// addresses broadcast.
+pub fn instruction_passes(lane_word_addrs: &[u32], banks: usize) -> usize {
+    assert!(banks > 0, "need at least one bank");
+    let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); banks];
+    for &a in lane_word_addrs {
+        let b = (a as usize) % banks;
+        if !per_bank[b].contains(&a) {
+            per_bank[b].push(a);
+        }
+    }
+    per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1)
+}
+
+/// Mean serialisation factor over a set of warp instructions (≥ 1).
+pub fn conflict_factor(instrs: &[Vec<u32>], banks: usize) -> f64 {
+    if instrs.is_empty() {
+        return 1.0;
+    }
+    let total: usize = instrs.iter().map(|i| instruction_passes(i, banks)).sum();
+    total as f64 / instrs.len() as f64
+}
+
+/// The word addresses one warp generates reading a shared tile of row
+/// pitch `pitch_words` at row offset `dy` / column offset `dx` from each
+/// lane's home point, for a `TX × TY` thread block (lane `l` of warp
+/// `warp_idx` is thread `warp_idx·32 + l`).
+pub fn stencil_read_addrs(
+    tx: usize,
+    pitch_words: usize,
+    warp_idx: usize,
+    warp_size: usize,
+    dx: isize,
+    dy: isize,
+) -> Vec<u32> {
+    (0..warp_size)
+        .map(|l| {
+            let t = warp_idx * warp_size + l;
+            let (x, y) = (t % tx, t / tx);
+            let row = (y as isize + dy).max(0) as usize;
+            let col = (x as isize + dx).max(0) as usize;
+            (row * pitch_words + col) as u32
+        })
+        .collect()
+}
+
+/// Mean conflict factor for a stencil compute phase: one warp reading
+/// its centre, `±x` and `±y` neighbours (radius `r`) from a tile of the
+/// given pitch.
+pub fn stencil_phase_factor(
+    tx: usize,
+    threads: usize,
+    pitch_words: usize,
+    r: usize,
+    warp_size: usize,
+    banks: usize,
+) -> f64 {
+    let warps = threads.div_ceil(warp_size);
+    let mut instrs = Vec::new();
+    for w in 0..warps {
+        instrs.push(stencil_read_addrs(tx, pitch_words, w, warp_size, 0, 0));
+        for m in 1..=r as isize {
+            instrs.push(stencil_read_addrs(tx, pitch_words, w, warp_size, -m, 0));
+            instrs.push(stencil_read_addrs(tx, pitch_words, w, warp_size, m, 0));
+            instrs.push(stencil_read_addrs(tx, pitch_words, w, warp_size, 0, -m));
+            instrs.push(stencil_read_addrs(tx, pitch_words, w, warp_size, 0, m));
+        }
+    }
+    conflict_factor(&instrs, banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_lanes_are_conflict_free() {
+        let addrs: Vec<u32> = (0..32).collect();
+        assert_eq!(instruction_passes(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn same_address_broadcasts() {
+        let addrs = vec![7u32; 32];
+        assert_eq!(instruction_passes(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn stride_32_is_a_full_conflict() {
+        let addrs: Vec<u32> = (0..32).map(|l| l * 32).collect();
+        assert_eq!(instruction_passes(&addrs, 32), 32);
+    }
+
+    #[test]
+    fn stride_2_is_two_way() {
+        let addrs: Vec<u32> = (0..32).map(|l| l * 2).collect();
+        assert_eq!(instruction_passes(&addrs, 32), 2);
+    }
+
+    #[test]
+    fn full_width_warps_never_conflict_on_row_reads() {
+        // TX = 32: a warp is one row, unit stride for every offset.
+        for pitch in [33usize, 40, 64, 96] {
+            let f = stencil_phase_factor(32, 256, pitch, 4, 32, 32);
+            assert_eq!(f, 1.0, "pitch {pitch}");
+        }
+    }
+
+    #[test]
+    fn bank_multiple_pitch_conflicts_for_narrow_tx() {
+        // TX = 16 and pitch 64: lanes 0 and 16 of a warp sit in different
+        // rows, 64 words apart -> same bank, 2-way conflict.
+        let f_bad = stencil_phase_factor(16, 128, 64, 1, 32, 32);
+        assert!(f_bad > 1.5, "expected ~2-way conflicts, got {f_bad}");
+        // A pitch ≡ 16 (mod 32) staggers the two rows into the two bank
+        // halves and removes the conflicts.
+        let f_good = stencil_phase_factor(16, 128, 48, 1, 32, 32);
+        assert!(f_good < 1.1, "pitch 48 should be conflict-free, got {f_good}");
+    }
+
+    #[test]
+    fn conflict_factor_averages() {
+        let clean: Vec<u32> = (0..32).collect();
+        let bad: Vec<u32> = (0..32).map(|l| l * 32).collect();
+        let f = conflict_factor(&[clean, bad], 32);
+        assert!((f - 16.5).abs() < 1e-12);
+        assert_eq!(conflict_factor(&[], 32), 1.0);
+    }
+
+    #[test]
+    fn empty_instruction_counts_one_pass() {
+        assert_eq!(instruction_passes(&[], 32), 1);
+    }
+}

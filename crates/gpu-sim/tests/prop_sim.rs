@@ -1,0 +1,122 @@
+//! Property-based tests for the GPU simulator: coalescing invariants,
+//! occupancy monotonicity, and timing-engine sanity.
+
+use gpu_sim::occupancy::{active_blocks, BlockResources};
+use gpu_sim::{coalesce_transactions, DeviceSpec, MemCounters, WarpLoad};
+use proptest::prelude::*;
+
+fn arb_load() -> impl Strategy<Value = WarpLoad> {
+    (
+        prop::collection::vec(0u64..100_000, 1..32),
+        prop::sample::select(vec![4u64, 8, 16]),
+    )
+        .prop_map(|(addrs, bytes)| WarpLoad {
+            lane_addresses: addrs.into_iter().map(|a| a * 4).collect(),
+            bytes_per_lane: bytes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transactions are bounded below by the footprint and above by the
+    /// per-lane segment spans.
+    #[test]
+    fn transaction_count_bounds(load in arb_load(), seg in prop::sample::select(vec![32u64, 128])) {
+        let tx = coalesce_transactions(&load, seg) as u64;
+        // Upper bound: each lane touches at most spans segments.
+        let max_spans: u64 = load
+            .lane_addresses
+            .iter()
+            .map(|&a| (a + load.bytes_per_lane - 1) / seg - a / seg + 1)
+            .sum();
+        prop_assert!(tx <= max_spans);
+        // Lower bound: at least the unique bytes / segment size.
+        let unique: std::collections::HashSet<u64> = load
+            .lane_addresses
+            .iter()
+            .flat_map(|&a| (a..a + load.bytes_per_lane).step_by(4))
+            .collect();
+        let min_tx = (unique.len() as u64 * 4).div_ceil(seg);
+        prop_assert!(tx >= min_tx, "tx {tx} < floor {min_tx}");
+        prop_assert!(tx >= 1);
+    }
+
+    /// Coalescing is invariant under lane permutation and duplication.
+    #[test]
+    fn coalescing_invariant_under_permutation(load in arb_load(), rot in 0usize..31) {
+        let tx = coalesce_transactions(&load, 128);
+        let mut rotated = load.clone();
+        let n = rotated.lane_addresses.len();
+        rotated.lane_addresses.rotate_left(rot % n);
+        prop_assert_eq!(coalesce_transactions(&rotated, 128), tx);
+        let mut dup = load.clone();
+        dup.lane_addresses.extend(load.lane_addresses.iter().copied());
+        prop_assert_eq!(coalesce_transactions(&dup, 128), tx);
+    }
+
+    /// Smaller segments can only split transactions, never merge them:
+    /// bus bytes with 32-byte sectors never exceed 128-byte lines.
+    #[test]
+    fn finer_segments_move_fewer_or_equal_bytes(load in arb_load()) {
+        let bytes_128 = coalesce_transactions(&load, 128) as u64 * 128;
+        let bytes_32 = coalesce_transactions(&load, 32) as u64 * 32;
+        prop_assert!(bytes_32 <= bytes_128);
+    }
+
+    /// Load efficiency is a fraction and scaling counters preserves it.
+    #[test]
+    fn efficiency_is_a_fraction(loads in prop::collection::vec(arb_load(), 1..8), n in 1u64..100) {
+        let mut c = MemCounters::default();
+        c.record_all(&loads, 128);
+        prop_assert!(c.efficiency() > 0.0 && c.efficiency() <= 1.0 + 1e-12);
+        let s = c.scaled(n);
+        prop_assert!((s.efficiency() - c.efficiency()).abs() < 1e-12);
+    }
+
+    /// More resource use never increases occupancy (monotonicity).
+    #[test]
+    fn occupancy_monotone_in_resources(
+        threads in 32usize..512,
+        regs in 8usize..48,
+        smem in 0usize..32768,
+        extra_regs in 0usize..15,
+        extra_smem in 0usize..8192,
+    ) {
+        let dev = DeviceSpec::gtx580();
+        let base = active_blocks(&dev, &BlockResources { threads, regs_per_thread: regs, smem_bytes: smem });
+        let more = active_blocks(
+            &dev,
+            &BlockResources {
+                threads,
+                regs_per_thread: regs + extra_regs,
+                smem_bytes: smem + extra_smem,
+            },
+        );
+        prop_assert!(more.active_blocks <= base.active_blocks);
+        prop_assert!(more.occupancy <= base.occupancy + 1e-12);
+    }
+
+    /// Occupancy never exceeds the hardware warp slots.
+    #[test]
+    fn occupancy_respects_warp_slots(
+        threads in 1usize..1025,
+        regs in 1usize..64,
+        smem in 0usize..49153,
+    ) {
+        for dev in DeviceSpec::paper_devices() {
+            let occ = active_blocks(&dev, &BlockResources { threads, regs_per_thread: regs, smem_bytes: smem });
+            prop_assert!(occ.active_warps <= dev.max_warps_per_sm);
+            prop_assert!(occ.occupancy <= 1.0 + 1e-12);
+            prop_assert!(occ.active_blocks <= dev.max_blocks_per_sm);
+        }
+    }
+
+    /// Measurement noise is always within its amplitude and reproducible.
+    #[test]
+    fn noise_bounds(key in "[a-z]{1,12}", seed in 0u64..1000, amp in 0.0f64..0.2) {
+        let f = gpu_sim::measurement_noise(&key, seed, amp);
+        prop_assert!((1.0 - amp..=1.0 + amp).contains(&f));
+        prop_assert_eq!(f, gpu_sim::measurement_noise(&key, seed, amp));
+    }
+}

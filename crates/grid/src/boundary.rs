@@ -1,0 +1,130 @@
+//! Boundary handling for the iterative loop.
+//!
+//! The paper's harness (like the Nvidia FDTD3d sample it baselines
+//! against) only updates interior points; the ring of width `r` around the
+//! domain keeps its previous-step value, i.e. Dirichlet data carried
+//! through the pointer swap. `Boundary` names that policy explicitly so
+//! executors and references agree on what "the answer" is at the edge.
+
+use crate::{Grid3, Real};
+
+/// Policy for grid points within `r` of the domain edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Boundary {
+    /// Boundary ring is copied from the input grid (value held fixed
+    /// across the swap). This is what nvstencil and the paper's harness do.
+    #[default]
+    CopyInput,
+    /// Boundary ring is left untouched in the output grid (whatever the
+    /// caller staged there survives). Useful for testing that executors do
+    /// not write out of their assigned tiles.
+    LeaveOutput,
+}
+
+impl Boundary {
+    /// Apply the policy to `out` given `input`, for stencil radius `r`.
+    pub fn apply<T: Real>(self, input: &Grid3<T>, out: &mut Grid3<T>, r: usize) {
+        match self {
+            Boundary::LeaveOutput => {}
+            Boundary::CopyInput => copy_boundary_ring(input, out, r),
+        }
+    }
+}
+
+/// Copy the ring of width `r` (all points with any coordinate within `r`
+/// of an edge) from `input` into `out`.
+pub fn copy_boundary_ring<T: Real>(input: &Grid3<T>, out: &mut Grid3<T>, r: usize) {
+    assert_eq!(input.dims(), out.dims());
+    let (nx, ny, nz) = input.dims();
+    for k in 0..nz {
+        for j in 0..ny {
+            let row_is_boundary =
+                k < r || k >= nz.saturating_sub(r) || j < r || j >= ny.saturating_sub(r);
+            if row_is_boundary {
+                out.row_mut(j, k).copy_from_slice(input.row(j, k));
+            } else {
+                for i in (0..r.min(nx)).chain(nx.saturating_sub(r)..nx) {
+                    out.set(i, j, k, input.get(i, j, k));
+                }
+            }
+        }
+    }
+}
+
+/// True if `(i, j, k)` lies in the boundary ring of width `r`.
+#[inline]
+pub fn in_boundary_ring(dims: (usize, usize, usize), r: usize, i: usize, j: usize, k: usize) -> bool {
+    let (nx, ny, nz) = dims;
+    i < r || i >= nx - r || j < r || j >= ny - r || k < r || k >= nz - r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_ring_covers_exactly_the_ring() {
+        let mut input: Grid3<f32> = Grid3::new(6, 6, 6);
+        input.fill(1.0);
+        let mut out: Grid3<f32> = Grid3::new(6, 6, 6);
+        out.fill(-1.0);
+        copy_boundary_ring(&input, &mut out, 2);
+        let dims = out.dims();
+        for ((i, j, k), v) in out.clone().iter_logical() {
+            if in_boundary_ring(dims, 2, i, j, k) {
+                assert_eq!(v, 1.0, "boundary point ({i},{j},{k}) not copied");
+            } else {
+                assert_eq!(v, -1.0, "interior point ({i},{j},{k}) overwritten");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_count_matches_formula() {
+        let mut input: Grid3<f64> = Grid3::new(8, 7, 9);
+        input.fill(2.0);
+        let mut out: Grid3<f64> = Grid3::new(8, 7, 9);
+        copy_boundary_ring(&input, &mut out, 1);
+        let copied = out.iter_logical().filter(|&(_, v)| v == 2.0).count();
+        let interior = 6 * 5 * 7;
+        assert_eq!(copied, 8 * 7 * 9 - interior);
+    }
+
+    #[test]
+    fn radius_zero_copies_nothing() {
+        let mut input: Grid3<f32> = Grid3::new(4, 4, 4);
+        input.fill(9.0);
+        let mut out: Grid3<f32> = Grid3::new(4, 4, 4);
+        copy_boundary_ring(&input, &mut out, 0);
+        assert!(out.iter_logical().all(|(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn oversized_radius_copies_everything() {
+        let mut input: Grid3<f32> = Grid3::new(4, 4, 4);
+        input.fill(3.0);
+        let mut out: Grid3<f32> = Grid3::new(4, 4, 4);
+        copy_boundary_ring(&input, &mut out, 10);
+        assert!(out.iter_logical().all(|(_, v)| v == 3.0));
+    }
+
+    #[test]
+    fn leave_output_is_noop() {
+        let mut input: Grid3<f32> = Grid3::new(4, 4, 4);
+        input.fill(5.0);
+        let mut out: Grid3<f32> = Grid3::new(4, 4, 4);
+        Boundary::LeaveOutput.apply(&input, &mut out, 1);
+        assert!(out.iter_logical().all(|(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn in_boundary_ring_edges() {
+        let dims = (10, 10, 10);
+        assert!(in_boundary_ring(dims, 2, 0, 5, 5));
+        assert!(in_boundary_ring(dims, 2, 8, 5, 5));
+        assert!(in_boundary_ring(dims, 2, 5, 1, 5));
+        assert!(in_boundary_ring(dims, 2, 5, 5, 9));
+        assert!(!in_boundary_ring(dims, 2, 2, 2, 2));
+        assert!(!in_boundary_ring(dims, 2, 7, 7, 7));
+    }
+}

@@ -1,0 +1,329 @@
+//! Padded, aligned 3-D grid storage.
+//!
+//! The grid mirrors the memory layout a tuned CUDA stencil uses on the
+//! device: a contiguous allocation in z-major / row-minor order where each
+//! x-row may be padded so rows start on a vector-load boundary. §III-C2 of
+//! the paper makes alignment a precondition for 2- and 4-wide vector
+//! loads; the `row_stride` here is what the simulator's coalescing model
+//! inspects to decide whether a row begins on a 128-byte segment boundary.
+//!
+//! Element `(i, j, k)` (x, y, z) lives at linear index
+//! `base + k * plane_stride + j * row_stride + i`.
+
+use crate::real::Real;
+
+/// A 3-D grid of `nx × ny × nz` elements with optional x-row padding.
+///
+/// ```
+/// use stencil_grid::Grid3;
+///
+/// // Rows padded to 32 elements so each row starts on a 128-byte
+/// // boundary (SP) — the array-padding optimisation of the paper.
+/// let mut g: Grid3<f32> = Grid3::new_aligned(100, 64, 64, 32);
+/// assert_eq!(g.row_stride(), 128);
+/// g.set(99, 63, 63, 1.5);
+/// assert_eq!(g.get(99, 63, 63), 1.5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid3<T> {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    row_stride: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Grid3<T> {
+    /// Create a zero-filled grid with rows padded so each row starts at a
+    /// multiple of `align_elems` elements (1 = unpadded).
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or `align_elems` is zero.
+    pub fn new_aligned(nx: usize, ny: usize, nz: usize, align_elems: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be non-zero");
+        assert!(align_elems > 0, "alignment must be non-zero");
+        let row_stride = nx.div_ceil(align_elems) * align_elems;
+        let data = vec![T::ZERO; row_stride * ny * nz];
+        Self { nx, ny, nz, row_stride, data }
+    }
+
+    /// Create a zero-filled unpadded grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self::new_aligned(nx, ny, nz, 1)
+    }
+
+    /// Logical x extent.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+    /// Logical y extent.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+    /// Logical z extent.
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+    /// Number of logical (unpadded) elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+    /// True when the grid holds no logical elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Padded distance between consecutive rows, in elements.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+    /// Padded distance between consecutive z-planes, in elements.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        self.row_stride * self.ny
+    }
+    /// `(nx, ny, nz)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Linear index of `(i, j, k)` into the padded backing store.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.nx && j < self.ny && k < self.nz);
+        k * self.plane_stride() + j * self.row_stride + i
+    }
+
+    /// Read element `(i, j, k)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> T {
+        self.data[self.index(i, j, k)]
+    }
+
+    /// Write element `(i, j, k)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: T) {
+        let idx = self.index(i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Read with signed offsets, as stencil kernels address neighbours.
+    ///
+    /// # Panics
+    /// Debug-panics if the offset lands outside the grid; release builds
+    /// panic via the slice bound check (padding is never silently read).
+    #[inline]
+    pub fn get_offset(&self, i: usize, j: usize, k: usize, di: isize, dj: isize, dk: isize) -> T {
+        let ii = i.checked_add_signed(di).expect("x offset underflow");
+        let jj = j.checked_add_signed(dj).expect("y offset underflow");
+        let kk = k.checked_add_signed(dk).expect("z offset underflow");
+        self.get(ii, jj, kk)
+    }
+
+    /// Raw backing store (includes padding lanes).
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw backing store.
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// One x-row as a slice.
+    #[inline]
+    pub fn row(&self, j: usize, k: usize) -> &[T] {
+        let start = self.index(0, j, k);
+        &self.data[start..start + self.nx]
+    }
+
+    /// One x-row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, j: usize, k: usize) -> &mut [T] {
+        let start = self.index(0, j, k);
+        &mut self.data[start..start + self.nx]
+    }
+
+    /// Fill every logical element from `f(i, j, k)`.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize, usize) -> T) {
+        for k in 0..self.nz {
+            for j in 0..self.ny {
+                for i in 0..self.nx {
+                    let idx = self.index(i, j, k);
+                    self.data[idx] = f(i, j, k);
+                }
+            }
+        }
+    }
+
+    /// Set every logical element to `v` (padding untouched).
+    pub fn fill(&mut self, v: T) {
+        self.fill_with(|_, _, _| v);
+    }
+
+    /// Copy the logical contents of `src` (dims must match; strides may differ).
+    pub fn copy_from(&mut self, src: &Grid3<T>) {
+        assert_eq!(self.dims(), src.dims(), "grid dims must match");
+        for k in 0..self.nz {
+            for j in 0..self.ny {
+                let start = self.index(0, j, k);
+                self.data[start..start + self.nx].copy_from_slice(src.row(j, k));
+            }
+        }
+    }
+
+    /// Iterate logical elements in (k, j, i) order, yielding `((i, j, k), v)`.
+    pub fn iter_logical(&self) -> impl Iterator<Item = ((usize, usize, usize), T)> + '_ {
+        (0..self.nz).flat_map(move |k| {
+            (0..self.ny).flat_map(move |j| {
+                (0..self.nx).map(move |i| ((i, j, k), self.get(i, j, k)))
+            })
+        })
+    }
+
+    /// Iterate interior points only (ring of width `r` excluded).
+    pub fn iter_interior(
+        &self,
+        r: usize,
+    ) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (nx, ny, nz) = self.dims();
+        (r..nz.saturating_sub(r)).flat_map(move |k| {
+            (r..ny.saturating_sub(r))
+                .flat_map(move |j| (r..nx.saturating_sub(r)).map(move |i| (i, j, k)))
+        })
+    }
+
+    /// Number of interior points for radius `r`.
+    pub fn interior_len(&self, r: usize) -> usize {
+        let d = |n: usize| n.saturating_sub(2 * r);
+        d(self.nx) * d(self.ny) * d(self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_zeroed() {
+        let g: Grid3<f32> = Grid3::new(4, 3, 2);
+        assert_eq!(g.dims(), (4, 3, 2));
+        assert_eq!(g.len(), 24);
+        assert!(g.iter_logical().all(|(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn alignment_pads_row_stride() {
+        let g: Grid3<f32> = Grid3::new_aligned(5, 2, 2, 4);
+        assert_eq!(g.row_stride(), 8);
+        assert_eq!(g.plane_stride(), 16);
+        assert_eq!(g.raw().len(), 32);
+    }
+
+    #[test]
+    fn alignment_of_one_is_unpadded() {
+        let g: Grid3<f64> = Grid3::new_aligned(7, 3, 3, 1);
+        assert_eq!(g.row_stride(), 7);
+    }
+
+    #[test]
+    fn exact_multiple_needs_no_padding() {
+        let g: Grid3<f32> = Grid3::new_aligned(8, 2, 2, 4);
+        assert_eq!(g.row_stride(), 8);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g: Grid3<f64> = Grid3::new(3, 3, 3);
+        g.set(1, 2, 0, 42.0);
+        assert_eq!(g.get(1, 2, 0), 42.0);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn index_is_z_major_row_minor() {
+        let g: Grid3<f32> = Grid3::new(4, 3, 2);
+        assert_eq!(g.index(0, 0, 0), 0);
+        assert_eq!(g.index(1, 0, 0), 1);
+        assert_eq!(g.index(0, 1, 0), 4);
+        assert_eq!(g.index(0, 0, 1), 12);
+        assert_eq!(g.index(3, 2, 1), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn padded_index_skips_padding() {
+        let g: Grid3<f32> = Grid3::new_aligned(5, 2, 2, 4);
+        assert_eq!(g.index(0, 1, 0), 8);
+        assert_eq!(g.index(0, 0, 1), 16);
+    }
+
+    #[test]
+    fn get_offset_reads_neighbours() {
+        let mut g: Grid3<f32> = Grid3::new(5, 5, 5);
+        g.fill_with(|i, j, k| (i + 10 * j + 100 * k) as f32);
+        assert_eq!(g.get_offset(2, 2, 2, -1, 0, 0), g.get(1, 2, 2));
+        assert_eq!(g.get_offset(2, 2, 2, 0, 2, 0), g.get(2, 4, 2));
+        assert_eq!(g.get_offset(2, 2, 2, 0, 0, -2), g.get(2, 2, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_offset_underflow_panics() {
+        let g: Grid3<f32> = Grid3::new(3, 3, 3);
+        let _ = g.get_offset(0, 0, 0, -1, 0, 0);
+    }
+
+    #[test]
+    fn fill_with_visits_every_logical_element() {
+        let mut g: Grid3<f64> = Grid3::new_aligned(3, 2, 2, 8);
+        g.fill_with(|i, j, k| (i + 10 * j + 100 * k) as f64);
+        assert_eq!(g.get(2, 1, 1), 112.0);
+        // Padding lanes remain zero.
+        assert_eq!(g.raw()[3], 0.0);
+    }
+
+    #[test]
+    fn copy_from_across_strides() {
+        let mut a: Grid3<f32> = Grid3::new(5, 3, 2);
+        a.fill_with(|i, j, k| (i + j + k) as f32);
+        let mut b: Grid3<f32> = Grid3::new_aligned(5, 3, 2, 16);
+        b.copy_from(&a);
+        for ((i, j, k), v) in a.iter_logical() {
+            assert_eq!(b.get(i, j, k), v);
+        }
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices() {
+        let mut g: Grid3<f32> = Grid3::new_aligned(4, 2, 2, 8);
+        g.fill_with(|i, j, k| (i + 10 * j + 100 * k) as f32);
+        assert_eq!(g.row(1, 1), &[110.0, 111.0, 112.0, 113.0]);
+        g.row_mut(0, 0)[2] = -1.0;
+        assert_eq!(g.get(2, 0, 0), -1.0);
+    }
+
+    #[test]
+    fn interior_iteration_counts() {
+        let g: Grid3<f32> = Grid3::new(8, 8, 8);
+        assert_eq!(g.iter_interior(1).count(), 6 * 6 * 6);
+        assert_eq!(g.interior_len(1), 216);
+        assert_eq!(g.iter_interior(2).count(), g.interior_len(2));
+        // Radius too large for the grid: empty interior.
+        assert_eq!(g.interior_len(4), 0);
+        assert_eq!(g.iter_interior(4).count(), 0);
+    }
+
+    #[test]
+    fn iter_logical_order_matches_memory_order_when_unpadded() {
+        let mut g: Grid3<f32> = Grid3::new(2, 2, 2);
+        g.fill_with(|i, j, k| (i + 2 * j + 4 * k) as f32);
+        let collected: Vec<f32> = g.iter_logical().map(|(_, v)| v).collect();
+        assert_eq!(collected, (0..8).map(|v| v as f32).collect::<Vec<_>>());
+    }
+}

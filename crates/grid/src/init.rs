@@ -1,0 +1,186 @@
+//! Deterministic grid initialisation patterns for tests and benchmarks.
+//!
+//! Everything is seeded: the whole reproduction is a pure function of its
+//! inputs, so two runs of any experiment produce identical tables.
+
+use crate::{Grid3, Real};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Named fill pattern for a grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FillPattern {
+    /// Every element `v`.
+    Constant(f64),
+    /// Uniform random values in `[lo, hi)` from the given seed.
+    Random {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+        /// RNG seed (same seed → same grid).
+        seed: u64,
+    },
+    /// `a*i + b*j + c*k` — linear fields are in the null space of the
+    /// Laplacian, handy for analytic checks.
+    Linear {
+        /// Coefficient of `i` (x index).
+        a: f64,
+        /// Coefficient of `j` (y index).
+        b: f64,
+        /// Coefficient of `k` (z index).
+        c: f64,
+    },
+    /// A Gaussian pulse centred in the domain with width `sigma`
+    /// (fraction of the smallest dimension). The classic heat-diffusion
+    /// initial condition.
+    GaussianPulse {
+        /// Peak value at the centre.
+        amplitude: f64,
+        /// Width as a fraction of the smallest dimension.
+        sigma: f64,
+    },
+    /// `sin(2π fx i/nx) sin(2π fy j/ny) sin(2π fz k/nz)` — an
+    /// eigenfunction-like field for diffusion-decay checks.
+    SineProduct {
+        /// Periods along x.
+        fx: f64,
+        /// Periods along y.
+        fy: f64,
+        /// Periods along z.
+        fz: f64,
+    },
+    /// Deterministic hash noise: cheap, seedless, reproducible; used where
+    /// a test wants "arbitrary but fixed" data.
+    HashNoise,
+}
+
+impl FillPattern {
+    /// Fill `grid` in place.
+    pub fn fill<T: Real>(self, grid: &mut Grid3<T>) {
+        let (nx, ny, nz) = grid.dims();
+        match self {
+            FillPattern::Constant(v) => grid.fill(T::from_f64(v)),
+            FillPattern::Random { lo, hi, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                grid.fill_with(|_, _, _| T::from_f64(rng.gen_range(lo..hi)));
+            }
+            FillPattern::Linear { a, b, c } => {
+                grid.fill_with(|i, j, k| {
+                    T::from_f64(a * i as f64 + b * j as f64 + c * k as f64)
+                });
+            }
+            FillPattern::GaussianPulse { amplitude, sigma } => {
+                let (cx, cy, cz) =
+                    ((nx - 1) as f64 / 2.0, (ny - 1) as f64 / 2.0, (nz - 1) as f64 / 2.0);
+                let w = sigma * nx.min(ny).min(nz) as f64;
+                let w2 = 2.0 * w * w;
+                grid.fill_with(|i, j, k| {
+                    let d2 = (i as f64 - cx).powi(2)
+                        + (j as f64 - cy).powi(2)
+                        + (k as f64 - cz).powi(2);
+                    T::from_f64(amplitude * (-d2 / w2).exp())
+                });
+            }
+            FillPattern::SineProduct { fx, fy, fz } => {
+                use std::f64::consts::TAU;
+                grid.fill_with(|i, j, k| {
+                    T::from_f64(
+                        (TAU * fx * i as f64 / nx as f64).sin()
+                            * (TAU * fy * j as f64 / ny as f64).sin()
+                            * (TAU * fz * k as f64 / nz as f64).sin(),
+                    )
+                });
+            }
+            FillPattern::HashNoise => {
+                grid.fill_with(|i, j, k| T::from_f64(hash_noise(i, j, k)));
+            }
+        }
+    }
+
+    /// Convenience: build a freshly filled unpadded grid.
+    pub fn build<T: Real>(self, nx: usize, ny: usize, nz: usize) -> Grid3<T> {
+        let mut g = Grid3::new(nx, ny, nz);
+        self.fill(&mut g);
+        g
+    }
+}
+
+/// Deterministic per-point noise in `[-1, 1)` from a splitmix-style hash.
+pub fn hash_noise(i: usize, j: usize, k: usize) -> f64 {
+    let mut x = (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add((k as u64).wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(0x2545_f491_4f6c_dd1d);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fill() {
+        let g: Grid3<f32> = FillPattern::Constant(2.5).build(3, 3, 3);
+        assert!(g.iter_logical().all(|(_, v)| v == 2.5));
+    }
+
+    #[test]
+    fn random_fill_is_seeded_and_in_range() {
+        let a: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(8, 8, 8);
+        let b: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(8, 8, 8);
+        assert_eq!(a, b, "same seed must reproduce the same grid");
+        assert!(a.iter_logical().all(|(_, v)| (-1.0..1.0).contains(&v)));
+        let c: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 8 }.build(8, 8, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn linear_fill_values() {
+        let g: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 10.0, c: 100.0 }.build(4, 4, 4);
+        assert_eq!(g.get(2, 3, 1), 2.0 + 30.0 + 100.0);
+    }
+
+    #[test]
+    fn gaussian_peak_is_at_centre() {
+        let g: Grid3<f64> =
+            FillPattern::GaussianPulse { amplitude: 1.0, sigma: 0.2 }.build(9, 9, 9);
+        let centre = g.get(4, 4, 4);
+        assert!((centre - 1.0).abs() < 1e-12);
+        for ((i, j, k), v) in g.iter_logical() {
+            assert!(v <= centre + 1e-15, "({i},{j},{k}) exceeds centre");
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sine_product_vanishes_on_axes() {
+        let g: Grid3<f64> =
+            FillPattern::SineProduct { fx: 1.0, fy: 1.0, fz: 1.0 }.build(8, 8, 8);
+        assert!(g.get(0, 3, 3).abs() < 1e-12);
+        assert!(g.get(3, 0, 3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_noise_is_deterministic_and_bounded() {
+        assert_eq!(hash_noise(3, 5, 7), hash_noise(3, 5, 7));
+        assert_ne!(hash_noise(3, 5, 7), hash_noise(3, 5, 8));
+        for i in 0..20 {
+            let v = hash_noise(i, i * 3, i * 7);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hash_noise_has_both_signs() {
+        let vals: Vec<f64> = (0..100).map(|i| hash_noise(i, 0, 0)).collect();
+        assert!(vals.iter().any(|&v| v > 0.0));
+        assert!(vals.iter().any(|&v| v < 0.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! The iterative stencil loop of the paper's Fig. 1.
+//!
+//! ```text
+//! procedure IterStencilLoop(initial)
+//!     in <- initial
+//!     for t = 1 until stop criteria do
+//!         ComputeKernel(in, out)
+//!         Swap(in, out)
+//!     end for
+//!     return in
+//! ```
+//!
+//! The swap is a pointer swap (here: `std::mem::swap` of the two grids),
+//! never a copy — exactly as the paper describes the Jacobi double-buffer.
+
+use crate::{Grid3, Real};
+
+/// Summary of a completed iterative run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationStats {
+    /// Number of kernel invocations performed.
+    pub steps: usize,
+    /// Grid points updated per step (interior points).
+    pub points_per_step: usize,
+}
+
+/// Run `steps` Jacobi iterations, calling `kernel(in, out)` each step and
+/// swapping the buffers, returning the final `in` grid and stats.
+///
+/// `kernel` must fully define `out` (interior + boundary policy); the
+/// driver does not touch the data other than swapping.
+pub fn iterate_stencil_loop<T: Real>(
+    initial: Grid3<T>,
+    radius: usize,
+    steps: usize,
+    mut kernel: impl FnMut(&Grid3<T>, &mut Grid3<T>),
+) -> (Grid3<T>, IterationStats) {
+    let points_per_step = initial.interior_len(radius);
+    let mut input = initial;
+    let mut out = input.clone();
+    for _ in 0..steps {
+        kernel(&input, &mut out);
+        std::mem::swap(&mut input, &mut out);
+    }
+    (input, IterationStats { steps, points_per_step })
+}
+
+/// Run until `stop(step, grid)` returns true (checked *after* each step)
+/// or `max_steps` is reached. Returns the grid and the number of steps.
+pub fn iterate_until<T: Real>(
+    initial: Grid3<T>,
+    max_steps: usize,
+    mut kernel: impl FnMut(&Grid3<T>, &mut Grid3<T>),
+    mut stop: impl FnMut(usize, &Grid3<T>) -> bool,
+) -> (Grid3<T>, usize) {
+    let mut input = initial;
+    let mut out = input.clone();
+    for t in 1..=max_steps {
+        kernel(&input, &mut out);
+        std::mem::swap(&mut input, &mut out);
+        if stop(t, &input) {
+            return (input, t);
+        }
+    }
+    (input, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_reference, Boundary, FillPattern, StarStencil};
+
+    #[test]
+    fn zero_steps_returns_initial() {
+        let g: Grid3<f32> = FillPattern::Constant(4.0).build(4, 4, 4);
+        let (out, stats) = iterate_stencil_loop(g.clone(), 1, 0, |_, _| {
+            panic!("kernel must not be called for zero steps")
+        });
+        assert_eq!(out, g);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.points_per_step, 2 * 2 * 2);
+    }
+
+    #[test]
+    fn swap_semantics_one_step() {
+        // Kernel writes input + 1 everywhere; after one step the result is
+        // the incremented grid (not the original).
+        let g: Grid3<f64> = FillPattern::Constant(1.0).build(3, 3, 3);
+        let (out, _) = iterate_stencil_loop(g, 1, 1, |inp, out| {
+            out.fill_with(|i, j, k| inp.get(i, j, k) + 1.0);
+        });
+        assert!(out.iter_logical().all(|(_, v)| v == 2.0));
+    }
+
+    #[test]
+    fn three_steps_compose() {
+        let g: Grid3<f64> = FillPattern::Constant(0.0).build(3, 3, 3);
+        let (out, stats) = iterate_stencil_loop(g, 1, 3, |inp, out| {
+            out.fill_with(|i, j, k| inp.get(i, j, k) + 1.0);
+        });
+        assert!(out.iter_logical().all(|(_, v)| v == 3.0));
+        assert_eq!(stats.steps, 3);
+    }
+
+    #[test]
+    fn diffusion_conserves_constant_field() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let g: Grid3<f64> = FillPattern::Constant(7.0).build(6, 6, 6);
+        let (out, _) = iterate_stencil_loop(g, 1, 5, |inp, out| {
+            apply_reference(&s, inp, out, Boundary::CopyInput);
+        });
+        assert!(out.iter_logical().all(|(_, v)| (v - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn iterate_until_stops_at_criterion() {
+        let g: Grid3<f64> = FillPattern::Constant(0.0).build(3, 3, 3);
+        let (out, steps) = iterate_until(
+            g,
+            100,
+            |inp, out| out.fill_with(|i, j, k| inp.get(i, j, k) + 1.0),
+            |_, grid| grid.get(0, 0, 0) >= 5.0,
+        );
+        assert_eq!(steps, 5);
+        assert_eq!(out.get(0, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn iterate_until_respects_max_steps() {
+        let g: Grid3<f64> = FillPattern::Constant(0.0).build(3, 3, 3);
+        let (_, steps) = iterate_until(
+            g,
+            4,
+            |inp, out| out.fill_with(|i, j, k| inp.get(i, j, k) + 1.0),
+            |_, _| false,
+        );
+        assert_eq!(steps, 4);
+    }
+}

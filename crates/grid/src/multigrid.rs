@@ -1,0 +1,194 @@
+//! Multi-grid stencil machinery for the application kernels of Table V.
+//!
+//! The application stencils differ from the synthetic star kernels in how
+//! many grids they read and write per point (Div: 3 in / 1 out, Grad:
+//! 1 in / 3 out, Hyperthermia: 10 in / 1 out, Upstream: 1/1, Laplacian:
+//! 1/1, Poisson: 2/1). The number of streamed grids is what determines
+//! how much of the bandwidth the in-plane halo savings can touch — the
+//! effect Fig. 11 measures (Hyperthermia barely speeds up because 9 of
+//! its 11 grids are coefficient data the method cannot help with).
+
+use crate::{boundary::Boundary, Grid3, Real};
+
+/// An ordered set of same-shaped grids (the inputs or outputs of a
+/// multi-grid kernel).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridSet<T> {
+    grids: Vec<Grid3<T>>,
+}
+
+impl<T: Real> GridSet<T> {
+    /// Wrap a non-empty vector of grids; all dims must match.
+    ///
+    /// # Panics
+    /// Panics when empty or when shapes disagree.
+    pub fn new(grids: Vec<Grid3<T>>) -> Self {
+        assert!(!grids.is_empty(), "a GridSet needs at least one grid");
+        let dims = grids[0].dims();
+        assert!(
+            grids.iter().all(|g| g.dims() == dims),
+            "all grids in a set must share dims"
+        );
+        Self { grids }
+    }
+
+    /// `count` zero grids of shape `(nx, ny, nz)`.
+    pub fn zeros(count: usize, nx: usize, ny: usize, nz: usize) -> Self {
+        Self::new((0..count).map(|_| Grid3::new(nx, ny, nz)).collect())
+    }
+
+    /// Number of grids in the set.
+    pub fn count(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// Shared dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.grids[0].dims()
+    }
+
+    /// Borrow grid `idx`.
+    pub fn grid(&self, idx: usize) -> &Grid3<T> {
+        &self.grids[idx]
+    }
+
+    /// Mutably borrow grid `idx`.
+    pub fn grid_mut(&mut self, idx: usize) -> &mut Grid3<T> {
+        &mut self.grids[idx]
+    }
+
+    /// All grids as a slice.
+    pub fn as_slice(&self) -> &[Grid3<T>] {
+        &self.grids
+    }
+
+    /// Consume into the inner vector.
+    pub fn into_inner(self) -> Vec<Grid3<T>> {
+        self.grids
+    }
+}
+
+/// A stencil kernel reading from `num_inputs()` grids and writing
+/// `num_outputs()` grids, with neighbourhood radius `radius()`.
+pub trait MultiGridKernel<T: Real>: Send + Sync {
+    /// Display name (as in Table V).
+    fn name(&self) -> &str;
+    /// Neighbourhood radius.
+    fn radius(&self) -> usize;
+    /// Grids read per point.
+    fn num_inputs(&self) -> usize;
+    /// Grids written per point.
+    fn num_outputs(&self) -> usize;
+    /// How many of the input grids are *streamed fields* (swapped each
+    /// iteration) as opposed to time-invariant coefficient grids. The
+    /// in-plane z-pipelining only applies to streamed fields.
+    fn num_streamed_inputs(&self) -> usize {
+        self.num_inputs()
+    }
+    /// Flops per output point, forward formulation.
+    fn flops_per_point(&self) -> usize;
+    /// Flops per output point in the in-plane formulation (adds one extra
+    /// add per pipelined z-term, mirroring Table II's 7r+1 → 8r+1).
+    fn flops_per_point_inplane(&self) -> usize {
+        self.flops_per_point() + self.radius()
+    }
+    /// Evaluate output grid `o` at interior point `(i, j, k)`.
+    fn eval(&self, inputs: &[Grid3<T>], o: usize, i: usize, j: usize, k: usize) -> T;
+}
+
+/// Apply a multi-grid kernel over the interior; boundary policy is applied
+/// per output grid against the corresponding input grid when shapes allow
+/// (output `o` pairs with input `min(o, num_inputs-1)`).
+pub fn apply_multigrid<T: Real>(
+    kernel: &dyn MultiGridKernel<T>,
+    inputs: &GridSet<T>,
+    outputs: &mut GridSet<T>,
+    boundary: Boundary,
+) {
+    assert_eq!(inputs.count(), kernel.num_inputs(), "{}: input count", kernel.name());
+    assert_eq!(outputs.count(), kernel.num_outputs(), "{}: output count", kernel.name());
+    assert_eq!(inputs.dims(), outputs.dims(), "{}: dims", kernel.name());
+    let r = kernel.radius();
+    let (nx, ny, nz) = inputs.dims();
+    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    for o in 0..kernel.num_outputs() {
+        for k in r..nz - r {
+            for j in r..ny - r {
+                for i in r..nx - r {
+                    let v = kernel.eval(inputs.as_slice(), o, i, j, k);
+                    outputs.grid_mut(o).set(i, j, k, v);
+                }
+            }
+        }
+        let paired_input = o.min(kernel.num_inputs() - 1);
+        boundary.apply(inputs.grid(paired_input), outputs.grid_mut(o), r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FillPattern;
+
+    /// A toy kernel: out0 = sum of the centre values of all inputs.
+    struct SumCentres;
+    impl MultiGridKernel<f64> for SumCentres {
+        fn name(&self) -> &str {
+            "SumCentres"
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn num_inputs(&self) -> usize {
+            2
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn flops_per_point(&self) -> usize {
+            1
+        }
+        fn eval(&self, inputs: &[Grid3<f64>], _o: usize, i: usize, j: usize, k: usize) -> f64 {
+            inputs[0].get(i, j, k) + inputs[1].get(i, j, k)
+        }
+    }
+
+    #[test]
+    fn gridset_shape_checks() {
+        let set: GridSet<f32> = GridSet::zeros(3, 4, 4, 4);
+        assert_eq!(set.count(), 3);
+        assert_eq!(set.dims(), (4, 4, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gridset_rejects_mismatched_dims() {
+        let _: GridSet<f32> =
+            GridSet::new(vec![Grid3::new(3, 3, 3), Grid3::new(4, 3, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gridset_rejects_empty() {
+        let _: GridSet<f32> = GridSet::new(vec![]);
+    }
+
+    #[test]
+    fn apply_multigrid_sums_inputs() {
+        let a = FillPattern::Constant(2.0).build(5, 5, 5);
+        let b = FillPattern::Constant(3.0).build(5, 5, 5);
+        let inputs = GridSet::new(vec![a, b]);
+        let mut outputs = GridSet::zeros(1, 5, 5, 5);
+        apply_multigrid(&SumCentres, &inputs, &mut outputs, Boundary::CopyInput);
+        assert_eq!(outputs.grid(0).get(2, 2, 2), 5.0);
+        // Boundary pairs output 0 with input 0 (value 2.0).
+        assert_eq!(outputs.grid(0).get(0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn default_inplane_flops_adds_radius() {
+        let k = SumCentres;
+        assert_eq!(k.flops_per_point_inplane(), 1 + 1);
+        assert_eq!(k.num_streamed_inputs(), 2);
+    }
+}

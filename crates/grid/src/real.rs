@@ -1,0 +1,212 @@
+//! Scalar abstraction over the two precisions the paper evaluates.
+//!
+//! The paper benchmarks every kernel in single precision (SP, `f32`) and
+//! double precision (DP, `f64`); the GPU simulator needs to know the
+//! element width (4 vs 8 bytes) for traffic accounting, and the compute
+//! model needs the device's SP/DP throughput ratio. `Real` is the minimal
+//! closed set of operations the kernels require, so everything downstream
+//! is generic over precision without pulling in an external numerics crate.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Element precision, as the paper's "SP" / "DP" rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 4-byte IEEE-754 single precision.
+    Single,
+    /// 8-byte IEEE-754 double precision.
+    Double,
+}
+
+impl Precision {
+    /// Bytes per element: 4 for SP, 8 for DP.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// The label used in the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Precision::Single => "SP",
+            Precision::Double => "DP",
+        }
+    }
+
+    /// Widest hardware vector load for this precision, in elements.
+    ///
+    /// CUDA supports 16-byte vector loads (`float4` / `double2`), so SP can
+    /// load 4 elements per instruction and DP can load 2 (§III-C2).
+    #[inline]
+    pub const fn max_vector_width(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 2,
+        }
+    }
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Floating-point scalar usable as a grid element.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// The precision tag for this scalar type.
+    const PRECISION: Precision;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (exact for `f64`, rounded for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (exact for both precisions).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `self * a + b`, evaluated as separate multiply and add so that the
+    /// reference and the emulated kernels share one rounding behaviour.
+    #[inline]
+    fn mul_add_sep(self, a: Self, b: Self) -> Self {
+        self * a + b
+    }
+    /// Machine epsilon for this precision.
+    fn epsilon() -> Self;
+    /// True if the value is finite (not NaN / infinity).
+    fn is_finite(self) -> bool;
+}
+
+impl Real for f32 {
+    const PRECISION: Precision = Precision::Single;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f32::EPSILON
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Real for f64 {
+    const PRECISION: Precision = Precision::Double;
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn epsilon() -> Self {
+        f64::EPSILON
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn precision_vector_width_is_16_bytes() {
+        for p in [Precision::Single, Precision::Double] {
+            assert_eq!(p.max_vector_width() * p.bytes(), 16);
+        }
+    }
+
+    #[test]
+    fn precision_labels() {
+        assert_eq!(Precision::Single.label(), "SP");
+        assert_eq!(Precision::Double.label(), "DP");
+        assert_eq!(format!("{}", Precision::Double), "DP");
+    }
+
+    #[test]
+    fn real_roundtrip_f32() {
+        let x = f32::from_f64(0.25);
+        assert_eq!(x, 0.25f32);
+        assert_eq!(x.to_f64(), 0.25f64);
+        assert_eq!(f32::PRECISION, Precision::Single);
+    }
+
+    #[test]
+    fn real_roundtrip_f64() {
+        let x = f64::from_f64(0.1);
+        assert_eq!(x, 0.1f64);
+        assert_eq!(f64::PRECISION, Precision::Double);
+    }
+
+    #[test]
+    fn abs_and_finite() {
+        assert_eq!((-2.0f32).abs(), 2.0);
+        assert!(1.0f64.is_finite());
+        assert!(!(f64::INFINITY).is_finite());
+        assert!(!(f32::NAN).is_finite());
+    }
+
+    #[test]
+    fn mul_add_sep_matches_separate_ops() {
+        let (a, b, c) = (1.3f32, 2.7f32, -0.4f32);
+        assert_eq!(a.mul_add_sep(b, c), a * b + c);
+    }
+}

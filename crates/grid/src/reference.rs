@@ -1,0 +1,214 @@
+//! CPU reference stencil executors — the golden model.
+//!
+//! The paper verifies every GPU kernel against "the result from the
+//! CPU-computed stencil output"; these functions play that role here.
+//! Two references are provided:
+//!
+//! * [`apply_reference`] — direct evaluation of Eqn (1)/(2) at every
+//!   interior point (the forward formulation).
+//! * [`apply_reference_inplane_order`] — the same operator evaluated via
+//!   the in-plane recurrence of Eqns (3)–(5), i.e. partial sums completed
+//!   incrementally over the next `r` planes. Algebraically identical;
+//!   floating-point summation order differs, which is exactly the
+//!   difference between the two GPU kernel families. Tests pin the
+//!   emulated kernels to the matching reference bit-for-bit.
+
+use crate::{boundary::Boundary, Grid3, Real, StarStencil};
+
+/// One Jacobi step: `out = stencil(input)` on the interior, boundary per
+/// policy. Direct (forward) evaluation order.
+pub fn apply_reference<T: Real>(
+    stencil: &StarStencil<T>,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+    boundary: Boundary,
+) {
+    assert_eq!(input.dims(), out.dims(), "grids must have matching dims");
+    let r = stencil.radius();
+    let (nx, ny, nz) = input.dims();
+    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    for k in r..nz - r {
+        for j in r..ny - r {
+            for i in r..nx - r {
+                out.set(i, j, k, stencil.eval(input, i, j, k));
+            }
+        }
+    }
+    boundary.apply(input, out, r);
+}
+
+/// One Jacobi step evaluated in the *in-plane* accumulation order:
+///
+/// at plane `z = k` compute the Eqn (3) partial for `(i, j, k)`, then for
+/// each `p = 1..=r` fold `c_p * in[i,j,k+p]` into the partial queued for
+/// plane `k` (Eqn 5), writing the completed value when the pipeline
+/// reaches depth `r`.
+pub fn apply_reference_inplane_order<T: Real>(
+    stencil: &StarStencil<T>,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+    boundary: Boundary,
+) {
+    assert_eq!(input.dims(), out.dims(), "grids must have matching dims");
+    let r = stencil.radius();
+    let (nx, ny, nz) = input.dims();
+    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    // Pipeline of r pending planes of partial outputs, indexed by how many
+    // updates they still need. queue[d] holds partials for plane (k - d).
+    let plane_elems = (nx - 2 * r) * (ny - 2 * r);
+    let mut queue: Vec<Vec<T>> = vec![vec![T::ZERO; plane_elems]; r + 1];
+    let lin = |i: usize, j: usize| (j - r) * (nx - 2 * r) + (i - r);
+
+    for k in r..nz {
+        // Step 2-3 of the §III-C procedure: new partials for plane k (if k
+        // is an output plane), then update all queued partials with the
+        // just-"loaded" plane k.
+        if k < nz - r {
+            let slot = &mut queue[0];
+            for j in r..ny - r {
+                for i in r..nx - r {
+                    slot[lin(i, j)] = stencil.eval_inplane_partial(input, i, j, k);
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // d is the Eqn-(5) pipeline depth, not just an index
+        for d in 1..=r {
+            // Plane (k - d) needs the c_d * in[.,.,k] term (Eqn 5 with p = d).
+            let in_output_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
+            if !in_output_range {
+                continue;
+            }
+            let c = stencil.c(d);
+            let slot = &mut queue[d];
+            for j in r..ny - r {
+                for i in r..nx - r {
+                    slot[lin(i, j)] += c * input.get(i, j, k);
+                }
+            }
+        }
+        // Step 4: plane (k - r) is complete; shift it out to the output.
+        if let Some(done_k) = k.checked_sub(r) {
+            if done_k >= r && done_k < nz - r {
+                let slot = &queue[r];
+                for j in r..ny - r {
+                    for i in r..nx - r {
+                        out.set(i, j, done_k, slot[lin(i, j)]);
+                    }
+                }
+            }
+        }
+        // Step 5: rotate the pipeline (newest partials move to depth 1).
+        queue.rotate_right(1);
+    }
+    boundary.apply(input, out, r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FillPattern, Precision};
+
+    fn random_grid<T: Real>(n: usize, seed: u64) -> Grid3<T> {
+        FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n)
+    }
+
+    #[test]
+    fn reference_matches_manual_laplacian() {
+        let s: StarStencil<f64> = StarStencil::laplacian7();
+        let input = random_grid::<f64>(5, 1);
+        let mut out = Grid3::new(5, 5, 5);
+        apply_reference(&s, &input, &mut out, Boundary::CopyInput);
+        let (i, j, k) = (2, 3, 1);
+        let manual = -6.0 * input.get(i, j, k)
+            + input.get(i - 1, j, k)
+            + input.get(i + 1, j, k)
+            + input.get(i, j - 1, k)
+            + input.get(i, j + 1, k)
+            + input.get(i, j, k - 1)
+            + input.get(i, j, k + 1);
+        assert!((out.get(i, j, k) - manual).abs() < 1e-14);
+    }
+
+    #[test]
+    fn boundary_is_copied() {
+        let s: StarStencil<f32> = StarStencil::diffusion(2);
+        let input = random_grid::<f32>(8, 2);
+        let mut out = Grid3::new(8, 8, 8);
+        apply_reference(&s, &input, &mut out, Boundary::CopyInput);
+        assert_eq!(out.get(0, 0, 0), input.get(0, 0, 0));
+        assert_eq!(out.get(1, 4, 4), input.get(1, 4, 4)); // i = 1 < r = 2
+        assert_eq!(out.get(7, 7, 7), input.get(7, 7, 7));
+    }
+
+    #[test]
+    fn inplane_order_equals_forward_order_within_tolerance_all_radii() {
+        for r in 1..=4 {
+            let s: StarStencil<f64> = StarStencil::diffusion(r);
+            let n = 4 * r + 3; // odd, not tile-friendly on purpose
+            let input = random_grid::<f64>(n, 3 + r as u64);
+            let mut a = Grid3::new(n, n, n);
+            let mut b = Grid3::new(n, n, n);
+            apply_reference(&s, &input, &mut a, Boundary::CopyInput);
+            apply_reference_inplane_order(&s, &input, &mut b, Boundary::CopyInput);
+            for ((i, j, k), va) in a.iter_logical() {
+                let vb = b.get(i, j, k);
+                assert!(
+                    (va - vb).abs() < 1e-12,
+                    "r={r} mismatch at ({i},{j},{k}): {va} vs {vb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inplane_order_differs_bitwise_in_sp_sometimes() {
+        // The two summation orders are algebraically equal but may not be
+        // bit-identical in f32 — documenting that the distinction is real.
+        let s: StarStencil<f32> = StarStencil::diffusion(2);
+        let input = random_grid::<f32>(9, 11);
+        let mut a = Grid3::new(9, 9, 9);
+        let mut b = Grid3::new(9, 9, 9);
+        apply_reference(&s, &input, &mut a, Boundary::CopyInput);
+        apply_reference_inplane_order(&s, &input, &mut b, Boundary::CopyInput);
+        let worst = a
+            .iter_logical()
+            .map(|((i, j, k), va)| (va - b.get(i, j, k)).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst < 1e-5, "orders diverged beyond tolerance: {worst}");
+    }
+
+    #[test]
+    fn two_applications_diffuse_towards_mean() {
+        // The diffusion stencil is an averaging operator: iterating a random
+        // field must shrink its interior range.
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let mut input = random_grid::<f64>(12, 5);
+        let mut out = Grid3::new(12, 12, 12);
+        let range = |g: &Grid3<f64>| {
+            let vals: Vec<f64> = g.iter_interior(3).map(|(i, j, k)| g.get(i, j, k)).collect();
+            vals.iter().cloned().fold(f64::MIN, f64::max)
+                - vals.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        let before = range(&input);
+        for _ in 0..2 {
+            apply_reference(&s, &input, &mut out, Boundary::CopyInput);
+            std::mem::swap(&mut input, &mut out);
+        }
+        assert!(range(&input) < before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_small_grid_panics() {
+        let s: StarStencil<f32> = StarStencil::diffusion(3);
+        let input: Grid3<f32> = Grid3::new(6, 6, 6);
+        let mut out = Grid3::new(6, 6, 6);
+        apply_reference(&s, &input, &mut out, Boundary::CopyInput);
+    }
+
+    #[test]
+    fn precision_constants_are_consistent() {
+        assert_eq!(f32::PRECISION, Precision::Single);
+        assert_eq!(f64::PRECISION, Precision::Double);
+    }
+}

@@ -1,0 +1,314 @@
+//! The symmetric star stencil of the paper's Eqn (1) and its operation
+//! counts (Tables I and II).
+//!
+//! A stencil of radius `r` (order `2r`) has extent
+//! `(2r+1) × (2r+1) × (2r+1)`, uses `6r + 1` points, makes `6r + 2` memory
+//! references per element (one write included) and needs `7r + 1` flops
+//! with the forward-plane formulation or `8r + 1` with the in-plane
+//! formulation (the incremental update of Eqn (5) adds one extra add per
+//! pipelined plane).
+
+use crate::real::Real;
+
+/// A radius-`r` symmetric star ("2r-order") stencil with coefficients
+/// `c0, c1, ..., cr` applied along all three axes as in Eqn (1).
+///
+/// ```
+/// use stencil_grid::StarStencil;
+///
+/// let s: StarStencil<f64> = StarStencil::from_order(8);
+/// assert_eq!(s.radius(), 4);
+/// assert_eq!(s.memory_refs_per_elem(), 26); // Table I
+/// assert_eq!(s.flops_forward(), 29);        // 7r + 1
+/// assert_eq!(s.flops_inplane(), 33);        // 8r + 1, Table II
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StarStencil<T> {
+    /// `coeffs[0]` is the centre weight `c0`; `coeffs[m]` is `c_m`.
+    coeffs: Vec<T>,
+}
+
+impl<T: Real> StarStencil<T> {
+    /// Build from explicit coefficients `[c0, c1, ..., cr]`.
+    ///
+    /// # Panics
+    /// Panics if no coefficients are given (radius would be undefined).
+    pub fn new(coeffs: Vec<T>) -> Self {
+        assert!(!coeffs.is_empty(), "need at least the centre coefficient c0");
+        Self { coeffs }
+    }
+
+    /// The canonical test stencil the paper's harness uses: a normalised
+    /// diffusion-like operator where the centre holds weight 1/2 and the
+    /// remaining 1/2 is split evenly over the `6r` off-centre points, so
+    /// iterating is numerically stable (weights sum to 1).
+    pub fn diffusion(radius: usize) -> Self {
+        assert!(radius >= 1, "diffusion stencil needs radius >= 1");
+        let mut coeffs = Vec::with_capacity(radius + 1);
+        coeffs.push(T::from_f64(0.5));
+        let side = 0.5 / (6.0 * radius as f64);
+        for _ in 1..=radius {
+            coeffs.push(T::from_f64(side));
+        }
+        Self { coeffs }
+    }
+
+    /// The classic 7-point Laplacian (radius 1): `c0 = -6, c1 = 1`.
+    pub fn laplacian7() -> Self {
+        Self { coeffs: vec![T::from_f64(-6.0), T::ONE] }
+    }
+
+    /// Stencil radius `r`.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Stencil order `2r` (the paper labels kernels by order).
+    #[inline]
+    pub fn order(&self) -> usize {
+        2 * self.radius()
+    }
+
+    /// Build the paper's order-`2r` test stencil from an order (2, 4, ... 12
+    /// in the evaluation; anything even and positive is accepted).
+    ///
+    /// # Panics
+    /// Panics if `order` is zero or odd.
+    pub fn from_order(order: usize) -> Self {
+        assert!(order >= 2 && order.is_multiple_of(2), "stencil order must be even and >= 2");
+        Self::diffusion(order / 2)
+    }
+
+    /// Centre coefficient `c0`.
+    #[inline]
+    pub fn c0(&self) -> T {
+        self.coeffs[0]
+    }
+
+    /// Off-centre coefficient `c_m`, `1 <= m <= r`.
+    #[inline]
+    pub fn c(&self, m: usize) -> T {
+        self.coeffs[m]
+    }
+
+    /// All coefficients `[c0 ..= cr]`.
+    pub fn coeffs(&self) -> &[T] {
+        &self.coeffs
+    }
+
+    /// Extent of the computation cell per axis: `2r + 1` (Table I).
+    #[inline]
+    pub fn extent(&self) -> usize {
+        2 * self.radius() + 1
+    }
+
+    /// Number of grid points read per output element: `6r + 1`.
+    #[inline]
+    pub fn points(&self) -> usize {
+        6 * self.radius() + 1
+    }
+
+    /// Memory references per element including the output write: `6r + 2`
+    /// (Table I "Memory Accesses/Elem.", Table II "Data Refs.").
+    #[inline]
+    pub fn memory_refs_per_elem(&self) -> usize {
+        6 * self.radius() + 2
+    }
+
+    /// Flops per element for the forward-plane (nvstencil) formulation:
+    /// `7r + 1` (Table I / Table II "Flops (nvstencil)").
+    #[inline]
+    pub fn flops_forward(&self) -> usize {
+        7 * self.radius() + 1
+    }
+
+    /// Flops per element for the in-plane formulation: `8r + 1`
+    /// (Table II "Flops (in-plane)").
+    #[inline]
+    pub fn flops_inplane(&self) -> usize {
+        8 * self.radius() + 1
+    }
+
+    /// Evaluate the full stencil (Eqn 1 / Eqn 2) at interior point
+    /// `(i, j, k)` of `input`. Summation order matches the emulated kernels
+    /// so SP results are bit-identical: centre, then per `m` the six
+    /// neighbours in (±x, ±y, ±z) order.
+    #[inline]
+    pub fn eval(&self, input: &crate::Grid3<T>, i: usize, j: usize, k: usize) -> T {
+        let r = self.radius();
+        debug_assert!(
+            i >= r && j >= r && k >= r,
+            "eval called on non-interior point ({i},{j},{k}) for radius {r}"
+        );
+        let mut acc = self.c0() * input.get(i, j, k);
+        for m in 1..=r {
+            let dm = m as isize;
+            let six = input.get_offset(i, j, k, -dm, 0, 0)
+                + input.get_offset(i, j, k, dm, 0, 0)
+                + input.get_offset(i, j, k, 0, -dm, 0)
+                + input.get_offset(i, j, k, 0, dm, 0)
+                + input.get_offset(i, j, k, 0, 0, -dm)
+                + input.get_offset(i, j, k, 0, 0, dm);
+            acc += self.c(m) * six;
+        }
+        acc
+    }
+
+    /// Evaluate the *partial* in-plane sum of Eqn (3) at `(i, j, k)`:
+    /// everything except the forward (`k + m`) z-terms.
+    #[inline]
+    pub fn eval_inplane_partial(
+        &self,
+        input: &crate::Grid3<T>,
+        i: usize,
+        j: usize,
+        k: usize,
+    ) -> T {
+        let r = self.radius();
+        let mut acc = self.c0() * input.get(i, j, k);
+        for m in 1..=r {
+            let dm = m as isize;
+            let five = input.get_offset(i, j, k, -dm, 0, 0)
+                + input.get_offset(i, j, k, dm, 0, 0)
+                + input.get_offset(i, j, k, 0, -dm, 0)
+                + input.get_offset(i, j, k, 0, dm, 0)
+                + input.get_offset(i, j, k, 0, 0, -dm);
+            acc += self.c(m) * five;
+        }
+        acc
+    }
+}
+
+/// Rows of the paper's Table I for the evaluated orders 2..=12.
+pub fn table1_rows() -> Vec<(usize, usize, usize, usize)> {
+    (1..=6)
+        .map(|r| {
+            let s: StarStencil<f64> = StarStencil::diffusion(r);
+            (s.order(), s.extent(), s.memory_refs_per_elem(), s.flops_forward())
+        })
+        .collect()
+}
+
+/// Rows of the paper's Table II: (order, data refs, flops in-plane, flops nvstencil).
+pub fn table2_rows() -> Vec<(usize, usize, usize, usize)> {
+    (1..=6)
+        .map(|r| {
+            let s: StarStencil<f64> = StarStencil::diffusion(r);
+            (s.order(), s.memory_refs_per_elem(), s.flops_inplane(), s.flops_forward())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Grid3;
+
+    #[test]
+    fn table1_matches_paper() {
+        // Paper Table I: order, extent, mem accesses, flops.
+        let expect = [
+            (2usize, 3usize, 8usize, 8usize),
+            (4, 5, 14, 15),
+            (6, 7, 20, 22),
+            (8, 9, 26, 29),
+            (10, 11, 32, 36),
+            (12, 13, 38, 43),
+        ];
+        assert_eq!(table1_rows(), expect);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        // Paper Table II: order, data refs, flops (in-plane), flops (nvstencil).
+        let expect = [
+            (2usize, 8usize, 9usize, 8usize),
+            (4, 14, 17, 15),
+            (6, 20, 25, 22),
+            (8, 26, 33, 29),
+            (10, 32, 41, 36),
+            (12, 38, 49, 43),
+        ];
+        assert_eq!(table2_rows(), expect);
+    }
+
+    #[test]
+    fn diffusion_weights_sum_to_one() {
+        for r in 1..=8 {
+            let s: StarStencil<f64> = StarStencil::diffusion(r);
+            let sum: f64 = s.c0() + (1..=r).map(|m| s.c(m) * 6.0).sum::<f64>();
+            assert!((sum - 1.0).abs() < 1e-12, "r={r} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn from_order_roundtrips() {
+        for order in [2usize, 4, 6, 8, 10, 12, 32] {
+            let s: StarStencil<f32> = StarStencil::from_order(order);
+            assert_eq!(s.order(), order);
+            assert_eq!(s.radius(), order / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_order_rejected() {
+        let _: StarStencil<f32> = StarStencil::from_order(3);
+    }
+
+    #[test]
+    fn eval_constant_field_is_weight_sum_times_value() {
+        let s: StarStencil<f64> = StarStencil::diffusion(2);
+        let mut g = Grid3::new(7, 7, 7);
+        g.fill(3.0);
+        let v = s.eval(&g, 3, 3, 3);
+        assert!((v - 3.0).abs() < 1e-12); // weights sum to 1
+    }
+
+    #[test]
+    fn laplacian_of_linear_field_is_zero() {
+        let s: StarStencil<f64> = StarStencil::laplacian7();
+        let mut g = Grid3::new(5, 5, 5);
+        g.fill_with(|i, j, k| i as f64 + 2.0 * j as f64 - k as f64);
+        for (i, j, k) in [(1, 1, 1), (2, 2, 2), (3, 3, 3), (1, 3, 2)] {
+            assert!(s.eval(&g, i, j, k).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_of_quadratic_is_constant() {
+        // f = x^2 → discrete Laplacian = 2 everywhere (1D second difference).
+        let s: StarStencil<f64> = StarStencil::laplacian7();
+        let mut g = Grid3::new(6, 6, 6);
+        g.fill_with(|i, _, _| (i * i) as f64);
+        for (i, j, k) in [(1, 1, 1), (2, 3, 4), (4, 2, 2)] {
+            assert!((s.eval(&g, i, j, k) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inplane_partial_plus_forward_terms_equals_full() {
+        // Eqn (4): full = partial + sum_m c_m * in[i,j,k+m].
+        let s: StarStencil<f64> = StarStencil::diffusion(3);
+        let mut g = Grid3::new(9, 9, 9);
+        g.fill_with(|i, j, k| ((i * 7 + j * 13 + k * 29) % 17) as f64 * 0.25);
+        let (i, j, k) = (4, 4, 4);
+        let partial = s.eval_inplane_partial(&g, i, j, k);
+        let forward: f64 = (1..=3).map(|m| s.c(m) * g.get(i, j, k + m)).sum();
+        let full = s.eval(&g, i, j, k);
+        assert!((partial + forward - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_uses_all_six_arms() {
+        let s: StarStencil<f64> = StarStencil::new(vec![0.0, 1.0]);
+        let mut g = Grid3::new(3, 3, 3);
+        // Only the +x neighbour set; result must be exactly that value.
+        g.set(2, 1, 1, 5.0);
+        assert_eq!(s.eval(&g, 1, 1, 1), 5.0);
+        g.set(2, 1, 1, 0.0);
+        g.set(1, 0, 1, 7.0);
+        assert_eq!(s.eval(&g, 1, 1, 1), 7.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Grid utilities a downstream simulation user expects: reductions,
+//! norms, sub-grid extraction, and a simple self-describing binary
+//! format for checkpointing results (no external serialisation crate —
+//! the format is 32 bytes of header plus little-endian payload).
+
+use crate::{Grid3, Precision, Real};
+use std::io::{self, Read as IoRead, Write as IoWrite};
+
+/// Summary statistics over the logical domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// L2 norm (`sqrt(Σ v²)`).
+    pub l2: f64,
+    /// L∞ norm (`max |v|`).
+    pub linf: f64,
+}
+
+/// Compute [`GridStats`] in one pass.
+pub fn stats<T: Real>(g: &Grid3<T>) -> GridStats {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut linf = 0.0f64;
+    for (_, v) in g.iter_logical() {
+        let x = v.to_f64();
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+        sum_sq += x * x;
+        linf = linf.max(x.abs());
+    }
+    GridStats { min, max, mean: sum / g.len() as f64, l2: sum_sq.sqrt(), linf }
+}
+
+/// Extract the sub-grid `[x0, x0+w) × [y0, y0+h) × [z0, z0+d)`.
+///
+/// # Panics
+/// Panics if the window exceeds the grid.
+pub fn subgrid<T: Real>(
+    g: &Grid3<T>,
+    (x0, y0, z0): (usize, usize, usize),
+    (w, h, d): (usize, usize, usize),
+) -> Grid3<T> {
+    let (nx, ny, nz) = g.dims();
+    assert!(x0 + w <= nx && y0 + h <= ny && z0 + d <= nz, "window exceeds grid");
+    let mut out = Grid3::new(w, h, d);
+    out.fill_with(|i, j, k| g.get(x0 + i, y0 + j, z0 + k));
+    out
+}
+
+/// Total of all logical elements (in `f64` to avoid overflow concerns).
+pub fn total<T: Real>(g: &Grid3<T>) -> f64 {
+    g.iter_logical().map(|(_, v)| v.to_f64()).sum()
+}
+
+const MAGIC: &[u8; 8] = b"ISLGRID1";
+
+/// Write the grid to `w` in the library's binary format: an 8-byte
+/// magic, element width, dims, then the logical elements little-endian
+/// in (k, j, i) order (padding is not persisted).
+pub fn write_grid<T: Real>(g: &Grid3<T>, w: &mut impl IoWrite) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let (nx, ny, nz) = g.dims();
+    for v in [T::PRECISION.bytes() as u64, nx as u64, ny as u64, nz as u64] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for (_, v) in g.iter_logical() {
+        match T::PRECISION {
+            Precision::Single => w.write_all(&(v.to_f64() as f32).to_le_bytes())?,
+            Precision::Double => w.write_all(&v.to_f64().to_le_bytes())?,
+        }
+    }
+    Ok(())
+}
+
+/// Read a grid written by [`write_grid`]. The element width in the file
+/// must match `T`.
+pub fn read_grid<T: Real>(r: &mut impl IoRead) -> io::Result<Grid3<T>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut word = [0u8; 8];
+    let mut next = || -> io::Result<u64> {
+        r.read_exact(&mut word)?;
+        Ok(u64::from_le_bytes(word))
+    };
+    let elem = next()?;
+    let (nx, ny, nz) = (next()? as usize, next()? as usize, next()? as usize);
+    if elem != T::PRECISION.bytes() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("file holds {elem}-byte elements, expected {}", T::PRECISION.bytes()),
+        ));
+    }
+    if nx == 0 || ny == 0 || nz == 0 || nx.saturating_mul(ny).saturating_mul(nz) > (1 << 34) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible dimensions"));
+    }
+    let mut g = Grid3::new(nx, ny, nz);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let v = match T::PRECISION {
+                    Precision::Single => {
+                        let mut b = [0u8; 4];
+                        r.read_exact(&mut b)?;
+                        f32::from_le_bytes(b) as f64
+                    }
+                    Precision::Double => {
+                        let mut b = [0u8; 8];
+                        r.read_exact(&mut b)?;
+                        f64::from_le_bytes(b)
+                    }
+                };
+                g.set(i, j, k, T::from_f64(v));
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FillPattern;
+
+    #[test]
+    fn stats_of_constant_grid() {
+        let g: Grid3<f64> = FillPattern::Constant(3.0).build(4, 4, 4);
+        let s = stats(&g);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.l2 - (64.0f64 * 9.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.linf, 3.0);
+    }
+
+    #[test]
+    fn stats_track_extremes() {
+        let mut g: Grid3<f32> = FillPattern::Constant(0.0).build(3, 3, 3);
+        g.set(1, 1, 1, -5.0);
+        g.set(2, 2, 2, 2.0);
+        let s = stats(&g);
+        assert_eq!(s.min, -5.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.linf, 5.0);
+    }
+
+    #[test]
+    fn subgrid_extracts_window() {
+        let mut g: Grid3<f64> = Grid3::new(6, 6, 6);
+        g.fill_with(|i, j, k| (i + 10 * j + 100 * k) as f64);
+        let s = subgrid(&g, (1, 2, 3), (3, 2, 2));
+        assert_eq!(s.dims(), (3, 2, 2));
+        assert_eq!(s.get(0, 0, 0), g.get(1, 2, 3));
+        assert_eq!(s.get(2, 1, 1), g.get(3, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds")]
+    fn oversized_window_panics() {
+        let g: Grid3<f32> = Grid3::new(4, 4, 4);
+        subgrid(&g, (2, 0, 0), (3, 1, 1));
+    }
+
+    #[test]
+    fn binary_roundtrip_sp_and_dp() {
+        let g32: Grid3<f32> = FillPattern::HashNoise.build(5, 4, 3);
+        let mut buf = Vec::new();
+        write_grid(&g32, &mut buf).unwrap();
+        let back: Grid3<f32> = read_grid(&mut buf.as_slice()).unwrap();
+        assert_eq!(g32, back);
+
+        let g64: Grid3<f64> = FillPattern::HashNoise.build(3, 3, 3);
+        let mut buf = Vec::new();
+        write_grid(&g64, &mut buf).unwrap();
+        let back: Grid3<f64> = read_grid(&mut buf.as_slice()).unwrap();
+        assert_eq!(g64, back);
+    }
+
+    #[test]
+    fn roundtrip_strips_padding() {
+        let mut g: Grid3<f32> = Grid3::new_aligned(5, 3, 2, 32);
+        FillPattern::HashNoise.fill(&mut g);
+        let mut buf = Vec::new();
+        write_grid(&g, &mut buf).unwrap();
+        // Header 40 bytes + 30 elements x 4 bytes.
+        assert_eq!(buf.len(), 40 + 30 * 4);
+        let back: Grid3<f32> = read_grid(&mut buf.as_slice()).unwrap();
+        for ((i, j, k), v) in g.iter_logical() {
+            assert_eq!(back.get(i, j, k), v);
+        }
+    }
+
+    #[test]
+    fn wrong_precision_is_rejected() {
+        let g: Grid3<f32> = FillPattern::Constant(1.0).build(2, 2, 2);
+        let mut buf = Vec::new();
+        write_grid(&g, &mut buf).unwrap();
+        let err = read_grid::<f64>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = vec![0u8; 64];
+        let err = read_grid::<f32>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let g: Grid3<f32> = FillPattern::Constant(1.0).build(4, 4, 4);
+        let mut buf = Vec::new();
+        write_grid(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_grid::<f32>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn total_sums_logical_elements() {
+        let g: Grid3<f64> = FillPattern::Constant(0.5).build(4, 4, 4);
+        assert!((total(&g) - 32.0).abs() < 1e-12);
+    }
+}

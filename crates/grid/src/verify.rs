@@ -1,0 +1,141 @@
+//! Verification utilities — comparing emulated kernel output against the
+//! CPU golden model, as the paper's harness does for every variant.
+
+use crate::{Grid3, Real};
+
+/// Largest absolute element-wise difference over the logical domain.
+pub fn max_abs_diff<T: Real>(a: &Grid3<T>, b: &Grid3<T>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "grids must have matching dims");
+    let mut worst = 0.0f64;
+    for ((i, j, k), va) in a.iter_logical() {
+        let d = (va.to_f64() - b.get(i, j, k).to_f64()).abs();
+        if d > worst {
+            worst = d;
+        }
+    }
+    worst
+}
+
+/// Largest relative difference `|a-b| / max(|a|, |b|, 1)`.
+pub fn max_rel_diff<T: Real>(a: &Grid3<T>, b: &Grid3<T>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "grids must have matching dims");
+    let mut worst = 0.0f64;
+    for ((i, j, k), va) in a.iter_logical() {
+        let x = va.to_f64();
+        let y = b.get(i, j, k).to_f64();
+        let denom = x.abs().max(y.abs()).max(1.0);
+        let d = (x - y).abs() / denom;
+        if d > worst {
+            worst = d;
+        }
+    }
+    worst
+}
+
+/// Outcome of a verification pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyReport {
+    /// Worst absolute difference found.
+    pub max_abs: f64,
+    /// Worst relative difference found.
+    pub max_rel: f64,
+    /// Location of the worst absolute difference.
+    pub worst_at: (usize, usize, usize),
+    /// The tolerance the comparison was run with.
+    pub tolerance: f64,
+}
+
+impl VerifyReport {
+    /// True when the grids agree within tolerance.
+    pub fn passed(&self) -> bool {
+        self.max_abs.is_finite() && self.max_abs <= self.tolerance
+    }
+}
+
+/// Compare `candidate` against `golden` within `tolerance` (absolute).
+pub fn verify_close<T: Real>(candidate: &Grid3<T>, golden: &Grid3<T>, tolerance: f64) -> VerifyReport {
+    assert_eq!(candidate.dims(), golden.dims(), "grids must have matching dims");
+    let mut max_abs = 0.0f64;
+    let mut max_rel = 0.0f64;
+    let mut worst_at = (0, 0, 0);
+    for ((i, j, k), va) in candidate.iter_logical() {
+        let x = va.to_f64();
+        let y = golden.get(i, j, k).to_f64();
+        let d = (x - y).abs();
+        if d > max_abs || !d.is_finite() {
+            max_abs = d;
+            worst_at = (i, j, k);
+        }
+        let rel = d / x.abs().max(y.abs()).max(1.0);
+        if rel > max_rel {
+            max_rel = rel;
+        }
+        if !x.is_finite() {
+            return VerifyReport { max_abs: f64::INFINITY, max_rel: f64::INFINITY, worst_at: (i, j, k), tolerance };
+        }
+    }
+    VerifyReport { max_abs, max_rel, worst_at, tolerance }
+}
+
+/// Default verification tolerance for a precision after `steps` Jacobi
+/// iterations of a normalised (weights-sum-to-one) stencil: a small
+/// multiple of machine epsilon, growing linearly with steps.
+pub fn default_tolerance(precision: crate::Precision, steps: usize) -> f64 {
+    let eps = match precision {
+        crate::Precision::Single => f32::EPSILON as f64,
+        crate::Precision::Double => f64::EPSILON,
+    };
+    eps * 64.0 * steps.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FillPattern, Precision};
+
+    #[test]
+    fn identical_grids_have_zero_diff() {
+        let g: Grid3<f32> = FillPattern::HashNoise.build(6, 6, 6);
+        assert_eq!(max_abs_diff(&g, &g), 0.0);
+        assert_eq!(max_rel_diff(&g, &g), 0.0);
+        assert!(verify_close(&g, &g, 0.0).passed());
+    }
+
+    #[test]
+    fn single_perturbation_is_found() {
+        let a: Grid3<f64> = FillPattern::Constant(1.0).build(4, 4, 4);
+        let mut b = a.clone();
+        b.set(2, 1, 3, 1.5);
+        let rep = verify_close(&b, &a, 0.1);
+        assert!(!rep.passed());
+        assert_eq!(rep.worst_at, (2, 1, 3));
+        assert!((rep.max_abs - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_diff_normalises_by_magnitude() {
+        let a: Grid3<f64> = FillPattern::Constant(100.0).build(3, 3, 3);
+        let mut b = a.clone();
+        b.set(0, 0, 0, 101.0);
+        assert!((max_rel_diff(&a, &b) - 0.01 / 1.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_fails_verification() {
+        let a: Grid3<f32> = FillPattern::Constant(0.0).build(3, 3, 3);
+        let mut b = a.clone();
+        b.set(1, 1, 1, f32::NAN);
+        let rep = verify_close(&b, &a, 1e9);
+        assert!(!rep.passed(), "NaN must never verify");
+    }
+
+    #[test]
+    fn default_tolerance_scales() {
+        let t1 = default_tolerance(Precision::Single, 1);
+        let t10 = default_tolerance(Precision::Single, 10);
+        assert!((t10 / t1 - 10.0).abs() < 1e-12);
+        assert!(default_tolerance(Precision::Double, 1) < t1);
+        // steps = 0 treated as 1
+        assert_eq!(default_tolerance(Precision::Single, 0), t1);
+    }
+}

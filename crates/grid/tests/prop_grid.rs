@@ -1,0 +1,91 @@
+//! Property-based tests for the grid substrate: indexing is a bijection,
+//! the two reference evaluation orders agree for arbitrary coefficients,
+//! and verification utilities behave like metrics.
+
+use proptest::prelude::*;
+use stencil_grid::{
+    apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern,
+    Grid3, StarStencil,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every logical coordinate maps to a distinct in-bounds index.
+    #[test]
+    fn index_is_injective(
+        nx in 1usize..12,
+        ny in 1usize..12,
+        nz in 1usize..12,
+        align in 1usize..9,
+    ) {
+        let g: Grid3<f32> = Grid3::new_aligned(nx, ny, nz, align);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = g.index(i, j, k);
+                    prop_assert!(idx < g.raw().len());
+                    prop_assert!(seen.insert(idx), "duplicate index at ({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    /// Row stride honours the alignment request and never shrinks a row.
+    #[test]
+    fn row_stride_alignment(nx in 1usize..200, align in 1usize..33) {
+        let g: Grid3<f64> = Grid3::new_aligned(nx, 2, 2, align);
+        prop_assert!(g.row_stride() >= nx);
+        prop_assert_eq!(g.row_stride() % align, 0);
+        prop_assert!(g.row_stride() - nx < align);
+    }
+
+    /// Eqn (4): the in-plane pipelined evaluation equals the direct
+    /// forward evaluation for arbitrary coefficients and radii.
+    #[test]
+    fn inplane_order_equals_forward_for_arbitrary_coeffs(
+        radius in 1usize..4,
+        coeffs in prop::collection::vec(-1.0f64..1.0, 4),
+        n_extra in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let c: Vec<f64> = coeffs.into_iter().take(radius + 1).collect();
+        prop_assume!(c.len() == radius + 1);
+        let stencil = StarStencil::new(c);
+        let n = 2 * radius + 3 + n_extra;
+        let input: Grid3<f64> =
+            FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n);
+        let mut a = Grid3::new(n, n, n);
+        let mut b = Grid3::new(n, n, n);
+        apply_reference(&stencil, &input, &mut a, Boundary::CopyInput);
+        apply_reference_inplane_order(&stencil, &input, &mut b, Boundary::CopyInput);
+        prop_assert!(max_abs_diff(&a, &b) < 1e-12);
+    }
+
+    /// The diffusion stencil is an averaging operator: outputs stay
+    /// within the input bounds for any radius.
+    #[test]
+    fn diffusion_preserves_bounds(radius in 1usize..4, seed in 0u64..1000) {
+        let stencil: StarStencil<f64> = StarStencil::diffusion(radius);
+        let n = 2 * radius + 4;
+        let input: Grid3<f64> =
+            FillPattern::Random { lo: 0.0, hi: 1.0, seed }.build(n, n, n);
+        let mut out = Grid3::new(n, n, n);
+        apply_reference(&stencil, &input, &mut out, Boundary::CopyInput);
+        for (_, v) in out.iter_logical() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    /// max_abs_diff is a metric-ish: symmetric, zero iff equal grids.
+    #[test]
+    fn max_abs_diff_is_symmetric(seed_a in 0u64..100, seed_b in 0u64..100) {
+        let a: Grid3<f32> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: seed_a }.build(5, 5, 5);
+        let b: Grid3<f32> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: seed_b }.build(5, 5, 5);
+        prop_assert_eq!(max_abs_diff(&a, &b), max_abs_diff(&b, &a));
+        if seed_a == seed_b {
+            prop_assert_eq!(max_abs_diff(&a, &b), 0.0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Functional multi-device emulation.
+//!
+//! Each "device" owns a z-slab of the grid plus `r` halo planes per
+//! neighbour, stored in its own allocation. A step is: compute the slab
+//! interior from the local allocation only, then exchange boundary
+//! planes with the neighbours. Correctness is structural: a device that
+//! needed data it never received would read stale planes and diverge
+//! from the single-device reference, so the bit-exact comparison in the
+//! tests is also the proof that the exchange is sufficient.
+
+use inplane_core::{execute_step, LaunchConfig, Method};
+use stencil_grid::{Boundary, Grid3, Real, StarStencil};
+
+/// Statistics from a multi-device run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MultiGpuStats {
+    /// Devices used.
+    pub devices: usize,
+    /// Halo planes moved over the interconnect (per direction counts).
+    pub planes_exchanged: u64,
+    /// Bytes those planes amount to.
+    pub bytes_exchanged: u64,
+}
+
+/// One device's slab: planes `[z0, z1)` of the global grid plus up to
+/// `r` halo planes on each side.
+struct Slab<T> {
+    /// First owned global plane.
+    z0: usize,
+    /// One past the last owned global plane.
+    z1: usize,
+    /// Halo planes available below / above the owned range.
+    halo_lo: usize,
+    halo_hi: usize,
+    /// Local allocation covering `[z0 - halo_lo, z1 + halo_hi)`.
+    local: Grid3<T>,
+}
+
+impl<T: Real> Slab<T> {
+    fn local_z(&self, gz: usize) -> usize {
+        gz + self.halo_lo - self.z0
+    }
+}
+
+/// Split `nz` planes over `devices` as evenly as possible.
+pub(crate) fn partition(nz: usize, devices: usize) -> Vec<(usize, usize)> {
+    assert!(devices >= 1, "need at least one device");
+    let base = nz / devices;
+    let extra = nz % devices;
+    let mut out = Vec::with_capacity(devices);
+    let mut z = 0usize;
+    for d in 0..devices {
+        let len = base + usize::from(d < extra);
+        out.push((z, z + len));
+        z += len;
+    }
+    out
+}
+
+/// Run `steps` Jacobi iterations of `stencil` across `devices` emulated
+/// GPUs with z-slab decomposition and explicit halo exchange, using the
+/// given method/config for each device's local sweep.
+///
+/// Returns the final grid (gathered) and exchange statistics. Results
+/// are bit-identical to the single-device emulated run.
+///
+/// # Panics
+/// Panics if a slab would be thinner than the stencil radius (too many
+/// devices for the grid) or the grid is too small for the radius.
+pub fn execute_multi_gpu<T: Real>(
+    method: Method,
+    stencil: &StarStencil<T>,
+    config: &LaunchConfig,
+    initial: &Grid3<T>,
+    devices: usize,
+    steps: usize,
+) -> (Grid3<T>, MultiGpuStats) {
+    let r = stencil.radius();
+    let (nx, ny, nz) = initial.dims();
+    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    let parts = partition(nz, devices);
+    assert!(
+        parts.iter().all(|&(a, b)| b - a >= r),
+        "slabs thinner than the radius: use fewer devices"
+    );
+
+    // Scatter: build device-local allocations (owned planes + halos).
+    let mut slabs: Vec<Slab<T>> = parts
+        .iter()
+        .map(|&(z0, z1)| {
+            let halo_lo = r.min(z0);
+            let halo_hi = r.min(nz - z1);
+            let depth = (z1 - z0) + halo_lo + halo_hi;
+            let mut local = Grid3::new(nx, ny, depth);
+            local.fill_with(|i, j, k| initial.get(i, j, z0 - halo_lo + k));
+            Slab { z0, z1, halo_lo, halo_hi, local }
+        })
+        .collect();
+
+    let mut stats = MultiGpuStats { devices, ..Default::default() };
+    let plane_bytes = (nx * ny * T::PRECISION.bytes()) as u64;
+
+    for _ in 0..steps {
+        // Compute: each device sweeps its local allocation. The local
+        // run's z-boundary policy (CopyInput over the ring of width r)
+        // freezes exactly the halo planes plus — at the global ends —
+        // the true Dirichlet ring, matching the global semantics for
+        // the owned interior planes.
+        let mut next: Vec<Grid3<T>> = Vec::with_capacity(slabs.len());
+        for s in &slabs {
+            let mut out = s.local.clone();
+            execute_step(method, stencil, config, &s.local, &mut out, Boundary::CopyInput);
+            next.push(out);
+        }
+        for (s, n) in slabs.iter_mut().zip(next) {
+            s.local = n;
+        }
+
+        // Exchange: refresh every halo plane from its owner's freshly
+        // computed (or globally-fixed) value. Owners send their top/
+        // bottom r owned planes to the neighbour's halo region.
+        for d in 0..slabs.len() {
+            // Receive from the lower neighbour into [z0 - halo_lo, z0).
+            if d > 0 {
+                let (lo_part, hi_part) = slabs.split_at_mut(d);
+                let src = &lo_part[d - 1];
+                let dst = &mut hi_part[0];
+                for gz in (dst.z0 - dst.halo_lo)..dst.z0 {
+                    let (sk, dk) = (src.local_z(gz), dst.local_z(gz));
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let v = src.local.get(i, j, sk);
+                            dst.local.set(i, j, dk, v);
+                        }
+                    }
+                    stats.planes_exchanged += 1;
+                    stats.bytes_exchanged += plane_bytes;
+                }
+            }
+            // Receive from the upper neighbour into [z1, z1 + halo_hi).
+            if d + 1 < slabs.len() {
+                let (lo_part, hi_part) = slabs.split_at_mut(d + 1);
+                let dst = &mut lo_part[d];
+                let src = &hi_part[0];
+                for gz in dst.z1..(dst.z1 + dst.halo_hi) {
+                    let (sk, dk) = (src.local_z(gz), dst.local_z(gz));
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let v = src.local.get(i, j, sk);
+                            dst.local.set(i, j, dk, v);
+                        }
+                    }
+                    stats.planes_exchanged += 1;
+                    stats.bytes_exchanged += plane_bytes;
+                }
+            }
+        }
+    }
+
+    // Gather the owned planes.
+    let mut out = Grid3::new(nx, ny, nz);
+    for s in &slabs {
+        for gz in s.z0..s.z1 {
+            let lk = s.local_z(gz);
+            for j in 0..ny {
+                for i in 0..nx {
+                    out.set(i, j, gz, s.local.get(i, j, lk));
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inplane_core::Variant;
+    use stencil_grid::{iterate_stencil_loop, max_abs_diff, FillPattern};
+
+    fn single_device<T: Real>(
+        method: Method,
+        stencil: &StarStencil<T>,
+        config: &LaunchConfig,
+        initial: &Grid3<T>,
+        steps: usize,
+    ) -> Grid3<T> {
+        let (g, _) = iterate_stencil_loop(initial.clone(), stencil.radius(), steps, |i, o| {
+            execute_step(method, stencil, config, i, o, Boundary::CopyInput);
+        });
+        g
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        assert_eq!(partition(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(partition(8, 1), vec![(0, 8)]);
+        assert_eq!(partition(8, 8), (0..8).map(|z| (z, z + 1)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_devices_match_one_bit_for_bit() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let cfg = LaunchConfig::new(8, 4, 1, 1);
+        let initial: Grid3<f64> =
+            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 9 }.build(14, 14, 12);
+        let golden =
+            single_device(Method::InPlane(Variant::FullSlice), &s, &cfg, &initial, 4);
+        let (multi, stats) = execute_multi_gpu(
+            Method::InPlane(Variant::FullSlice),
+            &s,
+            &cfg,
+            &initial,
+            2,
+            4,
+        );
+        assert_eq!(max_abs_diff(&multi, &golden), 0.0);
+        // 4 steps × 2 directions × r planes.
+        assert_eq!(stats.planes_exchanged, 4 * 2);
+        assert_eq!(stats.bytes_exchanged, 4 * 2 * 14 * 14 * 8);
+    }
+
+    #[test]
+    fn many_devices_high_radius() {
+        let s: StarStencil<f64> = StarStencil::diffusion(2);
+        let cfg = LaunchConfig::new(4, 4, 1, 1);
+        let initial: Grid3<f64> = FillPattern::HashNoise.build(13, 13, 16);
+        let golden = single_device(Method::ForwardPlane, &s, &cfg, &initial, 3);
+        for devices in [2usize, 3, 4] {
+            let (multi, _) =
+                execute_multi_gpu(Method::ForwardPlane, &s, &cfg, &initial, devices, 3);
+            assert_eq!(
+                max_abs_diff(&multi, &golden),
+                0.0,
+                "{devices} devices diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn one_device_is_the_degenerate_case() {
+        let s: StarStencil<f32> = StarStencil::diffusion(1);
+        let cfg = LaunchConfig::new(8, 8, 1, 1);
+        let initial: Grid3<f32> = FillPattern::HashNoise.build(10, 10, 8);
+        let golden = single_device(Method::InPlane(Variant::Vertical), &s, &cfg, &initial, 2);
+        let (multi, stats) =
+            execute_multi_gpu(Method::InPlane(Variant::Vertical), &s, &cfg, &initial, 1, 2);
+        assert_eq!(max_abs_diff(&multi, &golden), 0.0);
+        assert_eq!(stats.planes_exchanged, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer devices")]
+    fn too_many_devices_rejected() {
+        let s: StarStencil<f64> = StarStencil::diffusion(2);
+        let cfg = LaunchConfig::new(4, 4, 1, 1);
+        let initial: Grid3<f64> = Grid3::new(8, 8, 8);
+        execute_multi_gpu(Method::ForwardPlane, &s, &cfg, &initial, 8, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Functional overlapped temporal tiling.
+//!
+//! The grid is covered by xy-tiles. For a temporal depth `T`, each tile
+//! is widened by a halo of `r·T` on every side, copied into a private
+//! working grid, advanced `T` Jacobi steps locally (the halo shell
+//! shrinks by `r` per step, so after `T` steps the tile interior is
+//! exact), and the interior is written back. Tiles are independent —
+//! the GPU formulation runs them as thread blocks, and the redundant
+//! shell recomputation is the price paid for touching global memory
+//! once per `T` steps.
+
+use stencil_grid::{apply_reference, Boundary, Grid3, Real, StarStencil};
+
+/// Statistics from a temporal-tiling pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TemporalStats {
+    /// Tiles processed.
+    pub tiles: usize,
+    /// Points computed including redundant shell work.
+    pub points_computed: u64,
+    /// Useful (written-back) points.
+    pub points_written: u64,
+}
+
+impl TemporalStats {
+    /// Redundant-work factor: computed / written (≥ 1).
+    pub fn redundancy(&self) -> f64 {
+        if self.points_written == 0 {
+            1.0
+        } else {
+            self.points_computed as f64 / self.points_written as f64
+        }
+    }
+}
+
+/// Advance `input` by `t_steps` Jacobi steps of `stencil` using
+/// overlapped temporal tiles of interior size `tile_x × tile_y`, writing
+/// the result to `out`. Boundary ring (width `r`) follows the global
+/// Jacobi semantics: held at the input values throughout.
+///
+/// ```
+/// use stencil_grid::{FillPattern, Grid3, StarStencil};
+/// use stencil_temporal::execute_temporal;
+///
+/// let s: StarStencil<f64> = StarStencil::diffusion(1);
+/// let input: Grid3<f64> = FillPattern::HashNoise.build(16, 16, 8);
+/// let mut out = Grid3::new(16, 16, 8);
+/// let stats = execute_temporal(&s, &input, &mut out, 4, 4, 3);
+/// // Three steps per pass; redundant shell work is the price.
+/// assert!(stats.redundancy() > 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if the grid is too small for the stencil radius or
+/// `t_steps == 0`.
+pub fn execute_temporal<T: Real>(
+    stencil: &StarStencil<T>,
+    input: &Grid3<T>,
+    out: &mut Grid3<T>,
+    tile_x: usize,
+    tile_y: usize,
+    t_steps: usize,
+) -> TemporalStats {
+    assert!(t_steps >= 1, "temporal depth must be at least 1");
+    assert_eq!(input.dims(), out.dims());
+    let r = stencil.radius();
+    let (nx, ny, nz) = input.dims();
+    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    let halo = r * t_steps;
+    let mut stats = TemporalStats::default();
+
+    // The boundary ring is invariant under the global iteration; copy it
+    // up front so tiles only need to produce the interior.
+    stencil_grid::boundary::copy_boundary_ring(input, out, r);
+
+    let mut y0 = r;
+    while y0 < ny - r {
+        let th = tile_y.min(ny - r - y0);
+        let mut x0 = r;
+        while x0 < nx - r {
+            let tw = tile_x.min(nx - r - x0);
+            stats.tiles += 1;
+
+            // Halo-expanded window, clipped to the allocation.
+            let wx0 = x0.saturating_sub(halo);
+            let wy0 = y0.saturating_sub(halo);
+            let wx1 = (x0 + tw + halo).min(nx);
+            let wy1 = (y0 + th + halo).min(ny);
+            let (ww, wh) = (wx1 - wx0, wy1 - wy0);
+
+            // Private working grids covering the window over all z.
+            let mut a: Grid3<T> = Grid3::new(ww, wh, nz);
+            a.fill_with(|i, j, k| input.get(wx0 + i, wy0 + j, k));
+            let mut b = a.clone();
+
+            // Advance T steps locally. The window's outer shell becomes
+            // stale by r per step, but points within distance
+            // (T - s)·r of the tile stay exact at step s — in
+            // particular the tile interior after T steps. Where the
+            // window edge coincides with the true grid boundary the ring
+            // is genuinely Dirichlet, matching the global semantics.
+            for _ in 0..t_steps {
+                apply_reference(stencil, &a, &mut b, Boundary::CopyInput);
+                std::mem::swap(&mut a, &mut b);
+                stats.points_computed += ((ww - 2 * r) * (wh - 2 * r) * (nz - 2 * r)) as u64;
+            }
+
+            // Write back the exact interior tile.
+            for k in r..nz - r {
+                for j in y0..y0 + th {
+                    for i in x0..x0 + tw {
+                        out.set(i, j, k, a.get(i - wx0, j - wy0, k));
+                    }
+                }
+            }
+            stats.points_written += (tw * th * (nz - 2 * r)) as u64;
+
+            x0 += tile_x;
+        }
+        y0 += tile_y;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{iterate_stencil_loop, max_abs_diff, FillPattern};
+
+    fn golden<T: Real>(
+        stencil: &StarStencil<T>,
+        input: &Grid3<T>,
+        steps: usize,
+    ) -> Grid3<T> {
+        let (g, _) = iterate_stencil_loop(input.clone(), stencil.radius(), steps, |i, o| {
+            apply_reference(stencil, i, o, Boundary::CopyInput)
+        });
+        g
+    }
+
+    #[test]
+    fn one_step_equals_plain_reference() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let input: Grid3<f64> =
+            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 1 }.build(14, 14, 10);
+        let mut out = Grid3::new(14, 14, 10);
+        execute_temporal(&s, &input, &mut out, 4, 4, 1);
+        let expect = golden(&s, &input, 1);
+        assert_eq!(max_abs_diff(&out, &expect), 0.0);
+    }
+
+    #[test]
+    fn deep_temporal_blocks_match_global_iteration() {
+        for (radius, t_steps) in [(1usize, 2usize), (1, 4), (2, 3)] {
+            let s: StarStencil<f64> = StarStencil::diffusion(radius);
+            let n = 4 * radius * t_steps + 7;
+            let input: Grid3<f64> =
+                FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(n, n, 2 * radius + 4);
+            let mut out = Grid3::new(n, n, 2 * radius + 4);
+            execute_temporal(&s, &input, &mut out, 5, 3, t_steps);
+            let expect = golden(&s, &input, t_steps);
+            assert!(
+                max_abs_diff(&out, &expect) < 1e-12,
+                "r={radius} T={t_steps}: mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_size_does_not_change_the_answer() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let input: Grid3<f64> =
+            FillPattern::Random { lo: 0.0, hi: 1.0, seed: 3 }.build(18, 18, 8);
+        let mut a = Grid3::new(18, 18, 8);
+        let mut b = Grid3::new(18, 18, 8);
+        execute_temporal(&s, &input, &mut a, 3, 7, 3);
+        execute_temporal(&s, &input, &mut b, 16, 2, 3);
+        assert_eq!(max_abs_diff(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn redundancy_grows_with_temporal_depth_and_shrinks_with_tile() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let input: Grid3<f64> = FillPattern::HashNoise.build(34, 34, 8);
+        let run = |tile: usize, t: usize| {
+            let mut out = Grid3::new(34, 34, 8);
+            execute_temporal(&s, &input, &mut out, tile, tile, t).redundancy()
+        };
+        assert!(run(8, 4) > run(8, 2), "deeper T must cost more redundant work");
+        assert!(run(16, 4) < run(8, 4), "bigger tiles amortise the shell");
+        assert!(run(8, 1) >= 1.0);
+    }
+
+    #[test]
+    fn boundary_ring_is_held_fixed() {
+        let s: StarStencil<f64> = StarStencil::diffusion(2);
+        let input: Grid3<f64> =
+            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 5 }.build(13, 13, 9);
+        let mut out = Grid3::new(13, 13, 9);
+        execute_temporal(&s, &input, &mut out, 4, 4, 3);
+        for ((i, j, k), v) in out.iter_logical() {
+            let dims = (13, 13, 9);
+            if stencil_grid::boundary::in_boundary_ring(dims, 2, i, j, k) {
+                assert_eq!(v, input.get(i, j, k), "ring moved at ({i},{j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal depth")]
+    fn zero_steps_rejected() {
+        let s: StarStencil<f32> = StarStencil::diffusion(1);
+        let input: Grid3<f32> = Grid3::new(8, 8, 8);
+        let mut out = Grid3::new(8, 8, 8);
+        execute_temporal(&s, &input, &mut out, 4, 4, 0);
+    }
+}

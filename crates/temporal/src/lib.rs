@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # stencil-temporal
+//!
+//! Temporal (3.5-D) blocking — the strongest related-work baseline the
+//! paper positions itself against (§II, §V-B: Nguyen *et al.*'s "3.5-D
+//! blocking optimization", 1-D temporal blocking combined with 2.5-D
+//! spatial blocking).
+//!
+//! Where the in-plane method reduces the *per-step* halo traffic,
+//! temporal blocking amortises the grid traffic over `T` time steps:
+//! each block loads a halo-expanded tile (halo width `r·T`), advances it
+//! `T` steps locally (redundantly recomputing the shrinking halo shell),
+//! and writes back only the valid interior. Traffic per point per step
+//! approaches `(read + write)/T`, at the cost of `(1 + 2rT/W)²`-fold
+//! redundant compute and a much larger working set.
+//!
+//! Two faces, like every kernel in this workspace:
+//!
+//! * [`exec`] — functional overlapped temporal tiling, verified to equal
+//!   `T` global Jacobi steps exactly on the interior;
+//! * [`perf`] — a [`gpu_sim`]-priced plan for the 3.5-D GPU kernel, used
+//!   by the `temporal` benchmark to locate the crossover between the
+//!   in-plane method and temporal blocking.
+
+pub mod exec;
+pub mod perf;
+
+pub use exec::execute_temporal;
+pub use perf::{simulate_temporal, temporal_plan, TemporalConfig};
