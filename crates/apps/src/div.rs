@@ -56,12 +56,32 @@ mod tests {
     #[test]
     fn divergence_of_linear_field_is_constant() {
         // F = (2x, 3y, -z): div F = 2 + 3 - 1 = 4.
-        let fx: Grid3<f64> = FillPattern::Linear { a: 2.0, b: 0.0, c: 0.0 }.build(6, 6, 6);
-        let fy: Grid3<f64> = FillPattern::Linear { a: 0.0, b: 3.0, c: 0.0 }.build(6, 6, 6);
-        let fz: Grid3<f64> = FillPattern::Linear { a: 0.0, b: 0.0, c: -1.0 }.build(6, 6, 6);
+        let fx: Grid3<f64> = FillPattern::Linear {
+            a: 2.0,
+            b: 0.0,
+            c: 0.0,
+        }
+        .build(6, 6, 6);
+        let fy: Grid3<f64> = FillPattern::Linear {
+            a: 0.0,
+            b: 3.0,
+            c: 0.0,
+        }
+        .build(6, 6, 6);
+        let fz: Grid3<f64> = FillPattern::Linear {
+            a: 0.0,
+            b: 0.0,
+            c: -1.0,
+        }
+        .build(6, 6, 6);
         let inputs = GridSet::new(vec![fx, fy, fz]);
         let mut out = GridSet::zeros(1, 6, 6, 6);
-        apply_multigrid(&Divergence::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Divergence::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         for k in 1..5 {
             for j in 1..5 {
                 for i in 1..5 {
@@ -76,17 +96,32 @@ mod tests {
         let c: Grid3<f64> = FillPattern::Constant(5.0).build(5, 5, 5);
         let inputs = GridSet::new(vec![c.clone(), c.clone(), c]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
-        apply_multigrid(&Divergence::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Divergence::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!(out.grid(0).get(2, 2, 2).abs() < 1e-12);
     }
 
     #[test]
     fn spacing_scales_result() {
-        let fx: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 0.0, c: 0.0 }.build(5, 5, 5);
+        let fx: Grid3<f64> = FillPattern::Linear {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+        }
+        .build(5, 5, 5);
         let zero: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
         let inputs = GridSet::new(vec![fx, zero.clone(), zero]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
-        apply_multigrid(&Divergence { h: 0.5 }, &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Divergence { h: 0.5 },
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!((out.grid(0).get(2, 2, 2) - 2.0).abs() < 1e-12);
     }
 

@@ -57,10 +57,20 @@ mod tests {
     #[test]
     fn gradient_of_linear_field() {
         // f = x + 2y - 3z: grad = (1, 2, -3).
-        let f: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 2.0, c: -3.0 }.build(6, 6, 6);
+        let f: Grid3<f64> = FillPattern::Linear {
+            a: 1.0,
+            b: 2.0,
+            c: -3.0,
+        }
+        .build(6, 6, 6);
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(3, 6, 6, 6);
-        apply_multigrid(&Gradient::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Gradient::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         let expect = [1.0, 2.0, -3.0];
         for (o, e) in expect.iter().enumerate() {
             for k in 1..5 {
@@ -77,7 +87,12 @@ mod tests {
         let f: Grid3<f32> = FillPattern::Constant(9.0).build(4, 4, 4);
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(3, 4, 4, 4);
-        apply_multigrid(&Gradient::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Gradient::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         for o in 0..3 {
             assert_eq!(out.grid(o).get(1, 1, 1), 0.0);
         }
@@ -93,7 +108,12 @@ mod tests {
         };
         let inputs = GridSet::new(vec![f]);
         let mut grad_out = GridSet::zeros(3, 8, 8, 8);
-        apply_multigrid(&Gradient::default(), &inputs, &mut grad_out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Gradient::default(),
+            &inputs,
+            &mut grad_out,
+            Boundary::LeaveOutput,
+        );
         let mut div_out = GridSet::zeros(1, 8, 8, 8);
         apply_multigrid(
             &crate::Divergence::default(),

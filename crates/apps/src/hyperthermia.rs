@@ -70,7 +70,12 @@ impl<T: Real> MultiGridKernel<T> for Hyperthermia {
 /// diffusion-like weights that sum to 1 plus a small source term.
 pub fn default_inputs<T: Real>(nx: usize, ny: usize, nz: usize, seed: u64) -> Vec<Grid3<T>> {
     use stencil_grid::FillPattern;
-    let t: Grid3<T> = FillPattern::Random { lo: 36.5, hi: 37.5, seed }.build(nx, ny, nz);
+    let t: Grid3<T> = FillPattern::Random {
+        lo: 36.5,
+        hi: 37.5,
+        seed,
+    }
+    .build(nx, ny, nz);
     let ca: Grid3<T> = FillPattern::Constant(0.4).build(nx, ny, nz);
     let cb: Grid3<T> = FillPattern::Constant(0.0).build(nx, ny, nz);
     let side: Grid3<T> = FillPattern::Constant(0.1).build(nx, ny, nz);
@@ -115,7 +120,7 @@ mod tests {
         let mut inputs = default_inputs::<f64>(5, 5, 5, 1);
         inputs[0] = FillPattern::Constant(0.0).build(5, 5, 5);
         inputs[0].set(1, 2, 2, 10.0); // hot spot at x-neighbour
-        // Zero all side coefficients except cxl at the probe point.
+                                      // Zero all side coefficients except cxl at the probe point.
         for g in inputs.iter_mut().skip(3) {
             g.fill(0.0);
         }
@@ -131,6 +136,9 @@ mod tests {
     fn table5_grid_counts() {
         assert_eq!(MultiGridKernel::<f32>::num_inputs(&Hyperthermia), 10);
         assert_eq!(MultiGridKernel::<f32>::num_outputs(&Hyperthermia), 1);
-        assert_eq!(MultiGridKernel::<f32>::num_streamed_inputs(&Hyperthermia), 1);
+        assert_eq!(
+            MultiGridKernel::<f32>::num_streamed_inputs(&Hyperthermia),
+            1
+        );
     }
 }

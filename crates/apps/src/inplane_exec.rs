@@ -50,11 +50,24 @@ pub fn apply_multigrid_inplane<T: Real>(
     outputs: &mut GridSet<T>,
     boundary: Boundary,
 ) {
-    assert_eq!(inputs.count(), kernel.num_inputs(), "{}: input count", kernel.name());
-    assert_eq!(outputs.count(), kernel.num_outputs(), "{}: output count", kernel.name());
+    assert_eq!(
+        inputs.count(),
+        kernel.num_inputs(),
+        "{}: input count",
+        kernel.name()
+    );
+    assert_eq!(
+        outputs.count(),
+        kernel.num_outputs(),
+        "{}: output count",
+        kernel.name()
+    );
     let r = kernel.radius();
     let (nx, ny, nz) = inputs.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
 
     let plane_elems = (nx - 2 * r) * (ny - 2 * r);
     let lin = |i: usize, j: usize| (j - r) * (nx - 2 * r) + (i - r);
@@ -117,7 +130,15 @@ impl<T: Real> ZSeparable<T> for crate::Laplacian3d {
             + f.get(i, j, k - 1);
         inv_h2 * (sum - six * f.get(i, j, k))
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        _o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         T::from_f64(1.0 / (self.h * self.h)) * inputs[0].get(i, j, k + p)
     }
@@ -135,7 +156,15 @@ impl<T: Real> ZSeparable<T> for crate::Poisson {
             + u.get(i, j, k - 1);
         sixth * (sum - h2 * f.get(i, j, k))
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        _o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         T::from_f64(1.0 / 6.0) * inputs[0].get(i, j, k + p)
     }
@@ -149,7 +178,15 @@ impl<T: Real> ZSeparable<T> for crate::Divergence {
         // The z-difference's backward half only.
         inv2h * (dx + dy) - inv2h * inputs[2].get(i, j, k - 1)
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        _o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         T::from_f64(0.5 / self.h) * inputs[2].get(i, j, k + p)
     }
@@ -166,7 +203,15 @@ impl<T: Real> ZSeparable<T> for crate::Gradient {
             _ => unreachable!(),
         }
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         if o == 2 {
             T::from_f64(0.5 / self.h) * inputs[0].get(i, j, k + p)
@@ -193,7 +238,15 @@ impl<T: Real> ZSeparable<T> for crate::Hyperthermia {
             + czl.get(i, j, k) * t.get(i, j, k - 1)
             + q.get(i, j, k)
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        _o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         // The coefficient lives on the output plane k (already seen).
         inputs[8].get(i, j, k) * inputs[0].get(i, j, k + p)
@@ -216,7 +269,15 @@ impl<T: Real> ZSeparable<T> for crate::Upstream {
         }
         acc
     }
-    fn forward_term(&self, inputs: &[Grid3<T>], _o: usize, i: usize, j: usize, k: usize, p: usize) -> T {
+    fn forward_term(
+        &self,
+        inputs: &[Grid3<T>],
+        _o: usize,
+        i: usize,
+        j: usize,
+        k: usize,
+        p: usize,
+    ) -> T {
         debug_assert_eq!(p, 1);
         if self.cz >= 0.0 {
             T::ZERO
@@ -229,13 +290,22 @@ impl<T: Real> ZSeparable<T> for crate::Upstream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{all_apps, hyperthermia, Divergence, Gradient, Hyperthermia, Laplacian3d, Poisson, Upstream};
+    use crate::{
+        all_apps, hyperthermia, Divergence, Gradient, Hyperthermia, Laplacian3d, Poisson, Upstream,
+    };
     use stencil_grid::{apply_multigrid, max_abs_diff, FillPattern};
 
     fn random_inputs(n: usize, count: usize, seed: u64) -> GridSet<f64> {
         GridSet::new(
             (0..count)
-                .map(|c| FillPattern::Random { lo: -1.0, hi: 1.0, seed: seed + c as u64 }.build(n, n, n))
+                .map(|c| {
+                    FillPattern::Random {
+                        lo: -1.0,
+                        hi: 1.0,
+                        seed: seed + c as u64,
+                    }
+                    .build(n, n, n)
+                })
                 .collect(),
         )
     }
@@ -288,8 +358,24 @@ mod tests {
     #[test]
     fn upstream_inplane_matches_forward_both_wind_signs() {
         let inputs = random_inputs(9, 1, 7);
-        check(&Upstream { cx: 0.3, cy: -0.2, cz: 0.25 }, &inputs, 9);
-        check(&Upstream { cx: -0.1, cy: 0.2, cz: -0.35 }, &inputs, 9);
+        check(
+            &Upstream {
+                cx: 0.3,
+                cy: -0.2,
+                cz: 0.25,
+            },
+            &inputs,
+            9,
+        );
+        check(
+            &Upstream {
+                cx: -0.1,
+                cy: 0.2,
+                cz: -0.35,
+            },
+            &inputs,
+            9,
+        );
     }
 
     #[test]

@@ -55,12 +55,21 @@ mod tests {
 
     #[test]
     fn matches_star_stencil_laplacian7() {
-        let f: Grid3<f64> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 3 }.build(7, 7, 7);
+        let f: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 3,
+        }
+        .build(7, 7, 7);
         let star: StarStencil<f64> = StarStencil::laplacian7();
         let inputs = GridSet::new(vec![f.clone()]);
         let mut out = GridSet::zeros(1, 7, 7, 7);
-        apply_multigrid(&Laplacian3d::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Laplacian3d::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         for k in 1..6 {
             for j in 1..6 {
                 for i in 1..6 {
@@ -81,7 +90,12 @@ mod tests {
         };
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 6, 6, 6);
-        apply_multigrid(&Laplacian3d::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Laplacian3d::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!((out.grid(0).get(2, 3, 2) - 6.0).abs() < 1e-12);
     }
 
@@ -94,7 +108,12 @@ mod tests {
         };
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
-        apply_multigrid(&Laplacian3d { h: 2.0 }, &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Laplacian3d { h: 2.0 },
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!((out.grid(0).get(2, 2, 2) - 0.5).abs() < 1e-12);
     }
 }

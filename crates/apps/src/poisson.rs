@@ -66,7 +66,12 @@ mod tests {
         let f: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
         let inputs = GridSet::new(vec![u, f]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
-        apply_multigrid(&Poisson::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Poisson::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!((out.grid(0).get(2, 2, 2) - 3.0).abs() < 1e-12);
     }
 
@@ -82,7 +87,12 @@ mod tests {
         let f: Grid3<f64> = FillPattern::Constant(6.0).build(7, 7, 7);
         let inputs = GridSet::new(vec![u.clone(), f]);
         let mut out = GridSet::zeros(1, 7, 7, 7);
-        apply_multigrid(&Poisson::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Poisson::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         for k in 1..6 {
             for j in 1..6 {
                 for i in 1..6 {
@@ -99,8 +109,12 @@ mod tests {
     fn jacobi_iteration_reduces_residual() {
         // Relax ∇²u = 0 with fixed boundary: the interior residual
         // shrinks monotonically from a rough start.
-        let mut u: Grid3<f64> =
-            FillPattern::Random { lo: 0.0, hi: 1.0, seed: 2 }.build(8, 8, 8);
+        let mut u: Grid3<f64> = FillPattern::Random {
+            lo: 0.0,
+            hi: 1.0,
+            seed: 2,
+        }
+        .build(8, 8, 8);
         let f: Grid3<f64> = FillPattern::Constant(0.0).build(8, 8, 8);
         let p = Poisson::default();
         let residual = |g: &Grid3<f64>| {
@@ -108,7 +122,9 @@ mod tests {
             for k in 1..7 {
                 for j in 1..7 {
                     for i in 1..7 {
-                        let lap = g.get(i - 1, j, k) + g.get(i + 1, j, k) + g.get(i, j - 1, k)
+                        let lap = g.get(i - 1, j, k)
+                            + g.get(i + 1, j, k)
+                            + g.get(i, j - 1, k)
                             + g.get(i, j + 1, k)
                             + g.get(i, j, k - 1)
                             + g.get(i, j, k + 1)

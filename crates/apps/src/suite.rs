@@ -4,8 +4,8 @@
 
 use crate::{Divergence, Gradient, Hyperthermia, Laplacian3d, Poisson, Upstream};
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
-use stencil_autotune::{exhaustive_tune, ParameterSpace};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig, Method, Variant};
+use stencil_autotune::{exhaustive_tune_with, ParameterSpace};
 use stencil_grid::{MultiGridKernel, Real};
 
 /// All six Table V application kernels, in table order.
@@ -56,6 +56,19 @@ pub fn benchmark_app<T: Real>(
     quick: bool,
     seed: u64,
 ) -> AppBenchResult {
+    benchmark_app_with(EvalContext::global(), device, app, dims, quick, seed)
+}
+
+/// [`benchmark_app`] against an explicit evaluation context: both
+/// methods' tuning sweeps share (and warm) `ctx`'s cache.
+pub fn benchmark_app_with<T: Real>(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    app: &dyn MultiGridKernel<T>,
+    dims: GridDims,
+    quick: bool,
+    seed: u64,
+) -> AppBenchResult {
     let tune = |method: Method| {
         let spec = KernelSpec::from_app(method, app);
         let space = if quick {
@@ -63,7 +76,7 @@ pub fn benchmark_app<T: Real>(
         } else {
             ParameterSpace::paper_space(device, &spec, &dims)
         };
-        exhaustive_tune(device, &spec, dims, &space, seed).best
+        exhaustive_tune_with(ctx, device, &spec, dims, &space, seed).best
     };
     let fwd = tune(Method::ForwardPlane);
     let inp = tune(Method::InPlane(Variant::FullSlice));
@@ -87,7 +100,17 @@ mod tests {
         // Paper Table V: In = 3,1,10,1,1,2 and Out = 1,3,1,1,1,1.
         let apps = all_apps::<f32>();
         let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
-        assert_eq!(names, ["Div", "Grad", "Hyperthermia", "Upstream", "Laplacian", "Poisson"]);
+        assert_eq!(
+            names,
+            [
+                "Div",
+                "Grad",
+                "Hyperthermia",
+                "Upstream",
+                "Laplacian",
+                "Poisson"
+            ]
+        );
         let ins: Vec<usize> = apps.iter().map(|a| a.num_inputs()).collect();
         let outs: Vec<usize> = apps.iter().map(|a| a.num_outputs()).collect();
         assert_eq!(ins, [3, 1, 10, 1, 1, 2]);
@@ -107,7 +130,11 @@ mod tests {
             lap.speedup(),
             hyp.speedup()
         );
-        assert!(lap.speedup() > 1.2, "Laplacian speedup {:.2}", lap.speedup());
+        assert!(
+            lap.speedup() > 1.2,
+            "Laplacian speedup {:.2}",
+            lap.speedup()
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct Upstream {
 
 impl Default for Upstream {
     fn default() -> Self {
-        Upstream { cx: 0.3, cy: 0.2, cz: 0.1 }
+        Upstream {
+            cx: 0.3,
+            cy: 0.2,
+            cz: 0.1,
+        }
     }
 }
 
@@ -77,7 +81,12 @@ mod tests {
         let f: Grid3<f64> = FillPattern::Constant(4.0).build(5, 5, 5);
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
-        apply_multigrid(&Upstream::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Upstream::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         assert!((out.grid(0).get(2, 2, 2) - 4.0).abs() < 1e-12);
     }
 
@@ -85,7 +94,11 @@ mod tests {
     fn positive_wind_advects_from_minus_side() {
         let mut f: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
         f.set(1, 2, 2, 1.0); // mass upstream (x-minus side)
-        let u = Upstream { cx: 0.5, cy: 0.0, cz: 0.0 };
+        let u = Upstream {
+            cx: 0.5,
+            cy: 0.0,
+            cz: 0.0,
+        };
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
         apply_multigrid(&u, &inputs, &mut out, Boundary::LeaveOutput);
@@ -98,7 +111,11 @@ mod tests {
     fn negative_wind_advects_from_plus_side() {
         let mut f: Grid3<f64> = FillPattern::Constant(0.0).build(5, 5, 5);
         f.set(3, 2, 2, 1.0);
-        let u = Upstream { cx: -0.5, cy: 0.0, cz: 0.0 };
+        let u = Upstream {
+            cx: -0.5,
+            cy: 0.0,
+            cz: 0.0,
+        };
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 5, 5, 5);
         apply_multigrid(&u, &inputs, &mut out, Boundary::LeaveOutput);
@@ -109,10 +126,20 @@ mod tests {
     fn stable_step_preserves_bounds() {
         // With Courant magnitudes summing below 1, the update is a convex
         // combination: outputs stay within input bounds.
-        let f: Grid3<f64> = FillPattern::Random { lo: 0.0, hi: 1.0, seed: 4 }.build(6, 6, 6);
+        let f: Grid3<f64> = FillPattern::Random {
+            lo: 0.0,
+            hi: 1.0,
+            seed: 4,
+        }
+        .build(6, 6, 6);
         let inputs = GridSet::new(vec![f]);
         let mut out = GridSet::zeros(1, 6, 6, 6);
-        apply_multigrid(&Upstream::default(), &inputs, &mut out, Boundary::LeaveOutput);
+        apply_multigrid(
+            &Upstream::default(),
+            &inputs,
+            &mut out,
+            Boundary::LeaveOutput,
+        );
         for k in 1..5 {
             for j in 1..5 {
                 for i in 1..5 {

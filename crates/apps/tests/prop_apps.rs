@@ -6,14 +6,15 @@ use stencil_apps::{Divergence, Gradient, Laplacian3d, Poisson, Upstream};
 use stencil_grid::{apply_multigrid, Boundary, FillPattern, Grid3, GridSet, MultiGridKernel};
 
 fn random_grid(n: usize, seed: u64) -> Grid3<f64> {
-    FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n)
+    FillPattern::Random {
+        lo: -1.0,
+        hi: 1.0,
+        seed,
+    }
+    .build(n, n, n)
 }
 
-fn run_single_out(
-    k: &dyn MultiGridKernel<f64>,
-    inputs: Vec<Grid3<f64>>,
-    n: usize,
-) -> Grid3<f64> {
+fn run_single_out(k: &dyn MultiGridKernel<f64>, inputs: Vec<Grid3<f64>>, n: usize) -> Grid3<f64> {
     let inputs = GridSet::new(inputs);
     let mut out = GridSet::zeros(k.num_outputs(), n, n, n);
     apply_multigrid(k, &inputs, &mut out, Boundary::LeaveOutput);

@@ -4,9 +4,7 @@
 
 use crate::space::ParameterSpace;
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::simulate::measure_kernel;
-use inplane_core::{KernelSpec, LaunchConfig};
-use rayon::prelude::*;
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
 
 /// One measured configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -63,17 +61,41 @@ pub fn exhaustive_tune(
     space: &ParameterSpace,
     seed: u64,
 ) -> TuneOutcome {
-    assert!(!space.is_empty(), "cannot tune over an empty parameter space");
+    exhaustive_tune_with(EvalContext::global(), device, kernel, dims, space, seed)
+}
+
+/// [`exhaustive_tune`] against an explicit evaluation context, for
+/// callers that manage cache scope (or read its counters) themselves.
+///
+/// # Panics
+/// Panics if the space is empty (nothing to tune).
+pub fn exhaustive_tune_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    space: &ParameterSpace,
+    seed: u64,
+) -> TuneOutcome {
+    assert!(
+        !space.is_empty(),
+        "cannot tune over an empty parameter space"
+    );
+    let reports = ctx.measure_batch(device, kernel, space.configs(), dims, seed);
     let mut samples: Vec<TuneSample> = space
         .configs()
-        .par_iter()
-        .map(|c| TuneSample {
-            config: *c,
-            mpoints: measure_kernel(device, kernel, c, dims, seed).mpoints_per_s(),
+        .iter()
+        .zip(&reports)
+        .map(|(config, report)| TuneSample {
+            config: *config,
+            mpoints: report.mpoints_per_s(),
         })
         .collect();
     samples.sort_by(|a, b| b.mpoints.total_cmp(&a.mpoints));
-    TuneOutcome { best: samples[0], samples }
+    TuneOutcome {
+        best: samples[0],
+        samples,
+    }
 }
 
 #[cfg(test)]
@@ -83,7 +105,11 @@ mod tests {
     use stencil_grid::Precision;
 
     fn kernel(order: usize) -> KernelSpec {
-        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single)
+        KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        )
     }
 
     #[test]

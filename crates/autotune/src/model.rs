@@ -65,7 +65,11 @@ pub const MODEL_SEGMENT_BYTES: u64 = 128;
 /// overrates narrow tiles whose rows use a fraction of every segment.
 /// The model still knows nothing about alignment, vector-load extension,
 /// loading-variant patterns or caches; those live only in the simulator.
-pub fn bytes_per_block_plane(kernel: &KernelSpec, config: &LaunchConfig, segment_bytes: u64) -> f64 {
+pub fn bytes_per_block_plane(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    segment_bytes: u64,
+) -> f64 {
     let r = kernel.radius;
     let (wx, wy) = (config.tile_x(), config.tile_y());
     let seg = segment_bytes as f64;
@@ -105,7 +109,9 @@ pub fn predict_mpoints(
     // Eqns (8)-(9).
     let per_round = device.sm_count as f64 * act_blks;
     let stages = (blks / per_round).ceil().max(1.0);
-    let rem_blks = ((blks - (stages - 1.0) * per_round) / device.sm_count as f64).ceil().max(1.0);
+    let rem_blks = ((blks - (stages - 1.0) * per_round) / device.sm_count as f64)
+        .ceil()
+        .max(1.0);
 
     // Eqn (10): memory time of one block-plane, split into its latency
     // component (hidable, scaled by f(·) in Eqns (12)-(13)) and its
@@ -114,20 +120,20 @@ pub fn predict_mpoints(
     // reading of Eqn (12) would, under-counts bandwidth ActBlks-fold at
     // full occupancy and cannot reproduce the paper's reported accuracy.
     let t_lat = device.mem_latency_cycles / device.clock_hz();
-    let t_bw = bytes_per_block_plane(kernel, config, MODEL_SEGMENT_BYTES)
-        / device.bandwidth_per_sm();
+    let t_bw =
+        bytes_per_block_plane(kernel, config, MODEL_SEGMENT_BYTES) / device.bandwidth_per_sm();
 
     // Eqn (11): compute time of one block-plane, seconds, normalised by
     // the SM's flop throughput for the element width.
     let flops_per_block = (kernel.flops_per_point * config.tile_x() * config.tile_y()) as f64;
-    let t_c_one = flops_per_block
-        / (device.flops_per_cycle_per_sm(kernel.elem_bytes) * device.clock_hz());
+    let t_c_one =
+        flops_per_block / (device.flops_per_cycle_per_sm(kernel.elem_bytes) * device.clock_hz());
 
     // Eqns (12)-(13).
-    let t_s = latency_overlap_factor(device, act_blks, warp_blk) * t_lat
-        + act_blks * (t_bw + t_c_one);
-    let t_l = latency_overlap_factor(device, rem_blks, warp_blk) * t_lat
-        + rem_blks * (t_bw + t_c_one);
+    let t_s =
+        latency_overlap_factor(device, act_blks, warp_blk) * t_lat + act_blks * (t_bw + t_c_one);
+    let t_l =
+        latency_overlap_factor(device, rem_blks, warp_blk) * t_lat + rem_blks * (t_bw + t_c_one);
 
     // Eqn (14): points per plane over per-plane time.
     let plane_time = t_s * (stages - 1.0) + t_l;
@@ -141,14 +147,23 @@ mod tests {
     use stencil_grid::Precision;
 
     fn kernel(order: usize) -> KernelSpec {
-        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single)
+        KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        )
     }
 
     #[test]
     fn infeasible_config_predicts_zero() {
         let dev = DeviceSpec::gtx580();
         let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 12, Precision::Double);
-        let p = predict_mpoints(&dev, &k, &LaunchConfig::new(32, 32, 1, 8), &GridDims::paper());
+        let p = predict_mpoints(
+            &dev,
+            &k,
+            &LaunchConfig::new(32, 32, 1, 8),
+            &GridDims::paper(),
+        );
         assert_eq!(p, 0.0);
     }
 
@@ -156,7 +171,12 @@ mod tests {
     fn predictions_are_positive_and_finite() {
         let dev = DeviceSpec::gtx580();
         let k = kernel(4);
-        let p = predict_mpoints(&dev, &k, &LaunchConfig::new(64, 4, 1, 2), &GridDims::paper());
+        let p = predict_mpoints(
+            &dev,
+            &k,
+            &LaunchConfig::new(64, 4, 1, 2),
+            &GridDims::paper(),
+        );
         assert!(p.is_finite() && p > 0.0);
     }
 
@@ -166,7 +186,12 @@ mod tests {
         // land within a factor ~2 of the ~17 GPoint/s scale.
         let dev = DeviceSpec::gtx580();
         let k = kernel(2);
-        let p = predict_mpoints(&dev, &k, &LaunchConfig::new(256, 1, 1, 8), &GridDims::paper());
+        let p = predict_mpoints(
+            &dev,
+            &k,
+            &LaunchConfig::new(256, 1, 1, 8),
+            &GridDims::paper(),
+        );
         assert!((6000.0..40000.0).contains(&p), "predicted {p} MPoint/s");
     }
 
@@ -211,9 +236,15 @@ mod tests {
         let c = LaunchConfig::new(32, 4, 1, 2);
         // slab rows: 10 rows of 34 SP elements = 136 B -> 2 segments;
         // store rows: 8 rows of 32 elements = 128 B -> 1 segment.
-        assert_eq!(bytes_per_block_plane(&k, &c, 128), (10.0 * 2.0 + 8.0 * 1.0) * 128.0);
+        assert_eq!(
+            bytes_per_block_plane(&k, &c, 128),
+            (10.0 * 2.0 + 8.0 * 1.0) * 128.0
+        );
         // On Kepler's 32-byte sectors the rounding is finer.
-        assert_eq!(bytes_per_block_plane(&k, &c, 32), (10.0 * 5.0 + 8.0 * 4.0) * 32.0);
+        assert_eq!(
+            bytes_per_block_plane(&k, &c, 32),
+            (10.0 * 5.0 + 8.0 * 4.0) * 32.0
+        );
     }
 
     #[test]

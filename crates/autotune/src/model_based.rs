@@ -6,8 +6,7 @@ use crate::exhaustive::TuneSample;
 use crate::model::predict_mpoints;
 use crate::space::ParameterSpace;
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::simulate::measure_kernel;
-use inplane_core::{KernelSpec, LaunchConfig};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
 use rayon::prelude::*;
 
 /// Result of a model-based tuning run.
@@ -43,7 +42,36 @@ pub fn model_based_tune(
     beta_percent: f64,
     seed: u64,
 ) -> ModelBasedOutcome {
-    assert!(!space.is_empty(), "cannot tune over an empty parameter space");
+    model_based_tune_with(
+        EvalContext::global(),
+        device,
+        kernel,
+        dims,
+        space,
+        beta_percent,
+        seed,
+    )
+}
+
+/// [`model_based_tune`] against an explicit evaluation context, for
+/// callers that manage cache scope themselves.
+///
+/// # Panics
+/// Panics on an empty space or a non-positive β.
+#[allow(clippy::too_many_arguments)]
+pub fn model_based_tune_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    space: &ParameterSpace,
+    beta_percent: f64,
+    seed: u64,
+) -> ModelBasedOutcome {
+    assert!(
+        !space.is_empty(),
+        "cannot tune over an empty parameter space"
+    );
     assert!(beta_percent > 0.0, "beta must be positive");
 
     // Rank every configuration by predicted performance (descending).
@@ -59,12 +87,12 @@ pub fn model_based_tune(
     let n = n.clamp(1, space.len());
 
     // Execute them and record actual run-time performance.
+    let shortlist: Vec<LaunchConfig> = ranked[..n].iter().map(|&(c, _)| c).collect();
+    let measured = ctx.measure_batch(device, kernel, &shortlist, dims, seed);
     let candidates: Vec<(LaunchConfig, f64, f64)> = ranked[..n]
-        .par_iter()
-        .map(|&(c, pred)| {
-            let measured = measure_kernel(device, kernel, &c, dims, seed).mpoints_per_s();
-            (c, pred, measured)
-        })
+        .iter()
+        .zip(&measured)
+        .map(|(&(c, pred), report)| (c, pred, report.mpoints_per_s()))
         .collect();
 
     let best = candidates
@@ -73,7 +101,12 @@ pub fn model_based_tune(
         .map(|&(config, _, mpoints)| TuneSample { config, mpoints })
         .expect("at least one candidate");
 
-    ModelBasedOutcome { best, executed: n, space_size: space.len(), candidates }
+    ModelBasedOutcome {
+        best,
+        executed: n,
+        space_size: space.len(),
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +117,11 @@ mod tests {
     use stencil_grid::Precision;
 
     fn kernel(order: usize) -> KernelSpec {
-        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single)
+        KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        )
     }
 
     #[test]
@@ -118,7 +155,10 @@ mod tests {
                 "order {order}: model-based at {:.3} of exhaustive",
                 ratio
             );
-            assert!(ratio <= 1.0 + 1e-9, "model-based cannot beat exhaustive: {ratio}");
+            assert!(
+                ratio <= 1.0 + 1e-9,
+                "model-based cannot beat exhaustive: {ratio}"
+            );
         }
     }
 

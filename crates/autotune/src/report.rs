@@ -51,7 +51,13 @@ pub fn summarize(
     };
     let best = outcome.best.mpoints;
     let median = pick(0.5);
-    let rep = simulate_kernel(device, kernel, &outcome.best.config, dims, &SimOptions::default());
+    let rep = simulate_kernel(
+        device,
+        kernel,
+        &outcome.best.config,
+        dims,
+        &SimOptions::default(),
+    );
     TuneReport {
         evaluated: outcome.evaluated(),
         best,
@@ -93,8 +99,7 @@ mod tests {
 
     fn run() -> (DeviceSpec, KernelSpec, GridDims, TuneOutcome) {
         let dev = DeviceSpec::gtx580();
-        let k =
-            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
         let dims = GridDims::new(256, 256, 32);
         let space = ParameterSpace::quick_space(&dev, &k, &dims);
         let out = exhaustive_tune(&dev, &k, dims, &space, 1);

@@ -117,7 +117,11 @@ mod tests {
     use stencil_grid::Precision;
 
     fn kernel(order: usize) -> KernelSpec {
-        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single)
+        KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        )
     }
 
     #[test]
@@ -128,7 +132,10 @@ mod tests {
         let space = ParameterSpace::paper_space(&dev, &k, &dims);
         assert!(space.len() > 100, "space has {} configs", space.len());
         for c in space.configs() {
-            assert!(ParameterSpace::feasible(&dev, &k, &dims, c), "{c} infeasible");
+            assert!(
+                ParameterSpace::feasible(&dev, &k, &dims, c),
+                "{c} infeasible"
+            );
         }
     }
 
@@ -137,8 +144,18 @@ mod tests {
         let dev = DeviceSpec::gtx580();
         let dims = GridDims::paper();
         let k = kernel(2);
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(24, 4, 1, 1)));
-        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(48, 4, 1, 1)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(24, 4, 1, 1)
+        ));
+        assert!(ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(48, 4, 1, 1)
+        ));
     }
 
     #[test]
@@ -146,7 +163,12 @@ mod tests {
         let dev = DeviceSpec::gtx580();
         let dims = GridDims::paper();
         let k = kernel(2);
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(512, 4, 1, 1)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(512, 4, 1, 1)
+        ));
     }
 
     #[test]
@@ -155,7 +177,12 @@ mod tests {
         let dims = GridDims::paper();
         // A 512×8-tile order-12 slab exceeds 48 KB of shared memory.
         let k = kernel(12);
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(512, 1, 1, 8)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(512, 1, 1, 8)
+        ));
     }
 
     #[test]
@@ -164,24 +191,50 @@ mod tests {
         let k = kernel(2);
         let dims = GridDims::new(512, 96, 64);
         // 96 = 2^5·3: TY·RY = 5 never divides it; 3 does... TY in 1..32.
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 5, 1, 1)));
-        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 3, 1, 1)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(32, 5, 1, 1)
+        ));
+        assert!(ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(32, 3, 1, 1)
+        ));
         // TY·RY = 10 does not divide 96; TY·RY = 32 does.
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 5, 1, 2)));
-        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 4, 1, 8)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(32, 5, 1, 2)
+        ));
+        assert!(ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(32, 4, 1, 8)
+        ));
     }
 
     #[test]
     fn constraint_register_cap_prunes_big_dp_tiles() {
         let dev = DeviceSpec::gtx580();
         let dims = GridDims::paper();
-        let k = KernelSpec::star_order(
-            Method::InPlane(Variant::FullSlice),
-            12,
-            Precision::Double,
-        );
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(16, 8, 2, 2)));
-        assert!(ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(16, 8, 1, 1)));
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 12, Precision::Double);
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(16, 8, 2, 2)
+        ));
+        assert!(ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(16, 8, 1, 1)
+        ));
     }
 
     #[test]
@@ -189,8 +242,18 @@ mod tests {
         let dev = DeviceSpec::gtx580();
         let k = kernel(2);
         let dims = GridDims::new(64, 64, 64);
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(128, 1, 1, 1)));
-        assert!(!ParameterSpace::feasible(&dev, &k, &dims, &LaunchConfig::new(32, 1, 4, 1)));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(128, 1, 1, 1)
+        ));
+        assert!(!ParameterSpace::feasible(
+            &dev,
+            &k,
+            &dims,
+            &LaunchConfig::new(32, 1, 4, 1)
+        ));
     }
 
     #[test]

@@ -12,8 +12,7 @@
 use crate::exhaustive::TuneSample;
 use crate::space::ParameterSpace;
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::simulate::measure_kernel;
-use inplane_core::{KernelSpec, LaunchConfig};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,7 +31,11 @@ pub struct AnnealOptions {
 
 impl Default for AnnealOptions {
     fn default() -> Self {
-        AnnealOptions { evaluations: 60, initial_temperature: 0.08, stall_limit: 12 }
+        AnnealOptions {
+            evaluations: 60,
+            initial_temperature: 0.08,
+            stall_limit: 12,
+        }
     }
 }
 
@@ -90,21 +93,57 @@ pub fn stochastic_tune(
     opts: &AnnealOptions,
     seed: u64,
 ) -> StochasticOutcome {
-    assert!(!space.is_empty(), "cannot tune over an empty parameter space");
+    stochastic_tune_with(
+        EvalContext::global(),
+        device,
+        kernel,
+        dims,
+        space,
+        opts,
+        seed,
+    )
+}
+
+/// [`stochastic_tune`] against an explicit evaluation context, for
+/// callers that manage cache scope themselves.
+///
+/// # Panics
+/// Panics if the space is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn stochastic_tune_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    space: &ParameterSpace,
+    opts: &AnnealOptions,
+    seed: u64,
+) -> StochasticOutcome {
+    assert!(
+        !space.is_empty(),
+        "cannot tune over an empty parameter space"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5717_c0de);
+    // The walk's own memo tracks which configurations *this run*
+    // executed (the budget accounting) — the shared context may already
+    // hold the clean price, but an `executed` unit of budget is charged
+    // the first time the walk sees a configuration regardless.
     let mut cache: std::collections::HashMap<LaunchConfig, f64> = std::collections::HashMap::new();
     let mut executed = 0usize;
     let mut measure = |c: &LaunchConfig, executed: &mut usize| -> f64 {
         *cache.entry(*c).or_insert_with(|| {
             *executed += 1;
-            measure_kernel(device, kernel, c, dims, seed).mpoints_per_s()
+            ctx.measure(device, kernel, c, dims, seed).mpoints_per_s()
         })
     };
 
     // Start from the middle of the enumerated space (deterministic).
     let mut current = space.configs()[space.len() / 2];
     let mut current_perf = measure(&current, &mut executed);
-    let mut best = TuneSample { config: current, mpoints: current_perf };
+    let mut best = TuneSample {
+        config: current,
+        mpoints: current_perf,
+    };
     let mut trace = vec![best];
     let mut stall = 0usize;
 
@@ -113,8 +152,8 @@ pub fn stochastic_tune(
     let mut iterations = 0usize;
     while executed < opts.evaluations && iterations < opts.evaluations * 20 {
         iterations += 1;
-        let temp = opts.initial_temperature
-            * (1.0 - executed as f64 / opts.evaluations as f64).max(0.0);
+        let temp =
+            opts.initial_temperature * (1.0 - executed as f64 / opts.evaluations as f64).max(0.0);
         let nbrs = neighbours(device, kernel, &dims, &current);
         if nbrs.is_empty() {
             break;
@@ -128,10 +167,16 @@ pub fn stochastic_tune(
         if accept {
             current = cand;
             current_perf = perf;
-            trace.push(TuneSample { config: current, mpoints: current_perf });
+            trace.push(TuneSample {
+                config: current,
+                mpoints: current_perf,
+            });
         }
         if perf > best.mpoints {
-            best = TuneSample { config: cand, mpoints: perf };
+            best = TuneSample {
+                config: cand,
+                mpoints: perf,
+            };
             stall = 0;
         } else {
             stall += 1;
@@ -142,7 +187,11 @@ pub fn stochastic_tune(
             }
         }
     }
-    StochasticOutcome { best, executed, trace }
+    StochasticOutcome {
+        best,
+        executed,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -154,8 +203,7 @@ mod tests {
 
     fn setup() -> (DeviceSpec, KernelSpec, GridDims, ParameterSpace) {
         let dev = DeviceSpec::gtx580();
-        let k =
-            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
         let dims = GridDims::new(256, 256, 32);
         let space = ParameterSpace::quick_space(&dev, &k, &dims);
         (dev, k, dims, space)
@@ -173,7 +221,10 @@ mod tests {
     #[test]
     fn annealing_respects_the_budget() {
         let (dev, k, dims, space) = setup();
-        let opts = AnnealOptions { evaluations: 25, ..AnnealOptions::default() };
+        let opts = AnnealOptions {
+            evaluations: 25,
+            ..AnnealOptions::default()
+        };
         let out = stochastic_tune(&dev, &k, dims, &space, &opts, 1);
         assert!(out.executed <= 25);
         assert!(out.best.mpoints > 0.0);
@@ -212,15 +263,10 @@ mod tests {
         let (dev, k, dims, _) = setup();
         let c = LaunchConfig::new(64, 4, 1, 2);
         for n in neighbours(&dev, &k, &dims, &c) {
-            let diffs = [
-                n.tx != c.tx,
-                n.ty != c.ty,
-                n.rx != c.rx,
-                n.ry != c.ry,
-            ]
-            .iter()
-            .filter(|&&d| d)
-            .count();
+            let diffs = [n.tx != c.tx, n.ty != c.ty, n.rx != c.rx, n.ry != c.ry]
+                .iter()
+                .filter(|&&d| d)
+                .count();
             assert_eq!(diffs, 1, "{n} differs from {c} in {diffs} factors");
         }
     }

@@ -6,8 +6,7 @@
 
 use crate::space::ParameterSpace;
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::simulate::measure_kernel;
-use inplane_core::{KernelSpec, LaunchConfig};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
 
 /// One point of a Fig 8 surface.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,12 +30,26 @@ pub fn performance_surface(
     ty: usize,
     seed: u64,
 ) -> Vec<SurfacePoint> {
+    performance_surface_with(EvalContext::global(), device, kernel, dims, tx, ty, seed)
+}
+
+/// [`performance_surface`] against an explicit evaluation context, for
+/// callers that manage cache scope themselves.
+pub fn performance_surface_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    tx: usize,
+    ty: usize,
+    seed: u64,
+) -> Vec<SurfacePoint> {
     let mut out = Vec::with_capacity(16);
     for rx in [1usize, 2, 4, 8] {
         for ry in [1usize, 2, 4, 8] {
             let c = LaunchConfig::new(tx, ty, rx, ry);
             let mpoints = if ParameterSpace::feasible(device, kernel, &dims, &c) {
-                measure_kernel(device, kernel, &c, dims, seed).mpoints_per_s()
+                ctx.measure(device, kernel, &c, dims, seed).mpoints_per_s()
             } else {
                 0.0
             };
@@ -73,7 +86,10 @@ mod tests {
         let dev = DeviceSpec::gtx580();
         let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 2, Precision::Single);
         let surf = performance_surface(&dev, &k, GridDims::paper(), 256, 1, 1);
-        let best = surf.iter().max_by(|a, b| a.mpoints.total_cmp(&b.mpoints)).unwrap();
+        let best = surf
+            .iter()
+            .max_by(|a, b| a.mpoints.total_cmp(&b.mpoints))
+            .unwrap();
         assert!(best.ry >= 4, "peak at (rx={}, ry={})", best.rx, best.ry);
         // With TX = 256, RX beyond 2 cannot tile the 512-wide plane.
         assert!(best.rx <= 2, "peak at (rx={}, ry={})", best.rx, best.ry);

@@ -14,7 +14,9 @@ use stencil_temporal::execute_temporal;
 fn bench_codegen(c: &mut Criterion) {
     let spec = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 8, Precision::Single);
     let config = LaunchConfig::new(64, 4, 2, 2);
-    c.bench_function("generate_cuda_kernel", |b| b.iter(|| generate_kernel(&spec, &config)));
+    c.bench_function("generate_cuda_kernel", |b| {
+        b.iter(|| generate_kernel(&spec, &config))
+    });
     c.bench_function("generate_opencl_kernel", |b| {
         b.iter(|| generate_opencl_kernel(&spec, &config))
     });
@@ -22,8 +24,12 @@ fn bench_codegen(c: &mut Criterion) {
 
 fn bench_temporal(c: &mut Criterion) {
     let stencil: StarStencil<f64> = StarStencil::diffusion(1);
-    let input: Grid3<f64> =
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed: 1 }.build(32, 32, 16);
+    let input: Grid3<f64> = FillPattern::Random {
+        lo: -1.0,
+        hi: 1.0,
+        seed: 1,
+    }
+    .build(32, 32, 16);
     let mut group = c.benchmark_group("temporal_tiling_32x32x16");
     for t in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("depth", t), &t, |b, &t| {
@@ -37,7 +43,12 @@ fn bench_temporal(c: &mut Criterion) {
 fn bench_microsim(c: &mut Criterion) {
     let dev = DeviceSpec::gtx580();
     let spec = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
-    let plan = build_block_plan(&dev, &spec, &LaunchConfig::new(64, 8, 1, 1), GridDims::paper());
+    let plan = build_block_plan(
+        &dev,
+        &spec,
+        &LaunchConfig::new(64, 8, 1, 1),
+        GridDims::paper(),
+    );
     c.bench_function("microsim_block_plane", |b| {
         b.iter(|| simulate_block_plane(&dev, &plan, 3))
     });
@@ -51,11 +62,20 @@ fn bench_stochastic(c: &mut Criterion) {
     let dims = GridDims::new(256, 256, 32);
     let kernel = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
     let space = ParameterSpace::quick_space(&dev, &kernel, &dims);
-    let opts = AnnealOptions { evaluations: 30, ..AnnealOptions::default() };
+    let opts = AnnealOptions {
+        evaluations: 30,
+        ..AnnealOptions::default()
+    };
     c.bench_function("stochastic_tune_30_evals", |b| {
         b.iter(|| stochastic_tune(&dev, &kernel, dims, &space, &opts, 1))
     });
 }
 
-criterion_group!(benches, bench_codegen, bench_temporal, bench_microsim, bench_stochastic);
+criterion_group!(
+    benches,
+    bench_codegen,
+    bench_temporal,
+    bench_microsim,
+    bench_stochastic
+);
 criterion_main!(benches);

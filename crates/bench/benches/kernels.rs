@@ -13,8 +13,12 @@ fn bench_methods(c: &mut Criterion) {
     group.throughput(Throughput::Elements((n as u64).pow(3)));
     for order in [2usize, 8] {
         let stencil = StarStencil::<f32>::from_order(order);
-        let input: Grid3<f32> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 1 }.build(n, n, n);
+        let input: Grid3<f32> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 1,
+        }
+        .build(n, n, n);
         let config = LaunchConfig::new(16, 8, 1, 2);
 
         group.bench_with_input(BenchmarkId::new("cpu_reference", order), &order, |b, _| {
@@ -29,7 +33,14 @@ fn bench_methods(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, order), &order, |b, _| {
                 let mut out = Grid3::new(n, n, n);
                 b.iter(|| {
-                    execute_step(method, &stencil, &config, &input, &mut out, Boundary::CopyInput)
+                    execute_step(
+                        method,
+                        &stencil,
+                        &config,
+                        &input,
+                        &mut out,
+                        Boundary::CopyInput,
+                    )
                 });
             });
         }
@@ -40,8 +51,11 @@ fn bench_methods(c: &mut Criterion) {
 fn bench_iterative_loop(c: &mut Criterion) {
     let n = 48usize;
     let stencil = StarStencil::<f64>::diffusion(1);
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 1.0, sigma: 0.1 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 1.0,
+        sigma: 0.1,
+    }
+    .build(n, n, n);
     c.bench_function("iterate_10_steps_48cubed_dp", |b| {
         b.iter(|| {
             stencil_grid::iterate_stencil_loop(initial.clone(), 1, 10, |inp, out| {

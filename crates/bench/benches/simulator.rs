@@ -18,11 +18,9 @@ fn bench_simulate(c: &mut Criterion) {
             let kernel = KernelSpec::star_order(method, order, Precision::Single);
             let dev = DeviceSpec::gtx580();
             let config = LaunchConfig::new(64, 8, 1, 2);
-            group.bench_with_input(
-                BenchmarkId::new(label, order),
-                &kernel,
-                |b, k| b.iter(|| simulate_star_kernel(&dev, k, &config, dims)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, order), &kernel, |b, k| {
+                b.iter(|| simulate_star_kernel(&dev, k, &config, dims))
+            });
         }
     }
     group.finish();
@@ -50,5 +48,10 @@ fn bench_bandwidth_microbench(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulate, bench_coalescing, bench_bandwidth_microbench);
+criterion_group!(
+    benches,
+    bench_simulate,
+    bench_coalescing,
+    bench_bandwidth_microbench
+);
 criterion_main!(benches);

@@ -7,7 +7,11 @@ fn main() {
     table.print("Fig 10: speedup breakdown over tuned nvstencil (SP)");
     table.maybe_csv(&opts.csv_dir, "fig10");
     let (total, from_fs, from_rb) = fig10::summary(&cells);
-    println!("\nmean total gain {:.0}%; loading pattern {:.0}%; register blocking on top {:.0}%",
-        total * 100.0, from_fs * 100.0, from_rb * 100.0);
+    println!(
+        "\nmean total gain {:.0}%; loading pattern {:.0}%; register blocking on top {:.0}%",
+        total * 100.0,
+        from_fs * 100.0,
+        from_rb * 100.0
+    );
     println!("Paper: ~36-42% total; ~18% from RB on full-slice; nvstencil+RB only ~11%.");
 }

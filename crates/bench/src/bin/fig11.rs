@@ -9,5 +9,7 @@ fn main() {
             r.precision.label()
         ));
     }
-    println!("\nPaper shape: Laplacian gains most (~1.8x); Hyperthermia least (coefficient-bound).");
+    println!(
+        "\nPaper shape: Laplacian gains most (~1.8x); Hyperthermia least (coefficient-bound)."
+    );
 }

@@ -9,7 +9,11 @@ fn main() {
     table.print("Fig 12: model-based (beta = 5%) vs exhaustive auto-tuning (SP)");
     table.maybe_csv(&opts.csv_dir, "fig12");
     let (mean, worst) = fig12::gap_stats(&cells);
-    println!("\nbeta = 5%: mean gap {:.1}%; worst gap {:.1}%", mean * 100.0, worst * 100.0);
+    println!(
+        "\nbeta = 5%: mean gap {:.1}%; worst gap {:.1}%",
+        mean * 100.0,
+        worst * 100.0
+    );
     println!("Paper: ~2% mean, ~6% worst (on GTX680).");
     println!("\nbeta sensitivity (mean / worst gap):");
     for beta in [0.2f64, 0.5, 1.0, 2.0] {

@@ -8,7 +8,10 @@ fn main() {
             panel.order, panel.tx, panel.ty
         ));
         let peak = panel.peak();
-        println!("peak: {:.0} MPoint/s at (RX, RY) = ({}, {})", peak.mpoints, peak.rx, peak.ry);
+        println!(
+            "peak: {:.0} MPoint/s at (RX, RY) = ({}, {})",
+            peak.mpoints, peak.rx, peak.ry
+        );
     }
     println!("\nPaper: order-2 peak 17294 MPoint/s at (256,1,1,8); order-8 best at (32,4,1,4).");
 }

@@ -2,5 +2,6 @@
 use stencil_bench::{exp::litcompare, RunOpts};
 fn main() {
     let opts = RunOpts::from_env();
-    litcompare::render(&litcompare::compute(&opts)).print("Section V-B: comparison with previous work");
+    litcompare::render(&litcompare::compute(&opts))
+        .print("Section V-B: comparison with previous work");
 }

@@ -18,18 +18,15 @@ fn main() {
     let config = LaunchConfig::new(128, 4, 1, 2);
 
     for order in [2usize, 8] {
-        let kernel =
-            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+        let kernel = KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        );
 
         // Strong scaling: fixed global grid.
         let dims = opts.dims();
-        let mut t = fmt::Table::new(&[
-            "GPUs",
-            "step ms",
-            "MPoint/s",
-            "efficiency",
-            "exchange %",
-        ]);
+        let mut t = fmt::Table::new(&["GPUs", "step ms", "MPoint/s", "efficiency", "exchange %"]);
         for p in simulate_scaling(&dev, &kernel, &config, dims, &ic, 8) {
             t.row(vec![
                 p.devices.to_string(),
@@ -49,9 +46,7 @@ fn main() {
         let mut w = fmt::Table::new(&["GPUs", "LZ", "step ms", "MPoint/s"]);
         for devices in 1..=8usize {
             let dims_w = GridDims::new(dims.lx, dims.ly, dims.lz * devices);
-            if let Some(p) =
-                simulate_scaling(&dev, &kernel, &config, dims_w, &ic, devices).last()
-            {
+            if let Some(p) = simulate_scaling(&dev, &kernel, &config, dims_w, &ic, devices).last() {
                 if p.devices == devices {
                     w.row(vec![
                         devices.to_string(),
@@ -62,7 +57,9 @@ fn main() {
                 }
             }
         }
-        w.print(&format!("Weak scaling, order-{order} SP (LZ grows with device count)"));
+        w.print(&format!(
+            "Weak scaling, order-{order} SP (LZ grows with device count)"
+        ));
         w.maybe_csv(&opts.csv_dir, &format!("scaling_weak_order{order}"));
     }
     println!("\nStrong scaling saturates as the fixed per-step halo exchange stops");

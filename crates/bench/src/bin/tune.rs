@@ -104,11 +104,17 @@ fn main() {
                 "model-based (beta = {beta}%): executed {} configurations",
                 out.executed
             );
-            println!("optimal: {} -> {:.0} MPoint/s", out.best.config, out.best.mpoints);
+            println!(
+                "optimal: {} -> {:.0} MPoint/s",
+                out.best.config, out.best.mpoints
+            );
         }
         None => {
             let out = exhaustive_tune(&a.device, &kernel, a.dims, &space, a.seed);
-            println!("optimal: {} -> {:.0} MPoint/s", out.best.config, out.best.mpoints);
+            println!(
+                "optimal: {} -> {:.0} MPoint/s",
+                out.best.config, out.best.mpoints
+            );
             println!("runners-up:");
             for s in out.top(6).iter().skip(1) {
                 println!("  {} -> {:.0} MPoint/s", s.config, s.mpoints);

@@ -27,8 +27,11 @@ fn main() {
     ]);
     for dev in DeviceSpec::paper_devices() {
         for order in [2usize, 8] {
-            let kernel =
-                KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+            let kernel = KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            );
             let space = if opts.quick {
                 ParameterSpace::quick_space(&dev, &kernel, &dims)
             } else {
@@ -36,7 +39,10 @@ fn main() {
             };
             let ex = exhaustive_tune(&dev, &kernel, dims, &space, opts.seed);
             let mb = model_based_tune(&dev, &kernel, dims, &space, 5.0, opts.seed);
-            let anneal_opts = AnnealOptions { evaluations: mb.executed, ..AnnealOptions::default() };
+            let anneal_opts = AnnealOptions {
+                evaluations: mb.executed,
+                ..AnnealOptions::default()
+            };
             let sa = stochastic_tune(&dev, &kernel, dims, &space, &anneal_opts, opts.seed);
             for (name, executed, mpoints) in [
                 ("exhaustive", space.len(), ex.best.mpoints),

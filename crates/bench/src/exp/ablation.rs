@@ -46,7 +46,10 @@ fn tune_mpoints(
         .configs()
         .iter()
         .map(|c| {
-            let sim_opts = SimOptions { hiding, ..SimOptions::default() };
+            let sim_opts = SimOptions {
+                hiding,
+                ..SimOptions::default()
+            };
             simulate_kernel(device, kernel, c, dims, &sim_opts).mpoints_per_s()
         })
         .fold(0.0f64, f64::max)
@@ -63,7 +66,11 @@ fn run_case(name: &'static str, device: DeviceSpec, hiding: HidingModel, opts: &
         );
         let fs = tune_mpoints(
             &device,
-            &KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single),
+            &KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            ),
             opts,
             hiding,
             true,
@@ -72,18 +79,37 @@ fn run_case(name: &'static str, device: DeviceSpec, hiding: HidingModel, opts: &
     };
     let (o2_mp, o2_s) = speedup(2);
     let (_, o8_s) = speedup(8);
-    Row { name, order2_mpoints: o2_mp, order2_speedup: o2_s, order8_speedup: o8_s }
+    Row {
+        name,
+        order2_mpoints: o2_mp,
+        order2_speedup: o2_s,
+        order8_speedup: o8_s,
+    }
 }
 
 /// Run the ablation on the GTX580.
 pub fn compute(opts: &RunOpts) -> Vec<Row> {
     let base = DeviceSpec::gtx580();
-    let element_granular = DeviceSpec { segment_bytes: 4, ..base.clone() };
-    let no_l1 = DeviceSpec { l1_dup_charge: 1.0, ..base.clone() };
-    let ideal_cache = DeviceSpec { l1_dup_charge: 0.0, ..base.clone() };
+    let element_granular = DeviceSpec {
+        segment_bytes: 4,
+        ..base.clone()
+    };
+    let no_l1 = DeviceSpec {
+        l1_dup_charge: 1.0,
+        ..base.clone()
+    };
+    let ideal_cache = DeviceSpec {
+        l1_dup_charge: 0.0,
+        ..base.clone()
+    };
     vec![
         run_case("baseline", base.clone(), HidingModel::Linear, opts),
-        run_case("element-granular memory", element_granular, HidingModel::Linear, opts),
+        run_case(
+            "element-granular memory",
+            element_granular,
+            HidingModel::Linear,
+            opts,
+        ),
         run_case("no L1 credit", no_l1, HidingModel::Linear, opts),
         run_case("free re-references", ideal_cache, HidingModel::Linear, opts),
         run_case("saturating hiding", base, HidingModel::Saturating, opts),
@@ -118,10 +144,16 @@ mod tests {
         // Without 128-byte segment granularity, the in-plane method's
         // advantage mostly evaporates — the whole paper rests on
         // transaction-level coalescing.
-        let rows = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let rows = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let baseline = rows.iter().find(|r| r.name == "baseline").unwrap();
-        let granular =
-            rows.iter().find(|r| r.name == "element-granular memory").unwrap();
+        let granular = rows
+            .iter()
+            .find(|r| r.name == "element-granular memory")
+            .unwrap();
         assert!(baseline.order2_speedup > 1.3);
         assert!(
             granular.order2_speedup < baseline.order2_speedup - 0.15,
@@ -137,10 +169,26 @@ mod tests {
         // with no credit the nvstencil baseline gets slower (speedup
         // grows); with free re-references it gets faster (speedup
         // shrinks).
-        let rows = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
-        let base = rows.iter().find(|r| r.name == "baseline").unwrap().order2_speedup;
-        let none = rows.iter().find(|r| r.name == "no L1 credit").unwrap().order2_speedup;
-        let free = rows.iter().find(|r| r.name == "free re-references").unwrap().order2_speedup;
+        let rows = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
+        let base = rows
+            .iter()
+            .find(|r| r.name == "baseline")
+            .unwrap()
+            .order2_speedup;
+        let none = rows
+            .iter()
+            .find(|r| r.name == "no L1 credit")
+            .unwrap()
+            .order2_speedup;
+        let free = rows
+            .iter()
+            .find(|r| r.name == "free re-references")
+            .unwrap()
+            .order2_speedup;
         assert!(none >= base - 1e-9, "no-credit {none:.2} vs base {base:.2}");
         assert!(free <= base + 1e-9, "free {free:.2} vs base {base:.2}");
     }
@@ -148,7 +196,11 @@ mod tests {
     #[test]
     fn hiding_shape_is_second_order() {
         // Swapping the hiding function must not change who wins.
-        let rows = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let rows = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let sat = rows.iter().find(|r| r.name == "saturating hiding").unwrap();
         assert!(sat.order2_speedup > 1.0);
         assert!(sat.order8_speedup > 1.0);

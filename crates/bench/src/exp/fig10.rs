@@ -35,8 +35,11 @@ pub fn compute(opts: &RunOpts) -> Vec<Cell> {
     for dev in DeviceSpec::paper_devices() {
         for order in ORDERS {
             let nv = KernelSpec::star_order(Method::ForwardPlane, order, Precision::Single);
-            let fs =
-                KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+            let fs = KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            );
             let base = tune_best(&dev, &nv, dims, false, opts.quick, opts.seed).mpoints;
             let nv_rb = tune_best(&dev, &nv, dims, true, opts.quick, opts.seed).mpoints;
             let fs_norb = tune_best(&dev, &fs, dims, false, opts.quick, opts.seed).mpoints;
@@ -93,7 +96,11 @@ mod tests {
     fn full_slice_with_rb_always_best() {
         // Fig 10: "In all cases, we found that the full-slice method with
         // register blocking performed the best across all GPUs."
-        for c in compute(&RunOpts { quick: true, seed: 1, csv_dir: None }) {
+        for c in compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        }) {
             assert!(
                 c.fs_rb >= c.nv_rb && c.fs_rb >= c.fs_norb,
                 "{} order {}: fs_rb {:.2} nv_rb {:.2} fs {:.2}",
@@ -110,7 +117,11 @@ mod tests {
     fn rb_contributes_on_top_of_full_slice() {
         // §IV-D: register blocking on the full-slice method adds a
         // meaningful share (~18% in the paper) beyond the pattern alone.
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let (total, from_fs, from_rb) = summary(&cells);
         assert!(total > 0.2, "total gain {total:.2}");
         assert!(from_fs > 0.0, "pattern share {from_fs:.2}");
@@ -120,9 +131,12 @@ mod tests {
     #[test]
     fn rb_alone_helps_nvstencil_modestly() {
         // §IV-D: nvstencil with register blocking gains only ~11%.
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
-        let mean_nv_rb: f64 =
-            cells.iter().map(|c| c.nv_rb - 1.0).sum::<f64>() / cells.len() as f64;
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
+        let mean_nv_rb: f64 = cells.iter().map(|c| c.nv_rb - 1.0).sum::<f64>() / cells.len() as f64;
         assert!(
             (0.0..0.6).contains(&mean_nv_rb),
             "nvstencil RB mean gain {mean_nv_rb:.2}"

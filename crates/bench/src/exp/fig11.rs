@@ -35,7 +35,11 @@ pub fn compute(opts: &RunOpts) -> Vec<DeviceResults> {
                     .map(|a| benchmark_app::<f64>(&dev, a.as_ref(), dims, opts.quick, opts.seed))
                     .collect(),
             };
-            out.push(DeviceResults { device: dev.name.to_string(), precision, apps });
+            out.push(DeviceResults {
+                device: dev.name.to_string(),
+                precision,
+                apps,
+            });
         }
     }
     out
@@ -69,7 +73,11 @@ mod tests {
     use super::*;
 
     fn quick() -> Vec<DeviceResults> {
-        let opts = RunOpts { quick: true, seed: 1, csv_dir: None };
+        let opts = RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        };
         // One device is enough for the shape checks and keeps tests fast.
         let dims = opts.dims();
         let dev = DeviceSpec::gtx580();
@@ -93,7 +101,10 @@ mod tests {
         let lap = by_name("Laplacian");
         let hyp = by_name("Hyperthermia");
         assert!(lap > 1.3, "Laplacian speedup {lap:.2}");
-        assert!(lap > hyp + 0.2, "Laplacian {lap:.2} vs Hyperthermia {hyp:.2}");
+        assert!(
+            lap > hyp + 0.2,
+            "Laplacian {lap:.2} vs Hyperthermia {hyp:.2}"
+        );
         for a in &r.apps {
             assert!(
                 a.speedup() >= hyp - 1e-9,

@@ -40,7 +40,11 @@ pub fn compute(opts: &RunOpts, beta_percent: f64) -> Vec<Cell> {
     let mut out = Vec::new();
     for dev in DeviceSpec::paper_devices() {
         for order in ORDERS {
-            let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+            let k = KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            );
             let space = space_for(&dev, &k, &dims, true, opts.quick);
             let ex = exhaustive_tune(&dev, &k, dims, &space, opts.seed);
             let mb = model_based_tune(&dev, &k, dims, &space, beta_percent, opts.seed);
@@ -96,20 +100,39 @@ mod tests {
     fn model_based_stays_close_to_exhaustive() {
         // Paper: typically ~2% gap, worst ~6%. Allow some slack on the
         // reduced quick space (β of a smaller M executes fewer configs).
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None }, 5.0);
+        let cells = compute(
+            &RunOpts {
+                quick: true,
+                seed: 1,
+                csv_dir: None,
+            },
+            5.0,
+        );
         assert_eq!(cells.len(), 18);
         let (mean, worst) = gap_stats(&cells);
         assert!(mean < 0.06, "mean gap {mean:.3}");
         assert!(worst < 0.15, "worst gap {worst:.3}");
         for c in &cells {
-            assert!(c.ratio() <= 1.0 + 1e-9, "model-based cannot beat exhaustive");
-            assert!(c.executed * 15 <= c.space_size, "executed too many: {}/{}", c.executed, c.space_size);
+            assert!(
+                c.ratio() <= 1.0 + 1e-9,
+                "model-based cannot beat exhaustive"
+            );
+            assert!(
+                c.executed * 15 <= c.space_size,
+                "executed too many: {}/{}",
+                c.executed,
+                c.space_size
+            );
         }
     }
 
     #[test]
     fn larger_beta_never_hurts() {
-        let opts = RunOpts { quick: true, seed: 1, csv_dir: None };
+        let opts = RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        };
         let c5 = compute(&opts, 5.0);
         let c20 = compute(&opts, 20.0);
         for (a, b) in c5.iter().zip(c20.iter()) {

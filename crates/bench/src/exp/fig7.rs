@@ -88,7 +88,11 @@ mod tests {
     use super::*;
 
     fn quick_cells() -> Vec<Cell> {
-        compute(&RunOpts { quick: true, seed: 1, csv_dir: None })
+        compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        })
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn compute(opts: &RunOpts) -> Vec<Panel> {
     [(2usize, 256usize, 1usize), (8, 32, 4)]
         .into_iter()
         .map(|(order, tx, ty)| {
-            let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+            let k = KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            );
             Panel {
                 order,
                 tx,
@@ -79,7 +83,11 @@ mod tests {
     fn order2_panel_peaks_at_high_ry() {
         // Fig 8a: the 2nd-order surface at (256, 1) rises along RY; the
         // paper's optimum is RY = 8.
-        let panels = compute(&RunOpts { quick: false, seed: 1, csv_dir: None });
+        let panels = compute(&RunOpts {
+            quick: false,
+            seed: 1,
+            csv_dir: None,
+        });
         let p2 = &panels[0];
         assert_eq!(p2.order, 2);
         let peak = p2.peak();
@@ -93,7 +101,11 @@ mod tests {
     fn order8_panel_has_infeasible_zeros() {
         // Fig 8b: at (32, 4) with order 8, large register blocks violate
         // constraints and are plotted as zero.
-        let panels = compute(&RunOpts { quick: false, seed: 1, csv_dir: None });
+        let panels = compute(&RunOpts {
+            quick: false,
+            seed: 1,
+            csv_dir: None,
+        });
         let p8 = &panels[1];
         assert!(p8.points.iter().any(|p| p.mpoints == 0.0));
         let peak = p8.peak();
@@ -102,7 +114,11 @@ mod tests {
 
     #[test]
     fn render_is_4x4() {
-        let panels = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let panels = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         assert_eq!(render(&panels[0]).len(), 4);
     }
 }

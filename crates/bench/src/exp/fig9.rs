@@ -30,8 +30,11 @@ pub fn compute(opts: &RunOpts) -> Vec<Cell> {
     for dev in DeviceSpec::paper_devices() {
         for order in ORDERS {
             let nv_spec = KernelSpec::star_order(Method::ForwardPlane, order, Precision::Single);
-            let fs_spec =
-                KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+            let fs_spec = KernelSpec::star_order(
+                Method::InPlane(Variant::FullSlice),
+                order,
+                Precision::Single,
+            );
             let nv_cfg = tune_best(&dev, &nv_spec, dims, false, opts.quick, opts.seed).config;
             let fs_cfg = tune_best(&dev, &fs_spec, dims, false, opts.quick, opts.seed).config;
             let nv = simulate_star_kernel(&dev, &nv_spec, &nv_cfg, dims).load_efficiency();
@@ -69,7 +72,11 @@ mod tests {
     fn full_slice_efficiency_beats_nvstencil_everywhere() {
         // The paper: "the load efficiency of the full-[slice] method is
         // higher than nvstencil for all stencil orders".
-        for c in compute(&RunOpts { quick: true, seed: 1, csv_dir: None }) {
+        for c in compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        }) {
             assert!(
                 c.full_slice > c.nvstencil,
                 "{} order {}: full-slice {:.2} vs nvstencil {:.2}",
@@ -83,7 +90,11 @@ mod tests {
 
     #[test]
     fn efficiencies_are_fractions() {
-        for c in compute(&RunOpts { quick: true, seed: 1, csv_dir: None }) {
+        for c in compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        }) {
             assert!((0.0..=1.0).contains(&c.nvstencil));
             assert!((0.0..=1.0).contains(&c.full_slice));
         }

@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn our_numbers_land_in_the_papers_neighbourhood() {
-        let rows = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let rows = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         assert_eq!(rows.len(), 4);
         for r in &rows {
             let ratio = r.ours / r.paper_claim;
@@ -114,7 +118,11 @@ mod tests {
 
     #[test]
     fn we_beat_the_prior_work_like_the_paper_does() {
-        for r in compute(&RunOpts { quick: true, seed: 1, csv_dir: None }) {
+        for r in compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        }) {
             assert!(
                 r.ours > r.prior_work,
                 "{}: ours {:.1} should exceed prior {:.1}",

@@ -9,14 +9,14 @@ pub mod fig8;
 pub mod fig9;
 pub mod litcompare;
 pub mod table1;
-pub mod temporal_cmp;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod temporal_cmp;
 
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::KernelSpec;
-use stencil_autotune::{exhaustive_tune, ParameterSpace, TuneSample};
+use inplane_core::{EvalContext, KernelSpec};
+use stencil_autotune::{exhaustive_tune_with, ParameterSpace, TuneSample};
 
 /// The stencil orders of the paper's evaluation.
 pub const ORDERS: [usize; 6] = [2, 4, 6, 8, 10, 12];
@@ -40,12 +40,20 @@ pub fn space_for(
         base
     } else {
         ParameterSpace::from_configs(
-            base.configs().iter().copied().filter(|c| !c.has_register_blocking()).collect(),
+            base.configs()
+                .iter()
+                .copied()
+                .filter(|c| !c.has_register_blocking())
+                .collect(),
         )
     }
 }
 
 /// Tune `kernel` and return the best sample.
+///
+/// All figure/table experiments funnel through here, sharing the global
+/// [`EvalContext`]: one binary that tunes the same kernel for several
+/// figures prices each `(device, kernel, config, dims)` point once.
 pub fn tune_best(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -54,8 +62,29 @@ pub fn tune_best(
     quick: bool,
     seed: u64,
 ) -> TuneSample {
+    tune_best_with(
+        EvalContext::global(),
+        device,
+        kernel,
+        dims,
+        register_blocking,
+        quick,
+        seed,
+    )
+}
+
+/// [`tune_best`] against an explicit evaluation context.
+pub fn tune_best_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    register_blocking: bool,
+    quick: bool,
+    seed: u64,
+) -> TuneSample {
     let space = space_for(device, kernel, &dims, register_blocking, quick);
-    exhaustive_tune(device, kernel, dims, &space, seed).best
+    exhaustive_tune_with(ctx, device, kernel, dims, &space, seed).best
 }
 
 #[cfg(test)]

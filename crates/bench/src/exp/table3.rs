@@ -71,7 +71,13 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for r in rows {
             let rel = (r.measured_bw_gbs - r.paper_measured_bw_gbs).abs() / r.paper_measured_bw_gbs;
-            assert!(rel < 0.03, "{}: {:.1} vs paper {:.1}", r.name, r.measured_bw_gbs, r.paper_measured_bw_gbs);
+            assert!(
+                rel < 0.03,
+                "{}: {:.1} vs paper {:.1}",
+                r.name,
+                r.measured_bw_gbs,
+                r.paper_measured_bw_gbs
+            );
         }
     }
 

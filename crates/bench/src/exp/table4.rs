@@ -15,22 +15,70 @@ pub type PaperCell = ((usize, usize, usize, usize), f64, f64);
 
 /// Paper Table IV, SP block; device order GTX580, GTX680, C2070.
 pub const PAPER_SP: [[PaperCell; 3]; 6] = [
-    [((256, 1, 1, 8), 17294.0, 1.70), ((256, 4, 1, 4), 16181.6, 1.96), ((256, 1, 1, 4), 10761.2, 1.65)],
-    [((32, 2, 2, 4), 14348.6, 1.82), ((64, 4, 2, 4), 13163.1, 1.81), ((32, 2, 2, 4), 8994.0, 1.77)],
-    [((32, 8, 2, 2), 10944.2, 1.66), ((128, 4, 1, 4), 10632.1, 1.71), ((32, 4, 1, 4), 6965.9, 1.65)],
-    [((32, 4, 1, 4), 9254.5, 1.64), ((64, 4, 1, 4), 9904.7, 1.76), ((32, 4, 1, 4), 5949.9, 1.66)],
-    [((32, 8, 1, 2), 7183.9, 1.38), ((32, 8, 1, 2), 7488.7, 1.66), ((32, 8, 1, 2), 4550.8, 1.39)],
-    [((32, 8, 1, 2), 6503.6, 1.34), ((32, 8, 1, 2), 6421.8, 1.42), ((32, 8, 1, 2), 4130.8, 1.34)],
+    [
+        ((256, 1, 1, 8), 17294.0, 1.70),
+        ((256, 4, 1, 4), 16181.6, 1.96),
+        ((256, 1, 1, 4), 10761.2, 1.65),
+    ],
+    [
+        ((32, 2, 2, 4), 14348.6, 1.82),
+        ((64, 4, 2, 4), 13163.1, 1.81),
+        ((32, 2, 2, 4), 8994.0, 1.77),
+    ],
+    [
+        ((32, 8, 2, 2), 10944.2, 1.66),
+        ((128, 4, 1, 4), 10632.1, 1.71),
+        ((32, 4, 1, 4), 6965.9, 1.65),
+    ],
+    [
+        ((32, 4, 1, 4), 9254.5, 1.64),
+        ((64, 4, 1, 4), 9904.7, 1.76),
+        ((32, 4, 1, 4), 5949.9, 1.66),
+    ],
+    [
+        ((32, 8, 1, 2), 7183.9, 1.38),
+        ((32, 8, 1, 2), 7488.7, 1.66),
+        ((32, 8, 1, 2), 4550.8, 1.39),
+    ],
+    [
+        ((32, 8, 1, 2), 6503.6, 1.34),
+        ((32, 8, 1, 2), 6421.8, 1.42),
+        ((32, 8, 1, 2), 4130.8, 1.34),
+    ],
 ];
 
 /// Paper Table IV, DP block.
 pub const PAPER_DP: [[PaperCell; 3]; 6] = [
-    [((128, 1, 1, 4), 7206.9, 1.35), ((64, 2, 1, 4), 6411.6, 1.44), ((128, 1, 1, 4), 4975.9, 1.31)],
-    [((32, 4, 1, 4), 4858.8, 1.30), ((64, 4, 2, 4), 4285.0, 1.16), ((32, 4, 1, 4), 3692.7, 1.28)],
-    [((32, 4, 1, 2), 3432.2, 1.16), ((128, 4, 1, 4), 3005.8, 1.13), ((64, 4, 1, 2), 2764.3, 1.29)],
-    [((32, 4, 1, 2), 2788.7, 1.12), ((64, 4, 1, 4), 2406.4, 1.13), ((64, 4, 1, 2), 2381.5, 1.23)],
-    [((16, 8, 1, 1), 2388.9, 1.15), ((32, 8, 1, 2), 1911.0, 1.06), ((16, 16, 1, 1), 1889.9, 1.13)],
-    [((16, 8, 1, 1), 2029.3, 1.05), ((32, 8, 1, 2), 1607.8, 1.05), ((16, 16, 1, 1), 1735.5, 1.17)],
+    [
+        ((128, 1, 1, 4), 7206.9, 1.35),
+        ((64, 2, 1, 4), 6411.6, 1.44),
+        ((128, 1, 1, 4), 4975.9, 1.31),
+    ],
+    [
+        ((32, 4, 1, 4), 4858.8, 1.30),
+        ((64, 4, 2, 4), 4285.0, 1.16),
+        ((32, 4, 1, 4), 3692.7, 1.28),
+    ],
+    [
+        ((32, 4, 1, 2), 3432.2, 1.16),
+        ((128, 4, 1, 4), 3005.8, 1.13),
+        ((64, 4, 1, 2), 2764.3, 1.29),
+    ],
+    [
+        ((32, 4, 1, 2), 2788.7, 1.12),
+        ((64, 4, 1, 4), 2406.4, 1.13),
+        ((64, 4, 1, 2), 2381.5, 1.23),
+    ],
+    [
+        ((16, 8, 1, 1), 2388.9, 1.15),
+        ((32, 8, 1, 2), 1911.0, 1.06),
+        ((16, 16, 1, 1), 1889.9, 1.13),
+    ],
+    [
+        ((16, 8, 1, 1), 2029.3, 1.05),
+        ((32, 8, 1, 2), 1607.8, 1.05),
+        ((16, 16, 1, 1), 1735.5, 1.17),
+    ],
 ];
 
 /// One reproduced cell.
@@ -56,9 +104,10 @@ pub struct Cell {
 pub fn compute(opts: &RunOpts) -> Vec<Cell> {
     let dims = opts.dims();
     let mut out = Vec::new();
-    for (precision, paper_block) in
-        [(Precision::Single, &PAPER_SP), (Precision::Double, &PAPER_DP)]
-    {
+    for (precision, paper_block) in [
+        (Precision::Single, &PAPER_SP),
+        (Precision::Double, &PAPER_DP),
+    ] {
         for (oi, order) in ORDERS.into_iter().enumerate() {
             for (di, dev) in DeviceSpec::paper_devices().into_iter().enumerate() {
                 let nv = tune_best(
@@ -128,14 +177,23 @@ mod tests {
         // Quick-mode check of the central claims on GTX580 SP:
         // speedup > 1 everywhere, highest at low orders, throughput
         // within ~2x of the paper's absolute numbers.
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let sp580: Vec<&Cell> = cells
             .iter()
             .filter(|c| c.precision == Precision::Single && c.device.contains("580"))
             .collect();
         assert_eq!(sp580.len(), 6);
         for c in &sp580 {
-            assert!(c.speedup > 1.0, "order {}: speedup {:.2}", c.order, c.speedup);
+            assert!(
+                c.speedup > 1.0,
+                "order {}: speedup {:.2}",
+                c.order,
+                c.speedup
+            );
             let ratio = c.mpoints / c.paper.1;
             assert!(
                 (0.5..2.0).contains(&ratio),
@@ -147,12 +205,19 @@ mod tests {
         }
         let s2 = sp580.iter().find(|c| c.order == 2).unwrap().speedup;
         let s12 = sp580.iter().find(|c| c.order == 12).unwrap().speedup;
-        assert!(s2 > s12, "speedup should decrease with order: {s2:.2} vs {s12:.2}");
+        assert!(
+            s2 > s12,
+            "speedup should decrease with order: {s2:.2} vs {s12:.2}"
+        );
     }
 
     #[test]
     fn dp_speedups_lower_than_sp() {
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let avg = |p: Precision| {
             let v: Vec<f64> = cells
                 .iter()

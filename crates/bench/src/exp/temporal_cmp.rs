@@ -48,10 +48,18 @@ pub fn compute(opts: &RunOpts) -> Vec<Cell> {
     let dims = opts.dims();
     let mut out = Vec::new();
     for order in [2usize, 4, 8] {
-        let kernel = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), order, Precision::Single);
+        let kernel = KernelSpec::star_order(
+            Method::InPlane(Variant::FullSlice),
+            order,
+            Precision::Single,
+        );
         // Reference: the tuned single-step in-plane kernel.
         let inplane = tune_best(&dev, &kernel, dims, true, opts.quick, opts.seed);
-        out.push(Cell { order, t_steps: 0, effective_mpoints: inplane.mpoints });
+        out.push(Cell {
+            order,
+            t_steps: 0,
+            effective_mpoints: inplane.mpoints,
+        });
         for t in [1usize, 2, 4, 8] {
             let best = spatial_candidates()
                 .into_iter()
@@ -60,7 +68,11 @@ pub fn compute(opts: &RunOpts) -> Vec<Cell> {
                     simulate_temporal(&dev, &kernel, &cfg, dims, &SimOptions::default()).1
                 })
                 .fold(0.0f64, f64::max);
-            out.push(Cell { order, t_steps: t, effective_mpoints: best });
+            out.push(Cell {
+                order,
+                t_steps: t,
+                effective_mpoints: best,
+            });
         }
     }
     out
@@ -86,7 +98,11 @@ mod tests {
 
     #[test]
     fn temporal_blocking_wins_at_low_order_loses_at_high() {
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let get = |order: usize, t: usize| {
             cells
                 .iter()
@@ -94,8 +110,12 @@ mod tests {
                 .unwrap()
                 .effective_mpoints
         };
-        let best_temporal =
-            |order: usize| [1, 2, 4, 8].iter().map(|&t| get(order, t)).fold(0.0f64, f64::max);
+        let best_temporal = |order: usize| {
+            [1, 2, 4, 8]
+                .iter()
+                .map(|&t| get(order, t))
+                .fold(0.0f64, f64::max)
+        };
         // Order 2: deep pipelines can beat the single-step roofline.
         assert!(
             best_temporal(2) > 1.2 * get(2, 0),
@@ -112,12 +132,20 @@ mod tests {
             advantage(2),
             advantage(8)
         );
-        assert!(advantage(8) < 1.25, "order 8 advantage {:.2} should be marginal", advantage(8));
+        assert!(
+            advantage(8) < 1.25,
+            "order 8 advantage {:.2} should be marginal",
+            advantage(8)
+        );
     }
 
     #[test]
     fn deep_t_at_high_order_is_infeasible() {
-        let cells = compute(&RunOpts { quick: true, seed: 1, csv_dir: None });
+        let cells = compute(&RunOpts {
+            quick: true,
+            seed: 1,
+            csv_dir: None,
+        });
         let t8_o8 = cells
             .iter()
             .find(|c| c.order == 8 && c.t_steps == 8)

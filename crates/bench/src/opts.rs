@@ -15,7 +15,11 @@ pub struct RunOpts {
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { quick: false, seed: 1, csv_dir: None }
+        RunOpts {
+            quick: false,
+            seed: 1,
+            csv_dir: None,
+        }
     }
 }
 
@@ -70,9 +74,7 @@ mod tests {
 
     #[test]
     fn parses_quick_and_seed() {
-        let o = RunOpts::parse(
-            ["--quick", "--seed", "7"].iter().map(|s| s.to_string()),
-        );
+        let o = RunOpts::parse(["--quick", "--seed", "7"].iter().map(|s| s.to_string()));
         assert!(o.quick);
         assert_eq!(o.seed, 7);
         assert_eq!(o.dims(), GridDims::new(256, 256, 64));

@@ -108,7 +108,10 @@ mod tests {
         w.close("");
         w.close("");
         let s = w.finish();
-        assert_eq!(s, "void f(void) {\n    int x = 1;\n    if (x) {\n        x = 2;\n    }\n}\n");
+        assert_eq!(
+            s,
+            "void f(void) {\n    int x = 1;\n    if (x) {\n        x = 2;\n    }\n}\n"
+        );
     }
 
     #[test]

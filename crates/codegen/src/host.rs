@@ -54,10 +54,18 @@ pub fn generate_host_harness(
     w.open("int main(void)");
     w.line("const size_t elems = (size_t)PSTRIDE * (LZ + 2 * R);");
     w.line(&format!("{t} *d_in = nullptr, *d_out = nullptr;"));
-    w.line(&format!("check(cudaMalloc(&d_in, elems * sizeof({t})), \"malloc in\");"));
-    w.line(&format!("check(cudaMalloc(&d_out, elems * sizeof({t})), \"malloc out\");"));
-    w.line(&format!("check(cudaMemset(d_in, 0, elems * sizeof({t})), \"memset\");"));
-    w.line(&format!("check(cudaMemset(d_out, 0, elems * sizeof({t})), \"memset\");"));
+    w.line(&format!(
+        "check(cudaMalloc(&d_in, elems * sizeof({t})), \"malloc in\");"
+    ));
+    w.line(&format!(
+        "check(cudaMalloc(&d_out, elems * sizeof({t})), \"malloc out\");"
+    ));
+    w.line(&format!(
+        "check(cudaMemset(d_in, 0, elems * sizeof({t})), \"memset\");"
+    ));
+    w.line(&format!(
+        "check(cudaMemset(d_out, 0, elems * sizeof({t})), \"memset\");"
+    ));
     w.blank();
     w.line("// Diffusion coefficients: centre 1/2, the rest split over 6R points.");
     w.line(&format!("{t} h_coeff[R + 1];"));
@@ -100,11 +108,8 @@ mod tests {
     use inplane_core::{Method, Variant};
 
     fn harness() -> String {
-        let spec = KernelSpec::star_order(
-            Method::InPlane(Variant::FullSlice),
-            4,
-            Precision::Single,
-        );
+        let spec =
+            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
         generate_host_harness(&spec, &LaunchConfig::new(32, 4, 1, 4), 512, 512, 256, 100)
     }
 

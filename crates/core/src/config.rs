@@ -26,7 +26,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Construct; every factor must be ≥ 1.
     pub fn new(tx: usize, ty: usize, rx: usize, ry: usize) -> Self {
-        assert!(tx >= 1 && ty >= 1 && rx >= 1 && ry >= 1, "blocking factors must be >= 1");
+        assert!(
+            tx >= 1 && ty >= 1 && rx >= 1 && ry >= 1,
+            "blocking factors must be >= 1"
+        );
         LaunchConfig { tx, ty, rx, ry }
     }
 
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(format!("{}", LaunchConfig::new(256, 1, 1, 8)), "(256, 1, 1, 8)");
+        assert_eq!(
+            format!("{}", LaunchConfig::new(256, 1, 1, 8)),
+            "(256, 1, 1, 8)"
+        );
     }
 
     #[test]

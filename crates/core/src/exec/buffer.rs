@@ -78,7 +78,10 @@ impl<T: Real> SharedBuffer<T> {
     /// garbage shared memory.
     pub fn read(&self, x: isize, y: isize) -> T {
         let i = self.index(x, y);
-        assert!(self.staged[i], "read of un-staged shared-buffer cell ({x},{y})");
+        assert!(
+            self.staged[i],
+            "read of un-staged shared-buffer cell ({x},{y})"
+        );
         self.data[i]
     }
 

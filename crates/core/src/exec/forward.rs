@@ -112,8 +112,12 @@ mod tests {
     #[test]
     fn single_tile_matches_reference_exactly() {
         let s: StarStencil<f32> = StarStencil::from_order(4);
-        let input: Grid3<f32> =
-            FillPattern::Random { lo: -2.0, hi: 2.0, seed: 42 }.build(12, 12, 12);
+        let input: Grid3<f32> = FillPattern::Random {
+            lo: -2.0,
+            hi: 2.0,
+            seed: 42,
+        }
+        .build(12, 12, 12);
         let mut golden = Grid3::new(12, 12, 12);
         apply_reference(&s, &input, &mut golden, Boundary::LeaveOutput);
         let mut got = Grid3::new(12, 12, 12);
@@ -137,7 +141,12 @@ mod tests {
         // Radius 1 on a minimal 4³ grid: exactly two output planes
         // (k = 1, 2) exercise both the initial fill and one shift.
         let s: StarStencil<f64> = StarStencil::laplacian7();
-        let input: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 1.0, c: 1.0 }.build(4, 4, 4);
+        let input: Grid3<f64> = FillPattern::Linear {
+            a: 1.0,
+            b: 1.0,
+            c: 1.0,
+        }
+        .build(4, 4, 4);
         let mut got = Grid3::new(4, 4, 4);
         execute_forward_plane(&s, &LaunchConfig::new(4, 4, 1, 1), &input, &mut got);
         // Laplacian of a linear field vanishes.

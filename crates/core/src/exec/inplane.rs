@@ -85,8 +85,9 @@ pub fn execute_inplane<T: Real>(
             }
             // Step 3 (Eqn 5): fold c_d · in[·,·,k] into the partial for
             // plane k − d.
-            #[allow(clippy::needless_range_loop)] // d is the Eqn-(5) pipeline depth, not just an index
-        for d in 1..=r {
+            #[allow(clippy::needless_range_loop)]
+            // d is the Eqn-(5) pipeline depth, not just an index
+            for d in 1..=r {
                 let in_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
                 if !in_range {
                     continue;
@@ -195,19 +196,27 @@ fn stage_plane<T: Real>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_grid::{
-        apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern,
-    };
+    use stencil_grid::{apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern};
 
     #[test]
     fn full_slice_matches_inplane_reference_exactly() {
         let s: StarStencil<f32> = StarStencil::from_order(6);
-        let input: Grid3<f32> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 5 }.build(14, 14, 14);
+        let input: Grid3<f32> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 5,
+        }
+        .build(14, 14, 14);
         let mut golden = Grid3::new(14, 14, 14);
         apply_reference_inplane_order(&s, &input, &mut golden, Boundary::LeaveOutput);
         let mut got = Grid3::new(14, 14, 14);
-        execute_inplane(Variant::FullSlice, &s, &LaunchConfig::new(4, 4, 1, 1), &input, &mut got);
+        execute_inplane(
+            Variant::FullSlice,
+            &s,
+            &LaunchConfig::new(4, 4, 1, 1),
+            &input,
+            &mut got,
+        );
         assert_eq!(max_abs_diff(&got, &golden), 0.0);
     }
 
@@ -217,7 +226,13 @@ mod tests {
         let input: Grid3<f64> = FillPattern::HashNoise.build(16, 16, 8);
         let run = |variant| {
             let mut out = Grid3::new(16, 16, 8);
-            execute_inplane(variant, &s, &LaunchConfig::new(12, 12, 1, 1), &input, &mut out)
+            execute_inplane(
+                variant,
+                &s,
+                &LaunchConfig::new(12, 12, 1, 1),
+                &input,
+                &mut out,
+            )
         };
         let fs = run(Variant::FullSlice);
         let hz = run(Variant::Horizontal);
@@ -229,8 +244,20 @@ mod tests {
         // All variants compute the same values.
         let mut a = Grid3::new(16, 16, 8);
         let mut b = Grid3::new(16, 16, 8);
-        execute_inplane(Variant::FullSlice, &s, &LaunchConfig::new(12, 12, 1, 1), &input, &mut a);
-        execute_inplane(Variant::Vertical, &s, &LaunchConfig::new(12, 12, 1, 1), &input, &mut b);
+        execute_inplane(
+            Variant::FullSlice,
+            &s,
+            &LaunchConfig::new(12, 12, 1, 1),
+            &input,
+            &mut a,
+        );
+        execute_inplane(
+            Variant::Vertical,
+            &s,
+            &LaunchConfig::new(12, 12, 1, 1),
+            &input,
+            &mut b,
+        );
         assert_eq!(max_abs_diff(&a, &b), 0.0);
     }
 
@@ -241,7 +268,13 @@ mod tests {
         let s: StarStencil<f64> = StarStencil::from_order(8);
         let input: Grid3<f64> = FillPattern::HashNoise.build(14, 14, 12);
         let mut out = Grid3::new(14, 14, 12);
-        execute_inplane(Variant::Horizontal, &s, &LaunchConfig::new(2, 2, 1, 1), &input, &mut out);
+        execute_inplane(
+            Variant::Horizontal,
+            &s,
+            &LaunchConfig::new(2, 2, 1, 1),
+            &input,
+            &mut out,
+        );
     }
 
     #[test]
@@ -253,7 +286,13 @@ mod tests {
         let mut golden = Grid3::new(7, 7, 5);
         apply_reference_inplane_order(&s, &input, &mut golden, Boundary::LeaveOutput);
         let mut got = Grid3::new(7, 7, 5);
-        execute_inplane(Variant::FullSlice, &s, &LaunchConfig::new(8, 8, 1, 1), &input, &mut got);
+        execute_inplane(
+            Variant::FullSlice,
+            &s,
+            &LaunchConfig::new(8, 8, 1, 1),
+            &input,
+            &mut got,
+        );
         assert_eq!(max_abs_diff(&got, &golden), 0.0);
     }
 }

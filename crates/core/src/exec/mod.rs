@@ -116,12 +116,15 @@ pub(crate) fn tiles(
 mod tests {
     use super::*;
     use crate::method::Variant;
-    use stencil_grid::{
-        apply_reference, apply_reference_inplane_order, max_abs_diff, FillPattern,
-    };
+    use stencil_grid::{apply_reference, apply_reference_inplane_order, max_abs_diff, FillPattern};
 
     fn random_grid<T: Real>(n: usize, seed: u64) -> Grid3<T> {
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n)
+        FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed,
+        }
+        .build(n, n, n)
     }
 
     #[test]
@@ -208,7 +211,14 @@ mod tests {
         let input = random_grid::<f64>(n, 99);
         let mut fwd = Grid3::new(n, n, n);
         let mut inp = Grid3::new(n, n, n);
-        execute_step(Method::ForwardPlane, &s, &LaunchConfig::new(8, 8, 1, 1), &input, &mut fwd, Boundary::CopyInput);
+        execute_step(
+            Method::ForwardPlane,
+            &s,
+            &LaunchConfig::new(8, 8, 1, 1),
+            &input,
+            &mut fwd,
+            Boundary::CopyInput,
+        );
         execute_step(
             Method::InPlane(Variant::FullSlice),
             &s,

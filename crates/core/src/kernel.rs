@@ -5,7 +5,7 @@ use crate::method::{Method, Variant};
 use stencil_grid::{MultiGridKernel, Precision, Real, StarStencil};
 
 /// Performance-relevant description of a stencil kernel.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct KernelSpec {
     /// Display name.
     pub name: String,
@@ -56,7 +56,10 @@ impl KernelSpec {
     /// Spec for a star stencil given order and precision directly.
     pub fn star_order(method: Method, order: usize, precision: Precision) -> Self {
         let r = order / 2;
-        assert!(order >= 2 && order.is_multiple_of(2), "order must be even and >= 2");
+        assert!(
+            order >= 2 && order.is_multiple_of(2),
+            "order must be even and >= 2"
+        );
         KernelSpec {
             name: format!("star-{order} {} {}", method.label(), precision.label()),
             method,

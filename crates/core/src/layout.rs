@@ -48,7 +48,13 @@ impl TileGeometry {
     ///
     /// `lx` is only used to compute the padded row stride; rows are
     /// padded up to a whole number of `segment_bytes` segments.
-    pub fn interior(config: &LaunchConfig, r: usize, elem_bytes: u64, lx: usize, segment_bytes: u64) -> Self {
+    pub fn interior(
+        config: &LaunchConfig,
+        r: usize,
+        elem_bytes: u64,
+        lx: usize,
+        segment_bytes: u64,
+    ) -> Self {
         let elems_per_segment = (segment_bytes / elem_bytes) as usize;
         let row_stride = lx.div_ceil(elems_per_segment) * elems_per_segment;
         TileGeometry {
@@ -93,12 +99,18 @@ impl TileGeometry {
 
     /// x-range including halos `[x0 - r, x0 + wx + r)`.
     pub fn slab_x(&self) -> (isize, isize) {
-        (self.x0 as isize - self.r as isize, (self.x0 + self.wx + self.r) as isize)
+        (
+            self.x0 as isize - self.r as isize,
+            (self.x0 + self.wx + self.r) as isize,
+        )
     }
 
     /// y-range including halos `[y0 - r, y0 + wy + r)`.
     pub fn slab_y(&self) -> (isize, isize) {
-        (self.y0 as isize - self.r as isize, (self.y0 + self.wy + self.r) as isize)
+        (
+            self.y0 as isize - self.r as isize,
+            (self.y0 + self.wy + self.r) as isize,
+        )
     }
 
     /// Elements the in-plane slab covers including corners (full-slice).

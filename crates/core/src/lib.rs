@@ -30,6 +30,7 @@
 //!   is representable but excluded from evaluation, as in the paper).
 
 pub mod config;
+pub mod eval;
 pub mod exec;
 pub mod kernel;
 pub mod layout;
@@ -41,8 +42,9 @@ pub mod run;
 pub mod simulate;
 
 pub use config::LaunchConfig;
+pub use eval::{CacheStats, EvalContext, PlanKey, MEASUREMENT_NOISE_AMPLITUDE};
 pub use exec::{execute_step, ExecStats};
 pub use kernel::KernelSpec;
 pub use method::{Method, Variant};
 pub use run::{RunOutcome, StencilRun};
-pub use simulate::{build_block_plan, simulate_kernel, simulate_star_kernel};
+pub use simulate::{build_block_plan, measure_kernel, simulate_kernel, simulate_star_kernel};

@@ -38,11 +38,36 @@ pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Ve
     match method {
         Method::ForwardPlane | Method::InPlane(Variant::Classical) => vec![
             // Interior first, then the four halos (Fig 4) — all scalar.
-            Region { x: (ix_s, ix_e), y: (iy_s, iy_e), vector_width: 1, assignment: Assignment::PerRow },
-            Region { x: (ix_s, ix_e), y: (sy_s, iy_s), vector_width: 1, assignment: Assignment::PerRow },
-            Region { x: (ix_s, ix_e), y: (iy_e, sy_e), vector_width: 1, assignment: Assignment::PerRow },
-            Region { x: (sx_s, ix_s), y: (iy_s, iy_e), vector_width: 1, assignment: Assignment::PerRow },
-            Region { x: (ix_e, sx_e), y: (iy_s, iy_e), vector_width: 1, assignment: Assignment::PerRow },
+            Region {
+                x: (ix_s, ix_e),
+                y: (iy_s, iy_e),
+                vector_width: 1,
+                assignment: Assignment::PerRow,
+            },
+            Region {
+                x: (ix_s, ix_e),
+                y: (sy_s, iy_s),
+                vector_width: 1,
+                assignment: Assignment::PerRow,
+            },
+            Region {
+                x: (ix_s, ix_e),
+                y: (iy_e, sy_e),
+                vector_width: 1,
+                assignment: Assignment::PerRow,
+            },
+            Region {
+                x: (sx_s, ix_s),
+                y: (iy_s, iy_e),
+                vector_width: 1,
+                assignment: Assignment::PerRow,
+            },
+            Region {
+                x: (ix_e, sx_e),
+                y: (iy_s, iy_e),
+                vector_width: 1,
+                assignment: Assignment::PerRow,
+            },
         ],
         Method::InPlane(Variant::Vertical) => {
             // Merged slab: interior plus top/bottom halos, vectorised
@@ -75,15 +100,35 @@ pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Ve
         }
         Method::InPlane(Variant::Horizontal) => vec![
             // Full-width rows: interior plus side halos, vectorised.
-            Region { x: (sx_s, sx_e), y: (iy_s, iy_e), vector_width: vec_width, assignment: Assignment::Packed },
+            Region {
+                x: (sx_s, sx_e),
+                y: (iy_s, iy_e),
+                vector_width: vec_width,
+                assignment: Assignment::Packed,
+            },
             // Top/bottom halo rows (no corners), vectorised.
-            Region { x: (ix_s, ix_e), y: (sy_s, iy_s), vector_width: vec_width, assignment: Assignment::Packed },
-            Region { x: (ix_s, ix_e), y: (iy_e, sy_e), vector_width: vec_width, assignment: Assignment::Packed },
+            Region {
+                x: (ix_s, ix_e),
+                y: (sy_s, iy_s),
+                vector_width: vec_width,
+                assignment: Assignment::Packed,
+            },
+            Region {
+                x: (ix_s, ix_e),
+                y: (iy_e, sy_e),
+                vector_width: vec_width,
+                assignment: Assignment::Packed,
+            },
         ],
         Method::InPlane(Variant::FullSlice) => vec![
             // One uniform region: the whole halo-framed slab, corners and
             // all, warp-packed vector loads.
-            Region { x: (sx_s, sx_e), y: (sy_s, sy_e), vector_width: vec_width, assignment: Assignment::Packed },
+            Region {
+                x: (sx_s, sx_e),
+                y: (sy_s, sy_e),
+                vector_width: vec_width,
+                assignment: Assignment::Packed,
+            },
         ],
     }
 }
@@ -130,7 +175,10 @@ pub fn build_plane_plan(
     // unpadded-layout handicap applies only to the swept field grids, so
     // coefficients are lowered against an aligned geometry. They are also
     // vectorisable by either method (independent of the halo pattern).
-    let aligned_geom = TileGeometry { x_shift: 0, ..*geom };
+    let aligned_geom = TileGeometry {
+        x_shift: 0,
+        ..*geom
+    };
     let coeff = coeff_region(&aligned_geom, kernel.precision().max_vector_width());
     for _ in 0..kernel.coeff_inputs {
         loads.extend(coeff.lower(&aligned_geom, warp_size));
@@ -161,8 +209,14 @@ pub fn build_plane_plan(
     // tile rows, which collide when the tile pitch lands on a bank
     // multiple. The staged tile's pitch includes the halo frame.
     let pitch_words = (geom.wx + 2 * geom.r) * kernel.elem_bytes / 4;
-    let bank_conflict_factor =
-        gpu_sim::stencil_phase_factor(config.tx, config.threads(), pitch_words, kernel.radius, warp_size, 32);
+    let bank_conflict_factor = gpu_sim::stencil_phase_factor(
+        config.tx,
+        config.threads(),
+        pitch_words,
+        kernel.radius,
+        warp_size,
+        32,
+    );
 
     PlanePlan {
         loads,
@@ -185,8 +239,13 @@ pub fn plan_for_device(
     segment_bytes: u64,
     warp_size: usize,
 ) -> (PlanePlan, gpu_sim::occupancy::BlockResources, TileGeometry) {
-    let mut geom =
-        TileGeometry::interior(config, kernel.radius, kernel.elem_bytes as u64, lx, segment_bytes);
+    let mut geom = TileGeometry::interior(
+        config,
+        kernel.radius,
+        kernel.elem_bytes as u64,
+        lx,
+        segment_bytes,
+    );
     // The stock SDK baseline works on the raw (unpadded) allocation, so
     // its tiles sit misaligned by the boundary-ring width; the in-plane
     // implementation pads the grid for alignment (§III-C2).
@@ -224,9 +283,18 @@ mod tests {
         let g = geom(&c, 2);
         assert_eq!(load_regions(Method::ForwardPlane, &g, 1).len(), 5);
         // Vertical: slab + one column region per halo column per side.
-        assert_eq!(load_regions(Method::InPlane(Variant::Vertical), &g, 4).len(), 1 + 2 * 2);
-        assert_eq!(load_regions(Method::InPlane(Variant::Horizontal), &g, 4).len(), 3);
-        assert_eq!(load_regions(Method::InPlane(Variant::FullSlice), &g, 4).len(), 1);
+        assert_eq!(
+            load_regions(Method::InPlane(Variant::Vertical), &g, 4).len(),
+            1 + 2 * 2
+        );
+        assert_eq!(
+            load_regions(Method::InPlane(Variant::Horizontal), &g, 4).len(),
+            3
+        );
+        assert_eq!(
+            load_regions(Method::InPlane(Variant::FullSlice), &g, 4).len(),
+            1
+        );
     }
 
     #[test]
@@ -271,9 +339,9 @@ mod tests {
                 .loads
                 .iter()
                 .flat_map(|l| {
-                    l.lane_addresses.iter().flat_map(move |&a| {
-                        (0..l.bytes_per_lane / 4).map(move |i| a + i * 4)
-                    })
+                    l.lane_addresses
+                        .iter()
+                        .flat_map(move |&a| (0..l.bytes_per_lane / 4).map(move |i| a + i * 4))
                 })
                 .collect();
             covered.sort_unstable();
@@ -305,7 +373,10 @@ mod tests {
         let k = spec(Method::InPlane(Variant::FullSlice), 4);
         let plan = build_plane_plan(&k, &c, &g, 32);
         let ctr = counters(&plan.stores);
-        assert!((ctr.efficiency() - 1.0).abs() < 1e-12, "stores must be coalesced");
+        assert!(
+            (ctr.efficiency() - 1.0).abs() < 1e-12,
+            "stores must be coalesced"
+        );
         // One write per tile point.
         assert_eq!(ctr.requested_bytes, (g.wx * g.wy) as u64 * 4);
     }
@@ -316,8 +387,7 @@ mod tests {
         // layout coalesces better than the baseline's unpadded layout.
         for order in [2usize, 4, 8, 12] {
             let c = LaunchConfig::new(32, 8, 1, 1);
-            let (nv, _, _) =
-                plan_for_device(&spec(Method::ForwardPlane, order), &c, 512, 128, 32);
+            let (nv, _, _) = plan_for_device(&spec(Method::ForwardPlane, order), &c, 512, 128, 32);
             let (fs, _, _) = plan_for_device(
                 &spec(Method::InPlane(Variant::FullSlice), order),
                 &c,
@@ -342,8 +412,7 @@ mod tests {
         // the margin — §IV-C's explanation for the decreasing speedup).
         for order in [2usize, 4] {
             let c = LaunchConfig::new(32, 8, 1, 1);
-            let (nv, _, _) =
-                plan_for_device(&spec(Method::ForwardPlane, order), &c, 512, 128, 32);
+            let (nv, _, _) = plan_for_device(&spec(Method::ForwardPlane, order), &c, 512, 128, 32);
             let (fs, _, _) = plan_for_device(
                 &spec(Method::InPlane(Variant::FullSlice), order),
                 &c,
@@ -364,8 +433,13 @@ mod tests {
     fn baseline_layout_is_misaligned_by_radius() {
         let c = LaunchConfig::new(32, 8, 1, 1);
         let (_, _, g_nv) = plan_for_device(&spec(Method::ForwardPlane, 8), &c, 512, 128, 32);
-        let (_, _, g_fs) =
-            plan_for_device(&spec(Method::InPlane(Variant::FullSlice), 8), &c, 512, 128, 32);
+        let (_, _, g_fs) = plan_for_device(
+            &spec(Method::InPlane(Variant::FullSlice), 8),
+            &c,
+            512,
+            128,
+            32,
+        );
         assert_eq!(g_nv.x_shift, 4);
         assert_eq!(g_fs.x_shift, 0);
         // The shift moves every address by r elements.
@@ -379,13 +453,16 @@ mod tests {
         let ratio = |order: usize| {
             let g = geom(&c, order / 2);
             let nv = build_plane_plan(&spec(Method::ForwardPlane, order), &c, &g, 32);
-            let vt =
-                build_plane_plan(&spec(Method::InPlane(Variant::Vertical), order), &c, &g, 32);
+            let vt = build_plane_plan(&spec(Method::InPlane(Variant::Vertical), order), &c, &g, 32);
             counters(&vt.loads).transferred_bytes as f64
                 / counters(&nv.loads).transferred_bytes as f64
         };
         assert!(ratio(2) < 1.1, "vertical should be competitive at order 2");
-        assert!(ratio(12) > 1.25, "vertical must collapse at order 12, got {}", ratio(12));
+        assert!(
+            ratio(12) > 1.25,
+            "vertical must collapse at order 12, got {}",
+            ratio(12)
+        );
     }
 
     #[test]

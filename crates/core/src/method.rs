@@ -32,7 +32,12 @@ impl Variant {
 
     /// All four variants.
     pub fn all() -> [Variant; 4] {
-        [Variant::Classical, Variant::Vertical, Variant::Horizontal, Variant::FullSlice]
+        [
+            Variant::Classical,
+            Variant::Vertical,
+            Variant::Horizontal,
+            Variant::FullSlice,
+        ]
     }
 
     /// Label used in figures.
@@ -111,7 +116,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Method::ForwardPlane.label(), "nvstencil");
-        assert_eq!(Method::InPlane(Variant::FullSlice).label(), "in-plane/full-slice");
+        assert_eq!(
+            Method::InPlane(Variant::FullSlice).label(),
+            "in-plane/full-slice"
+        );
         assert_eq!(format!("{}", Variant::Vertical), "vertical");
     }
 

@@ -54,7 +54,10 @@ impl Region {
     pub fn extended_x(&self) -> (isize, isize) {
         let v = self.vector_width as isize;
         let (xs, xe) = self.x;
-        (xs.div_euclid(v) * v, xe.div_euclid(v) * v + if xe.rem_euclid(v) != 0 { v } else { 0 })
+        (
+            xs.div_euclid(v) * v,
+            xe.div_euclid(v) * v + if xe.rem_euclid(v) != 0 { v } else { 0 },
+        )
     }
 
     /// Number of elements the region requests (after extension).
@@ -89,7 +92,10 @@ impl Region {
                         let addrs = (0..lanes)
                             .map(|l| geom.addr(xs + ((lane0 + l) * v) as isize, y))
                             .collect();
-                        out.push(WarpLoad { lane_addresses: addrs, bytes_per_lane });
+                        out.push(WarpLoad {
+                            lane_addresses: addrs,
+                            bytes_per_lane,
+                        });
                         lane0 += lanes;
                     }
                 }
@@ -110,7 +116,10 @@ impl Region {
                             geom.addr(xs + (col * v) as isize, ys + row as isize)
                         })
                         .collect();
-                    out.push(WarpLoad { lane_addresses: addrs, bytes_per_lane });
+                    out.push(WarpLoad {
+                        lane_addresses: addrs,
+                        bytes_per_lane,
+                    });
                     idx += lanes;
                 }
                 out
@@ -135,7 +144,10 @@ impl Region {
                             geom.addr(xs + (col * v) as isize, ys + row as isize)
                         })
                         .collect();
-                    out.push(WarpLoad { lane_addresses: addrs, bytes_per_lane });
+                    out.push(WarpLoad {
+                        lane_addresses: addrs,
+                        bytes_per_lane,
+                    });
                     idx += lanes;
                 }
                 out
@@ -239,8 +251,18 @@ mod tests {
     #[test]
     fn vector_loads_reduce_instruction_count_4x() {
         let g = geom();
-        let scalar = Region { x: (32, 160), y: (8, 12), vector_width: 1, assignment: Assignment::Packed };
-        let vec4 = Region { x: (32, 160), y: (8, 12), vector_width: 4, assignment: Assignment::Packed };
+        let scalar = Region {
+            x: (32, 160),
+            y: (8, 12),
+            vector_width: 1,
+            assignment: Assignment::Packed,
+        };
+        let vec4 = Region {
+            x: (32, 160),
+            y: (8, 12),
+            vector_width: 4,
+            assignment: Assignment::Packed,
+        };
         let n_scalar = scalar.lower(&g, 32).len();
         let n_vec = vec4.lower(&g, 32).len();
         assert_eq!(n_scalar, 16); // 512 elements / 32
@@ -250,8 +272,18 @@ mod tests {
     #[test]
     fn vector_loads_request_same_bytes() {
         let g = geom();
-        let scalar = Region { x: (32, 160), y: (8, 12), vector_width: 1, assignment: Assignment::Packed };
-        let vec4 = Region { x: (32, 160), y: (8, 12), vector_width: 4, assignment: Assignment::Packed };
+        let scalar = Region {
+            x: (32, 160),
+            y: (8, 12),
+            vector_width: 1,
+            assignment: Assignment::Packed,
+        };
+        let vec4 = Region {
+            x: (32, 160),
+            y: (8, 12),
+            vector_width: 4,
+            assignment: Assignment::Packed,
+        };
         let bytes = |loads: Vec<WarpLoad>| loads.iter().map(|l| l.requested_bytes()).sum::<u64>();
         assert_eq!(bytes(scalar.lower(&g, 32)), bytes(vec4.lower(&g, 32)));
     }
@@ -280,10 +312,23 @@ mod tests {
         // row segments are paid for once per instruction — twice the
         // transactions of the per-row pattern.
         let g = geom();
-        let cm = Region { x: (26, 32), y: (8, 16), vector_width: 1, assignment: Assignment::ColumnMajor };
-        let pr = Region { x: (26, 32), y: (8, 16), vector_width: 1, assignment: Assignment::PerRow };
+        let cm = Region {
+            x: (26, 32),
+            y: (8, 16),
+            vector_width: 1,
+            assignment: Assignment::ColumnMajor,
+        };
+        let pr = Region {
+            x: (26, 32),
+            y: (8, 16),
+            vector_width: 1,
+            assignment: Assignment::PerRow,
+        };
         let total_tx = |r: Region| {
-            r.lower(&g, 32).iter().map(|l| coalesce_transactions(l, 128)).sum::<usize>()
+            r.lower(&g, 32)
+                .iter()
+                .map(|l| coalesce_transactions(l, 128))
+                .sum::<usize>()
         };
         assert_eq!(total_tx(pr), 8);
         assert_eq!(total_tx(cm), 16);
@@ -292,19 +337,37 @@ mod tests {
     #[test]
     fn empty_region_lowers_to_nothing() {
         let g = geom();
-        let region = Region { x: (10, 10), y: (0, 5), vector_width: 1, assignment: Assignment::PerRow };
+        let region = Region {
+            x: (10, 10),
+            y: (0, 5),
+            vector_width: 1,
+            assignment: Assignment::PerRow,
+        };
         assert!(region.lower(&g, 32).is_empty());
-        let region2 = Region { x: (0, 5), y: (3, 3), vector_width: 1, assignment: Assignment::Packed };
+        let region2 = Region {
+            x: (0, 5),
+            y: (3, 3),
+            vector_width: 1,
+            assignment: Assignment::Packed,
+        };
         assert!(region2.lower(&g, 32).is_empty());
     }
 
     #[test]
     fn all_assignments_cover_the_same_addresses() {
         let g = geom();
-        let mk = |assignment| Region { x: (30, 50), y: (8, 12), vector_width: 1, assignment };
+        let mk = |assignment| Region {
+            x: (30, 50),
+            y: (8, 12),
+            vector_width: 1,
+            assignment,
+        };
         let addr_set = |r: Region| {
-            let mut v: Vec<u64> =
-                r.lower(&g, 32).into_iter().flat_map(|l| l.lane_addresses).collect();
+            let mut v: Vec<u64> = r
+                .lower(&g, 32)
+                .into_iter()
+                .flat_map(|l| l.lane_addresses)
+                .collect();
             v.sort_unstable();
             v
         };

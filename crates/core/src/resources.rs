@@ -44,10 +44,18 @@ pub fn regs_per_thread(kernel: &KernelSpec, config: &LaunchConfig) -> usize {
     // compiler re-fetches from the constant bank. Cap at 6 live words so
     // very high orders (the paper runs up to 32nd order on the C2070)
     // stay compilable.
-    let coeffs = if kernel.coeff_inputs == 0 { (r + 1).min(6) * regs_per_word } else { 0 };
+    let coeffs = if kernel.coeff_inputs == 0 {
+        (r + 1).min(6) * regs_per_word
+    } else {
+        0
+    };
     // Vector-load staging: two words — the remaining lanes of a 16-byte
     // load land directly in pipeline registers.
-    let vector_tmp = if vector_width(kernel) > 1 { 2 * regs_per_word } else { regs_per_word };
+    let vector_tmp = if vector_width(kernel) > 1 {
+        2 * regs_per_word
+    } else {
+        regs_per_word
+    };
     BASE_REGS + pipeline + coeffs + vector_tmp
 }
 
@@ -157,8 +165,14 @@ mod tests {
     #[test]
     fn vector_widths() {
         assert_eq!(vector_width(&star(Method::ForwardPlane, 4)), 1);
-        assert_eq!(vector_width(&star(Method::InPlane(Variant::FullSlice), 4)), 4);
-        assert_eq!(vector_width(&star(Method::InPlane(Variant::Classical), 4)), 1);
+        assert_eq!(
+            vector_width(&star(Method::InPlane(Variant::FullSlice), 4)),
+            4
+        );
+        assert_eq!(
+            vector_width(&star(Method::InPlane(Variant::Classical), 4)),
+            1
+        );
         let dp = KernelSpec::star_order(Method::InPlane(Variant::Horizontal), 4, Precision::Double);
         assert_eq!(vector_width(&dp), 2);
     }

@@ -111,7 +111,9 @@ impl<T: Real> StencilRun<T> {
     /// the matching CPU reference, and price one sweep on the device.
     pub fn run(self) -> RunOutcome<T> {
         let (nx, ny, nz) = self.dims;
-        let config = self.config.unwrap_or_else(|| LaunchConfig::new(32, 4, 1, 2));
+        let config = self
+            .config
+            .unwrap_or_else(|| LaunchConfig::new(32, 4, 1, 2));
         let initial: Grid3<T> = {
             let mut g = Grid3::new(nx, ny, nz);
             self.fill.fill(&mut g);
@@ -120,19 +122,30 @@ impl<T: Real> StencilRun<T> {
         let r = self.stencil.radius();
 
         let (result, _) = iterate_stencil_loop(initial.clone(), r, self.steps, |inp, out| {
-            execute_step(self.method, &self.stencil, &config, inp, out, Boundary::CopyInput);
+            execute_step(
+                self.method,
+                &self.stencil,
+                &config,
+                inp,
+                out,
+                Boundary::CopyInput,
+            );
         });
 
-        let (golden, _) = iterate_stencil_loop(initial, r, self.steps, |inp, out| {
-            match self.method {
-                Method::ForwardPlane => apply_reference(&self.stencil, inp, out, Boundary::CopyInput),
+        let (golden, _) =
+            iterate_stencil_loop(initial, r, self.steps, |inp, out| match self.method {
+                Method::ForwardPlane => {
+                    apply_reference(&self.stencil, inp, out, Boundary::CopyInput)
+                }
                 Method::InPlane(_) => {
                     apply_reference_inplane_order(&self.stencil, inp, out, Boundary::CopyInput)
                 }
-            }
-        });
-        let verification =
-            verify_close(&result, &golden, default_tolerance(T::PRECISION, self.steps));
+            });
+        let verification = verify_close(
+            &result,
+            &golden,
+            default_tolerance(T::PRECISION, self.steps),
+        );
 
         let spec = KernelSpec::star(self.method, &self.stencil);
         let projected = simulate_kernel(
@@ -143,7 +156,12 @@ impl<T: Real> StencilRun<T> {
             &SimOptions::default(),
         );
 
-        RunOutcome { result, verification, projected, config }
+        RunOutcome {
+            result,
+            verification,
+            projected,
+            config,
+        }
     }
 }
 
@@ -178,7 +196,9 @@ mod tests {
 
     #[test]
     fn zero_steps_clamps_to_one() {
-        let out = StencilRun::new(StarStencil::<f32>::from_order(2)).steps(0).run();
+        let out = StencilRun::new(StarStencil::<f32>::from_order(2))
+            .steps(0)
+            .run();
         assert!(out.verification.passed());
     }
 

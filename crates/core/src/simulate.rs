@@ -1,12 +1,19 @@
 //! Glue: lower a kernel + configuration to a [`gpu_sim::BlockPlan`] and
 //! price it on a device — the "run it and time it" entry point the
 //! auto-tuner and all benchmarks use.
+//!
+//! The free functions here are thin convenience fronts over the
+//! process-wide [`EvalContext`]: lowering and clean pricing are
+//! memoized, noise is applied after the cache. Callers that want an
+//! isolated cache (or its counters) hold their own context and call
+//! its methods directly.
 
 use crate::config::LaunchConfig;
+use crate::eval::{EvalContext, PlanKey};
 use crate::kernel::KernelSpec;
 use crate::loadplan::plan_for_device;
 use gpu_sim::plan::{BlockPlan, GridDims, LaunchGeometry};
-use gpu_sim::{DeviceSpec, SimOptions, SimReport};
+use gpu_sim::{apply_noise, DeviceSpec, SimOptions, SimReport};
 
 /// Lower `(kernel, config)` for `device` over `dims`.
 pub fn build_block_plan(
@@ -34,7 +41,11 @@ pub fn build_block_plan(
     }
 }
 
-/// Simulate one full grid sweep with explicit options.
+/// Simulate one full grid sweep with explicit options, through the
+/// global [`EvalContext`]: the clean price is memoized per
+/// `(plan key, pricing fingerprint)`; if `opts` enables noise it is
+/// applied afterwards, keyed by the plan key's hash (the `noise_key`
+/// string in `opts` is ignored — noise de-correlates by plan identity).
 pub fn simulate_kernel(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -42,8 +53,17 @@ pub fn simulate_kernel(
     dims: GridDims,
     opts: &SimOptions,
 ) -> SimReport {
-    let plan = build_block_plan(device, kernel, config, dims);
-    gpu_sim::simulate(device, &plan, &dims, opts)
+    let key = PlanKey::new(device, kernel, config, dims);
+    let mut report = EvalContext::global().price_with(device, &key, dims, opts, || {
+        build_block_plan(device, kernel, config, dims)
+    });
+    apply_noise(
+        &mut report,
+        key.noise_key(),
+        opts.noise_seed,
+        opts.noise_amplitude,
+    );
+    report
 }
 
 /// Simulate with default options (no noise) — the quickstart entry point.
@@ -56,8 +76,10 @@ pub fn simulate_star_kernel(
     simulate_kernel(device, kernel, config, dims, &SimOptions::default())
 }
 
-/// "Measure" a configuration the way the auto-tuner does: simulate with
-/// deterministic measurement noise keyed by the kernel + config label.
+/// "Measure" a configuration the way the auto-tuner does: the cached
+/// clean price perturbed by ±2% deterministic jitter — the order real
+/// CUDA wall-clock timing shows. Routes through the global
+/// [`EvalContext`].
 pub fn measure_kernel(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -65,10 +87,7 @@ pub fn measure_kernel(
     dims: GridDims,
     seed: u64,
 ) -> SimReport {
-    let key = format!("{}@{}", kernel.name, config);
-    // ±2% run-to-run jitter, the order real CUDA wall-clock timing shows.
-    let opts = SimOptions::with_noise(key, seed, 0.02);
-    simulate_kernel(device, kernel, config, dims, &opts)
+    EvalContext::global().measure(device, kernel, config, dims, seed)
 }
 
 #[cfg(test)]
@@ -132,7 +151,12 @@ mod tests {
         // §IV-C: the 4r² corner overhead erodes the gain as r grows.
         let dev = DeviceSpec::gtx580();
         let speedup = |order: usize| {
-            let nv = simulate_star_kernel(&dev, &spec(Method::ForwardPlane, order), &cfg(), GridDims::paper());
+            let nv = simulate_star_kernel(
+                &dev,
+                &spec(Method::ForwardPlane, order),
+                &cfg(),
+                GridDims::paper(),
+            );
             let fs = simulate_star_kernel(
                 &dev,
                 &spec(Method::InPlane(Variant::FullSlice), order),
@@ -160,7 +184,12 @@ mod tests {
         // 1024 threads × big register block blows the register budget.
         let dev = DeviceSpec::gtx580();
         let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 12, Precision::Double);
-        let rep = simulate_star_kernel(&dev, &k, &LaunchConfig::new(32, 32, 2, 2), GridDims::paper());
+        let rep = simulate_star_kernel(
+            &dev,
+            &k,
+            &LaunchConfig::new(32, 32, 2, 2),
+            GridDims::paper(),
+        );
         assert!(!rep.feasible());
     }
 

@@ -1,0 +1,50 @@
+//! `evaluate_batch` must be independent of the rayon worker count: the
+//! same sweep priced on 1, 2 and 8 threads returns bit-identical
+//! reports in the same order.
+//!
+//! Kept as the only test in this binary: `RAYON_NUM_THREADS` is process
+//! state, and mutating it while sibling tests run batches would race.
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig, Method, Variant};
+use stencil_grid::Precision;
+
+#[test]
+fn batch_results_do_not_depend_on_thread_count() {
+    let dev = DeviceSpec::gtx580();
+    let kernel = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+    let dims = GridDims::paper();
+    let configs: Vec<LaunchConfig> = [16, 32, 64, 128, 256]
+        .iter()
+        .flat_map(|&tx| {
+            [1usize, 2, 4].into_iter().flat_map(move |rx| {
+                [1usize, 2, 4]
+                    .into_iter()
+                    .map(move |ry| LaunchConfig::new(tx, 4, rx, ry))
+            })
+        })
+        .collect();
+
+    let mut runs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let ctx = EvalContext::new(); // fresh cache each run: every run prices from cold
+        let evals = ctx.evaluate_batch(&dev, &kernel, &configs, dims);
+        let meas = ctx.measure_batch(&dev, &kernel, &configs, dims, 42);
+        assert_eq!(
+            ctx.stats().misses,
+            configs.len() as u64,
+            "{threads} threads"
+        );
+        runs.push((evals, meas));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let (ref_evals, ref_meas) = &runs[0];
+    for (evals, meas) in &runs[1..] {
+        assert_eq!(evals, ref_evals);
+        assert_eq!(meas, ref_meas);
+    }
+    // Sanity: the sweep exercised both feasible and infeasible points.
+    assert!(ref_evals.iter().any(|r| r.feasible()));
+}

@@ -3,13 +3,13 @@
 //! emulated execution matches its CPU reference, and every method's load
 //! plan covers exactly the stencil footprint.
 
-use inplane_core::loadplan::build_plane_plan;
 use inplane_core::layout::TileGeometry;
+use inplane_core::loadplan::build_plane_plan;
 use inplane_core::{execute_step, KernelSpec, LaunchConfig, Method, Variant};
 use proptest::prelude::*;
 use stencil_grid::{
-    apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern,
-    Grid3, Precision, StarStencil,
+    apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern, Grid3,
+    Precision, StarStencil,
 };
 
 fn arb_method() -> impl Strategy<Value = Method> {

@@ -1,0 +1,274 @@
+#![warn(missing_docs)]
+
+//! Std-only benchmark-harness stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `throughput` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: one warm-up iteration, then
+//! `sample_size` timed iterations; the harness reports min / mean /
+//! max wall time per iteration on stdout. That is enough to compare
+//! cold-cache and warm-cache sweeps, which is what the in-repo benches
+//! assert on.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then `sample_size` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let n = bencher.samples_ns.len() as f64;
+    let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .samples_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => format!("  {:.1} Melem/s", e as f64 / mean * 1e3),
+        Some(Throughput::Bytes(b)) => format!("  {:.1} MB/s", b as f64 / mean * 1e3),
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} [{} {} {}]{rate}",
+        human(min),
+        human(mean),
+        human(max)
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a closure without an explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        // One warm-up + 5 timed iterations.
+        assert_eq!(count, 6);
+        assert_eq!(b.samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn groups_run_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::new("id", 1), &3usize, |b, &x| {
+                b.iter(|| x * 2);
+                ran = true;
+            });
+        group.finish();
+        assert!(ran);
+    }
+}

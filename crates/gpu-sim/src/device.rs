@@ -229,6 +229,52 @@ impl DeviceSpec {
     pub fn lsu_cycles_per_warp_instr(&self) -> f64 {
         self.warp_size as f64 / self.lsu_per_sm as f64
     }
+
+    /// Stable 64-bit identity covering every field that influences
+    /// simulated timing. Two specs with equal fingerprints price
+    /// identically, so this is the device component of memoization keys
+    /// (hashing float fields by bit pattern sidesteps `f64: Hash`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold_bytes = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        fold_bytes(self.name.as_bytes());
+        let words = [
+            match self.arch {
+                Architecture::Fermi => 0u64,
+                Architecture::Kepler => 1,
+            },
+            self.sm_count as u64,
+            self.cores_per_sm as u64,
+            self.clock_mhz.to_bits(),
+            self.regs_per_sm as u64,
+            self.reg_alloc_per_warp as u64,
+            self.max_regs_per_thread as u64,
+            self.smem_per_sm as u64,
+            self.smem_alloc_granularity as u64,
+            self.max_threads_per_block as u64,
+            self.max_warps_per_sm as u64,
+            self.max_blocks_per_sm as u64,
+            self.warp_size as u64,
+            self.peak_bandwidth.to_bits(),
+            self.achieved_bw_fraction.to_bits(),
+            self.segment_bytes,
+            self.mem_latency_cycles.to_bits(),
+            self.lsu_per_sm as u64,
+            self.issue_per_cycle.to_bits(),
+            self.dp_ratio.to_bits(),
+            self.smem_banks as u64,
+            self.l1_dup_charge.to_bits(),
+        ];
+        for w in words {
+            fold_bytes(&w.to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -273,9 +319,18 @@ mod tests {
 
     #[test]
     fn core_counts_match_paper() {
-        assert_eq!(DeviceSpec::gtx580().sm_count * DeviceSpec::gtx580().cores_per_sm, 512);
-        assert_eq!(DeviceSpec::gtx680().sm_count * DeviceSpec::gtx680().cores_per_sm, 1536);
-        assert_eq!(DeviceSpec::c2070().sm_count * DeviceSpec::c2070().cores_per_sm, 448);
+        assert_eq!(
+            DeviceSpec::gtx580().sm_count * DeviceSpec::gtx580().cores_per_sm,
+            512
+        );
+        assert_eq!(
+            DeviceSpec::gtx680().sm_count * DeviceSpec::gtx680().cores_per_sm,
+            1536
+        );
+        assert_eq!(
+            DeviceSpec::c2070().sm_count * DeviceSpec::c2070().cores_per_sm,
+            448
+        );
     }
 
     #[test]
@@ -302,6 +357,23 @@ mod tests {
     fn lsu_cycles() {
         assert_eq!(DeviceSpec::gtx580().lsu_cycles_per_warp_instr(), 2.0);
         assert_eq!(DeviceSpec::gtx680().lsu_cycles_per_warp_instr(), 1.0);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_devices_and_track_fields() {
+        let devs = DeviceSpec::paper_devices();
+        for a in &devs {
+            for b in &devs {
+                if a.name == b.name {
+                    assert_eq!(a.fingerprint(), b.fingerprint());
+                } else {
+                    assert_ne!(a.fingerprint(), b.fingerprint());
+                }
+            }
+        }
+        let mut tweaked = DeviceSpec::gtx580();
+        tweaked.mem_latency_cycles += 1.0;
+        assert_ne!(tweaked.fingerprint(), DeviceSpec::gtx580().fingerprint());
     }
 
     #[test]

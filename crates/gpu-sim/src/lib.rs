@@ -46,9 +46,11 @@ pub use device::{Architecture, DeviceSpec};
 pub use mem::{coalesce_transactions, MemCounters, WarpLoad};
 pub use microbench::measure_achieved_bandwidth;
 pub use microsim::{simulate_block_plane, MicrosimResult};
-pub use noise::measurement_noise;
+pub use noise::{measurement_noise, measurement_noise_keyed, NoiseKey};
 pub use occupancy::{active_blocks, Occupancy};
 pub use plan::{BlockPlan, GridDims, LaunchGeometry, PlanePlan};
-pub use roofline::{attainable_gflops, intensity, mpoints_ceiling, regime, ridge_point, RooflineRegime};
+pub use roofline::{
+    attainable_gflops, intensity, mpoints_ceiling, regime, ridge_point, RooflineRegime,
+};
 pub use smem::{conflict_factor, stencil_phase_factor};
-pub use timing::{simulate, SimOptions};
+pub use timing::{apply_noise, simulate, simulate_clean, SimOptions};

@@ -29,7 +29,9 @@ impl WarpLoad {
     /// (a perfectly contiguous warp access).
     pub fn contiguous(base: u64, lanes: usize, bytes_per_lane: u64) -> Self {
         WarpLoad {
-            lane_addresses: (0..lanes as u64).map(|l| base + l * bytes_per_lane).collect(),
+            lane_addresses: (0..lanes as u64)
+                .map(|l| base + l * bytes_per_lane)
+                .collect(),
             bytes_per_lane,
         }
     }
@@ -66,7 +68,10 @@ impl WarpLoad {
 /// assert_eq!(coalesce_transactions(&column, 128), 32);
 /// ```
 pub fn coalesce_transactions(load: &WarpLoad, segment_bytes: u64) -> usize {
-    assert!(segment_bytes.is_power_of_two(), "segment size must be a power of two");
+    assert!(
+        segment_bytes.is_power_of_two(),
+        "segment size must be a power of two"
+    );
     let mut segments: Vec<u64> = Vec::with_capacity(load.lane_addresses.len());
     for &addr in &load.lane_addresses {
         let first = addr / segment_bytes;
@@ -222,14 +227,20 @@ mod tests {
     #[test]
     fn straddling_vector_lane_touches_two_segments() {
         // One float4 starting 8 bytes before a segment boundary.
-        let load = WarpLoad { lane_addresses: vec![120], bytes_per_lane: 16 };
+        let load = WarpLoad {
+            lane_addresses: vec![120],
+            bytes_per_lane: 16,
+        };
         assert_eq!(coalesce_transactions(&load, 128), 2);
     }
 
     #[test]
     fn duplicate_addresses_coalesce() {
         // All lanes reading the same element: one transaction (broadcast).
-        let load = WarpLoad { lane_addresses: vec![256; 32], bytes_per_lane: 4 };
+        let load = WarpLoad {
+            lane_addresses: vec![256; 32],
+            bytes_per_lane: 4,
+        };
         assert_eq!(coalesce_transactions(&load, 128), 1);
     }
 
@@ -247,7 +258,13 @@ mod tests {
         c.record(&WarpLoad::contiguous(0, 32, 4), 128);
         assert_eq!(c.efficiency(), 1.0);
         // One 4-byte lane alone in a 128-B segment.
-        c.record(&WarpLoad { lane_addresses: vec![4096], bytes_per_lane: 4 }, 128);
+        c.record(
+            &WarpLoad {
+                lane_addresses: vec![4096],
+                bytes_per_lane: 4,
+            },
+            128,
+        );
         assert_eq!(c.instructions, 2);
         assert_eq!(c.transactions, 2);
         assert_eq!(c.requested_bytes, 132);

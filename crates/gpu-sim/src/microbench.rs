@@ -26,7 +26,10 @@ fn copy_plan(elem_bytes: usize) -> (BlockPlan, GridDims) {
         .collect();
     let stores = loads
         .iter()
-        .map(|l| WarpLoad { lane_addresses: l.lane_addresses.iter().map(|a| a + (1 << 26)).collect(), bytes_per_lane: elem_bytes as u64 })
+        .map(|l| WarpLoad {
+            lane_addresses: l.lane_addresses.iter().map(|a| a + (1 << 26)).collect(),
+            bytes_per_lane: elem_bytes as u64,
+        })
         .collect();
     let plan = BlockPlan {
         plane: PlanePlan {
@@ -39,8 +42,16 @@ fn copy_plan(elem_bytes: usize) -> (BlockPlan, GridDims) {
             ilp: 4.0,
             syncthreads: 0,
         },
-        resources: BlockResources { threads, regs_per_thread: 16, smem_bytes: 0 },
-        geometry: LaunchGeometry { blocks, threads_per_block: threads, planes: dims.lz },
+        resources: BlockResources {
+            threads,
+            regs_per_thread: 16,
+            smem_bytes: 0,
+        },
+        geometry: LaunchGeometry {
+            blocks,
+            threads_per_block: threads,
+            planes: dims.lz,
+        },
         elem_bytes,
     };
     (plan, dims)
@@ -50,7 +61,15 @@ fn copy_plan(elem_bytes: usize) -> (BlockPlan, GridDims) {
 /// did for Table III's achieved-throughput numbers.
 pub fn measure_achieved_bandwidth(device: &DeviceSpec) -> f64 {
     let (plan, dims) = copy_plan(4);
-    let rep = simulate(device, &plan, &dims, &SimOptions { launch_overhead_s: 0.0, ..SimOptions::default() });
+    let rep = simulate(
+        device,
+        &plan,
+        &dims,
+        &SimOptions {
+            launch_overhead_s: 0.0,
+            ..SimOptions::default()
+        },
+    );
     rep.achieved_bandwidth_gbs()
 }
 
@@ -83,9 +102,15 @@ mod tests {
             &DeviceSpec::gtx580(),
             &plan,
             &dims,
-            &SimOptions { launch_overhead_s: 0.0, ..SimOptions::default() },
+            &SimOptions {
+                launch_overhead_s: 0.0,
+                ..SimOptions::default()
+            },
         );
-        assert_eq!(rep.limiting, crate::counters::LimitingFactor::MemoryBandwidth);
+        assert_eq!(
+            rep.limiting,
+            crate::counters::LimitingFactor::MemoryBandwidth
+        );
         assert!((rep.load_efficiency() - 1.0).abs() < 1e-12);
     }
 
@@ -93,7 +118,15 @@ mod tests {
     fn dp_copy_also_saturates() {
         let (plan, dims) = copy_plan(8);
         let dev = DeviceSpec::c2070();
-        let rep = simulate(&dev, &plan, &dims, &SimOptions { launch_overhead_s: 0.0, ..SimOptions::default() });
+        let rep = simulate(
+            &dev,
+            &plan,
+            &dims,
+            &SimOptions {
+                launch_overhead_s: 0.0,
+                ..SimOptions::default()
+            },
+        );
         let got = rep.achieved_bandwidth_gbs();
         let expect = dev.achieved_bandwidth() / 1e9;
         assert!((got - expect).abs() / expect < 0.03);

@@ -62,15 +62,25 @@ fn warp_stream(device: &DeviceSpec, plan: &BlockPlan, warp: usize, warps: usize)
     for (j, l) in my_loads.into_iter().enumerate() {
         let mut ctr = MemCounters::default();
         ctr.record(l, device.segment_bytes);
-        let round = (j * rounds).checked_div(per_warp).unwrap_or(0).min(rounds - 1);
-        stream.push(Instr::Load { bytes: ctr.transactions as f64 * seg, round });
+        let round = (j * rounds)
+            .checked_div(per_warp)
+            .unwrap_or(0)
+            .min(rounds - 1);
+        stream.push(Instr::Load {
+            bytes: ctr.transactions as f64 * seg,
+            round,
+        });
     }
     // Stage into shared memory, barrier.
     let smem_per_warp = plane.smem_warp_instrs as f64 / warps as f64;
-    stream.push(Instr::Smem { passes: smem_per_warp * plane.bank_conflict_factor * 0.5 });
+    stream.push(Instr::Smem {
+        passes: smem_per_warp * plane.bank_conflict_factor * 0.5,
+    });
     stream.push(Instr::Barrier);
     // Compute phase: shared-memory reads interleaved with arithmetic.
-    stream.push(Instr::Smem { passes: smem_per_warp * plane.bank_conflict_factor * 0.5 });
+    stream.push(Instr::Smem {
+        passes: smem_per_warp * plane.bank_conflict_factor * 0.5,
+    });
     let flops_per_warp = plane.flops as f64 / warps as f64;
     let fma_instrs = flops_per_warp / (device.warp_size as f64 * 2.0);
     stream.push(Instr::Alu { n: fma_instrs });
@@ -79,7 +89,9 @@ fn warp_stream(device: &DeviceSpec, plan: &BlockPlan, warp: usize, warps: usize)
         if i % warps == warp {
             let mut ctr = MemCounters::default();
             ctr.record(s, device.segment_bytes);
-            stream.push(Instr::Store { bytes: ctr.transactions as f64 * seg });
+            stream.push(Instr::Store {
+                bytes: ctr.transactions as f64 * seg,
+            });
         }
     }
     stream.push(Instr::Barrier);
@@ -98,8 +110,7 @@ pub fn simulate_block_plane(
     let bytes_per_cycle = device.bytes_per_cycle_per_sm();
     let alu_cost = |n: f64| {
         // n FMA warp instructions against the SM's per-cycle rate.
-        n * device.warp_size as f64 * 2.0
-            / device.flops_per_cycle_per_sm(plan.elem_bytes)
+        n * device.warp_size as f64 * 2.0 / device.flops_per_cycle_per_sm(plan.elem_bytes)
     };
 
     // Per-warp program counters and ready times.
@@ -154,7 +165,10 @@ pub fn simulate_block_plane(
                 // Wait for every earlier round's loads (address dependency;
                 // sparse round indices still chain through the last
                 // completed group).
-                let dep = warps[wi].round_done[..round].iter().cloned().fold(0.0f64, f64::max);
+                let dep = warps[wi].round_done[..round]
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
                 let issue = now.max(dep).max(lsu_free);
                 lsu_free = issue + lsu_cost;
                 // The memory pipe serialises bandwidth; data arrives a
@@ -189,8 +203,7 @@ pub fn simulate_block_plane(
             Instr::Barrier => {
                 // A warp's outstanding loads must land before the barrier
                 // lets its data be consumed.
-                let my_loads_done =
-                    warps[wi].round_done.iter().cloned().fold(0.0f64, f64::max);
+                let my_loads_done = warps[wi].round_done.iter().cloned().fold(0.0f64, f64::max);
                 let arrive = now.max(my_loads_done);
                 barrier_arrivals[block] += 1;
                 barrier_release[block] = barrier_release[block].max(arrive);
@@ -215,7 +228,10 @@ pub fn simulate_block_plane(
 
     let cycles = warps
         .iter()
-        .map(|w| w.ready.max(w.round_done.iter().cloned().fold(0.0, f64::max)))
+        .map(|w| {
+            w.ready
+                .max(w.round_done.iter().cloned().fold(0.0, f64::max))
+        })
         .fold(0.0f64, f64::max)
         .max(mem_free);
     MicrosimResult { cycles, mem_bytes }
@@ -243,8 +259,16 @@ mod tests {
                 ilp: 1.0,
                 syncthreads: 2,
             },
-            resources: BlockResources { threads: 256, regs_per_thread: 20, smem_bytes: 4096 },
-            geometry: LaunchGeometry { blocks: 64, threads_per_block: 256, planes: 32 },
+            resources: BlockResources {
+                threads: 256,
+                regs_per_thread: 20,
+                smem_bytes: 4096,
+            },
+            geometry: LaunchGeometry {
+                blocks: 64,
+                threads_per_block: 256,
+                planes: 32,
+            },
             elem_bytes: 4,
         }
     }
@@ -295,7 +319,10 @@ mod tests {
         let one = simulate_block_plane(&dev, &plan, 1).cycles;
         let four = simulate_block_plane(&dev, &plan, 4).cycles;
         assert!(four > one);
-        assert!(four < 4.0 * one, "latency must overlap: {one:.0} -> {four:.0}");
+        assert!(
+            four < 4.0 * one,
+            "latency must overlap: {one:.0} -> {four:.0}"
+        );
     }
 
     #[test]

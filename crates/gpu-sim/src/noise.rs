@@ -11,7 +11,10 @@
 /// Multiplicative noise factor in `[1 - amplitude, 1 + amplitude]`,
 /// deterministic in `(key, seed)`.
 pub fn measurement_noise(key: &str, seed: u64, amplitude: f64) -> f64 {
-    assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "amplitude must be in [0, 1)"
+    );
     let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95;
     for b in key.bytes() {
         h ^= b as u64;
@@ -24,13 +27,54 @@ pub fn measurement_noise(key: &str, seed: u64, amplitude: f64) -> f64 {
     1.0 + unit * amplitude
 }
 
+/// Pre-hashed identity of one evaluation point — the allocation-free
+/// replacement for the string keys of [`measurement_noise`]. Derived
+/// from the evaluation's `PlanKey` (device, kernel, config, dims) so
+/// distinct configurations de-correlate exactly as the string keys did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NoiseKey(pub u64);
+
+impl NoiseKey {
+    /// Fold a sequence of words into a key (FNV-style, order-sensitive).
+    pub fn from_words(words: &[u64]) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= h >> 29;
+        }
+        NoiseKey(h)
+    }
+}
+
+/// Multiplicative noise factor keyed by a pre-hashed [`NoiseKey`] — the
+/// same texture as [`measurement_noise`] without the per-call string
+/// allocation.
+pub fn measurement_noise_keyed(key: NoiseKey, seed: u64, amplitude: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&amplitude),
+        "amplitude must be in [0, 1)"
+    );
+    let mut h = key.0 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x51_7c_c1_b7_27_22_0a_95;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 32;
+    let unit = (h as f64 / u64::MAX as f64) * 2.0 - 1.0; // [-1, 1]
+    1.0 + unit * amplitude
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn deterministic() {
-        assert_eq!(measurement_noise("cfg-a", 1, 0.02), measurement_noise("cfg-a", 1, 0.02));
+        assert_eq!(
+            measurement_noise("cfg-a", 1, 0.02),
+            measurement_noise("cfg-a", 1, 0.02)
+        );
     }
 
     #[test]
@@ -57,8 +101,9 @@ mod tests {
 
     #[test]
     fn spreads_across_range() {
-        let vals: Vec<f64> =
-            (0..200).map(|i| measurement_noise(&format!("cfg{i}"), 7, 0.02)).collect();
+        let vals: Vec<f64> = (0..200)
+            .map(|i| measurement_noise(&format!("cfg{i}"), 7, 0.02))
+            .collect();
         assert!(vals.iter().any(|&v| v > 1.01));
         assert!(vals.iter().any(|&v| v < 0.99));
     }

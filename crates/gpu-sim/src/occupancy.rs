@@ -131,7 +131,11 @@ mod tests {
         // 64 threads, 16 regs, tiny smem: 8-block hardware cap binds.
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 64, regs_per_thread: 16, smem_bytes: 1024 },
+            &BlockResources {
+                threads: 64,
+                regs_per_thread: 16,
+                smem_bytes: 1024,
+            },
         );
         assert_eq!(occ.active_blocks, 8);
         assert_eq!(occ.limited_by, OccupancyLimit::BlockSlots);
@@ -143,7 +147,11 @@ mod tests {
         // 1024-thread blocks = 32 warps each; 48 warp slots → 1 block.
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 1024, regs_per_thread: 16, smem_bytes: 1024 },
+            &BlockResources {
+                threads: 1024,
+                regs_per_thread: 16,
+                smem_bytes: 1024,
+            },
         );
         assert_eq!(occ.active_blocks, 1);
         assert_eq!(occ.limited_by, OccupancyLimit::WarpSlots);
@@ -155,7 +163,11 @@ mod tests {
         // 32768-register file → 2 blocks.
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 256, regs_per_thread: 63, smem_bytes: 1024 },
+            &BlockResources {
+                threads: 256,
+                regs_per_thread: 63,
+                smem_bytes: 1024,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::Registers);
         assert_eq!(occ.active_blocks, 2);
@@ -166,7 +178,11 @@ mod tests {
         // 20 KB per block on a 48 KB SM → 2 blocks.
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 128, regs_per_thread: 16, smem_bytes: 20 * 1024 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 16,
+                smem_bytes: 20 * 1024,
+            },
         );
         assert_eq!(occ.active_blocks, 2);
         assert_eq!(occ.limited_by, OccupancyLimit::SharedMemory);
@@ -176,7 +192,11 @@ mod tests {
     fn smem_overflow_is_infeasible() {
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 128, regs_per_thread: 16, smem_bytes: 49 * 1024 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 16,
+                smem_bytes: 49 * 1024,
+            },
         );
         assert_eq!(occ.active_blocks, 0);
         assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
@@ -186,7 +206,11 @@ mod tests {
     fn too_many_threads_is_infeasible() {
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 2048, regs_per_thread: 16, smem_bytes: 0 },
+            &BlockResources {
+                threads: 2048,
+                regs_per_thread: 16,
+                smem_bytes: 0,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
     }
@@ -195,7 +219,11 @@ mod tests {
     fn too_many_regs_per_thread_is_infeasible() {
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 128, regs_per_thread: 64, smem_bytes: 0 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 64,
+                smem_bytes: 0,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
     }
@@ -204,7 +232,11 @@ mod tests {
     fn occupancy_fraction() {
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 192, regs_per_thread: 20, smem_bytes: 4096 },
+            &BlockResources {
+                threads: 192,
+                regs_per_thread: 20,
+                smem_bytes: 4096,
+            },
         );
         // 6 warps per block; check consistency of the fraction.
         assert_eq!(occ.active_warps, occ.active_blocks * 6);
@@ -218,7 +250,11 @@ mod tests {
         // un-rounded — granularity must bite.
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 128, regs_per_thread: 33, smem_bytes: 0 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 33,
+                smem_bytes: 0,
+            },
         );
         assert_eq!(occ.active_blocks, 7);
     }
@@ -228,7 +264,11 @@ mod tests {
         let k = DeviceSpec::gtx680();
         let occ = active_blocks(
             &k,
-            &BlockResources { threads: 64, regs_per_thread: 16, smem_bytes: 1024 },
+            &BlockResources {
+                threads: 64,
+                regs_per_thread: 16,
+                smem_bytes: 1024,
+            },
         );
         assert_eq!(occ.active_blocks, 16); // Blk_SM = 16 on Kepler
     }
@@ -244,7 +284,11 @@ mod tests {
     fn zero_thread_block_is_infeasible() {
         let occ = active_blocks(
             &dev(),
-            &BlockResources { threads: 0, regs_per_thread: 16, smem_bytes: 0 },
+            &BlockResources {
+                threads: 0,
+                regs_per_thread: 16,
+                smem_bytes: 0,
+            },
         );
         assert_eq!(occ.limited_by, OccupancyLimit::Infeasible);
     }

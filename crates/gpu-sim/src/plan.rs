@@ -31,7 +31,11 @@ impl GridDims {
 
     /// The paper's evaluation grid, `512 × 512 × 256`.
     pub fn paper() -> Self {
-        GridDims { lx: 512, ly: 512, lz: 256 }
+        GridDims {
+            lx: 512,
+            ly: 512,
+            lz: 256,
+        }
     }
 
     /// Total grid points (the paper's MPoint/s denominator).
@@ -150,8 +154,16 @@ mod tests {
                 ilp: 1.0,
                 syncthreads: 0,
             },
-            resources: BlockResources { threads: 256, regs_per_thread: 16, smem_bytes: 0 },
-            geometry: LaunchGeometry { blocks: 256, threads_per_block: 256, planes: 256 },
+            resources: BlockResources {
+                threads: 256,
+                regs_per_thread: 16,
+                smem_bytes: 0,
+            },
+            geometry: LaunchGeometry {
+                blocks: 256,
+                threads_per_block: 256,
+                planes: 256,
+            },
             elem_bytes: 4,
         };
         let dims = GridDims::paper();

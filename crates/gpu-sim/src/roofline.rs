@@ -101,9 +101,15 @@ mod tests {
         // past GTX680's DP ridge (128.8/150 ≈ 0.86) by a mile: compute
         // bound, hence the paper's vanishing DP speedups there.
         let i = intensity(49.0, 17.0);
-        assert_eq!(regime(&DeviceSpec::gtx680(), 8, i), RooflineRegime::ComputeBound);
+        assert_eq!(
+            regime(&DeviceSpec::gtx680(), 8, i),
+            RooflineRegime::ComputeBound
+        );
         // The full-rate-DP C2070 keeps it bandwidth-bound.
-        assert_eq!(regime(&DeviceSpec::c2070(), 8, i), RooflineRegime::BandwidthBound);
+        assert_eq!(
+            regime(&DeviceSpec::c2070(), 8, i),
+            RooflineRegime::BandwidthBound
+        );
     }
 
     #[test]
@@ -129,7 +135,10 @@ mod tests {
         // ceiling of its own traffic (~9.3 B/pt).
         let d = DeviceSpec::gtx580();
         let ceiling = mpoints_ceiling(&d, 4, 8.0, 9.3);
-        assert!(17294.0 < ceiling * 1.01, "paper headline vs ceiling {ceiling:.0}");
+        assert!(
+            17294.0 < ceiling * 1.01,
+            "paper headline vs ceiling {ceiling:.0}"
+        );
     }
 
     #[test]

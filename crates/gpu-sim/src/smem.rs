@@ -128,7 +128,10 @@ mod tests {
         // A pitch ≡ 16 (mod 32) staggers the two rows into the two bank
         // halves and removes the conflicts.
         let f_good = stencil_phase_factor(16, 128, 48, 1, 32, 32);
-        assert!(f_good < 1.1, "pitch 48 should be conflict-free, got {f_good}");
+        assert!(
+            f_good < 1.1,
+            "pitch 48 should be conflict-free, got {f_good}"
+        );
     }
 
     #[test]

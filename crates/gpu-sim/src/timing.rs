@@ -29,7 +29,7 @@
 use crate::counters::{LimitingFactor, SimReport};
 use crate::device::DeviceSpec;
 use crate::mem::MemCounters;
-use crate::noise::measurement_noise;
+use crate::noise::{measurement_noise, measurement_noise_keyed, NoiseKey};
 use crate::occupancy::{active_blocks, Occupancy};
 use crate::plan::{BlockPlan, GridDims};
 
@@ -89,6 +89,28 @@ impl SimOptions {
             ..SimOptions::default()
         }
     }
+
+    /// Fingerprint of the fields that affect the *clean* (pre-noise)
+    /// simulated time. Two option sets with equal fingerprints produce
+    /// bit-identical [`simulate_clean`] results, so the fingerprint is
+    /// the cache discriminant for memoized pricing; the noise fields are
+    /// deliberately excluded because noise is applied after pricing.
+    pub fn pricing_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        fold(self.launch_overhead_s.to_bits());
+        fold(self.barrier_cycles.to_bits());
+        fold(match self.hiding {
+            HidingModel::Linear => 0,
+            HidingModel::Saturating => 1,
+        });
+        h
+    }
 }
 
 /// The paper's latency-hiding function `f(·)`: linear between fully
@@ -135,11 +157,9 @@ pub fn plane_cycles_with(
     per_block.record_all(&plane.stores, device.segment_bytes);
     let mut store_ctr = MemCounters::default();
     store_ctr.record_all(&plane.stores, device.segment_bytes);
-    let dram_bytes = crate::mem::effective_load_bytes(
-        &plane.loads,
-        device.segment_bytes,
-        device.l1_dup_charge,
-    ) + store_ctr.transferred_bytes as f64;
+    let dram_bytes =
+        crate::mem::effective_load_bytes(&plane.loads, device.segment_bytes, device.l1_dup_charge)
+            + store_ctr.transferred_bytes as f64;
 
     let mem_cycles = dram_bytes * a / device.bytes_per_cycle_per_sm();
 
@@ -147,8 +167,7 @@ pub fn plane_cycles_with(
     let smem_instrs = plane.smem_warp_instrs as f64 * plane.bank_conflict_factor;
     let lsu_cycles = (global_instrs + smem_instrs) * a * device.lsu_cycles_per_warp_instr();
 
-    let compute_cycles =
-        plane.flops as f64 * a / device.flops_per_cycle_per_sm(plan.elem_bytes);
+    let compute_cycles = plane.flops as f64 * a / device.flops_per_cycle_per_sm(plan.elem_bytes);
 
     let warps = plan.resources.threads.div_ceil(device.warp_size) as f64;
     let parallelism = a * warps * plane.ilp.max(1.0);
@@ -179,8 +198,55 @@ pub fn plane_cycles_with(
     (busy.max(exposed) + 0.5 * busy.min(exposed), limiting)
 }
 
-/// Simulate one full grid sweep of `plan` on `device`.
-pub fn simulate(device: &DeviceSpec, plan: &BlockPlan, dims: &GridDims, opts: &SimOptions) -> SimReport {
+/// Simulate one full grid sweep of `plan` on `device`, then apply the
+/// string-keyed measurement noise configured in `opts` (if any).
+///
+/// This is the historical all-in-one entry point. New code should price
+/// with [`simulate_clean`] and perturb with [`apply_noise`] so the pure
+/// part can be memoized; this wrapper keeps the two-step split invisible
+/// to callers that still pass a `noise_key` string.
+pub fn simulate(
+    device: &DeviceSpec,
+    plan: &BlockPlan,
+    dims: &GridDims,
+    opts: &SimOptions,
+) -> SimReport {
+    let mut report = simulate_clean(device, plan, dims, opts);
+    if opts.noise_amplitude > 0.0 && report.feasible() {
+        report.time_s *= measurement_noise(
+            &format!(
+                "{}|{}|{}",
+                device.name, opts.noise_key, plan.geometry.blocks
+            ),
+            opts.noise_seed,
+            opts.noise_amplitude,
+        );
+    }
+    report
+}
+
+/// Multiply a priced report's time by the deterministic measurement
+/// noise for `(key, seed)`. The pure counterpart of the noise step that
+/// [`simulate`] performs inline; separated so clean [`SimReport`]s can
+/// be cached once and re-noised per seed. Infeasible reports pass
+/// through untouched.
+pub fn apply_noise(report: &mut SimReport, key: NoiseKey, seed: u64, amplitude: f64) {
+    if amplitude > 0.0 && report.feasible() {
+        report.time_s *= measurement_noise_keyed(key, seed, amplitude);
+    }
+}
+
+/// Price one full grid sweep of `plan` on `device` — the pure pricing
+/// layer. Deterministic in its arguments; the noise fields of `opts`
+/// are ignored (only the fields covered by
+/// [`SimOptions::pricing_fingerprint`] matter), which is what makes the
+/// result safely memoizable.
+pub fn simulate_clean(
+    device: &DeviceSpec,
+    plan: &BlockPlan,
+    dims: &GridDims,
+    opts: &SimOptions,
+) -> SimReport {
     let occ: Occupancy = active_blocks(device, &plan.resources);
     if occ.active_blocks == 0 {
         return SimReport::infeasible(dims.points(), occ);
@@ -201,17 +267,9 @@ pub fn simulate(device: &DeviceSpec, plan: &BlockPlan, dims: &GridDims, opts: &S
         plane_cycles_with(device, plan, rem_per_sm.max(1), opts.hiding);
     let barrier = plan.plane.syncthreads as f64 * opts.barrier_cycles;
 
-    let total_cycles = planes as f64
-        * ((stages as f64 - 1.0) * (full_cycles + barrier) + (rem_cycles + barrier));
-    let mut time_s = total_cycles / device.clock_hz() + opts.launch_overhead_s;
-
-    if opts.noise_amplitude > 0.0 {
-        time_s *= measurement_noise(
-            &format!("{}|{}|{}", device.name, opts.noise_key, blocks),
-            opts.noise_seed,
-            opts.noise_amplitude,
-        );
-    }
+    let total_cycles =
+        planes as f64 * ((stages as f64 - 1.0) * (full_cycles + barrier) + (rem_cycles + barrier));
+    let time_s = total_cycles / device.clock_hz() + opts.launch_overhead_s;
 
     // Whole-sweep traffic: every block runs every plane.
     let mut per_block = MemCounters::default();
@@ -221,7 +279,11 @@ pub fn simulate(device: &DeviceSpec, plan: &BlockPlan, dims: &GridDims, opts: &S
 
     let flops = plan.plane.flops * blocks as u64 * planes;
 
-    let limiting = if stages > 1 { limiting_full } else { limiting_rem };
+    let limiting = if stages > 1 {
+        limiting_full
+    } else {
+        limiting_rem
+    };
 
     SimReport {
         time_s,
@@ -244,8 +306,9 @@ mod tests {
     /// A simple streaming plan: `n_loads` coalesced SP warp loads and one
     /// coalesced store per plane, per block of 256 threads.
     fn stream_plan(n_loads: usize, flops: u64) -> BlockPlan {
-        let loads =
-            (0..n_loads).map(|i| WarpLoad::contiguous(i as u64 * 128, 32, 4)).collect();
+        let loads = (0..n_loads)
+            .map(|i| WarpLoad::contiguous(i as u64 * 128, 32, 4))
+            .collect();
         BlockPlan {
             plane: PlanePlan {
                 loads,
@@ -257,8 +320,16 @@ mod tests {
                 ilp: 1.0,
                 syncthreads: 1,
             },
-            resources: BlockResources { threads: 256, regs_per_thread: 20, smem_bytes: 4096 },
-            geometry: LaunchGeometry { blocks: 1024, threads_per_block: 256, planes: 64 },
+            resources: BlockResources {
+                threads: 256,
+                regs_per_thread: 20,
+                smem_bytes: 4096,
+            },
+            geometry: LaunchGeometry {
+                blocks: 1024,
+                threads_per_block: 256,
+                planes: 64,
+            },
             elem_bytes: 4,
         }
     }
@@ -267,7 +338,12 @@ mod tests {
     fn infeasible_plan_reports_infinity() {
         let mut plan = stream_plan(8, 100);
         plan.resources.smem_bytes = 1 << 20;
-        let rep = simulate(&DeviceSpec::gtx580(), &plan, &GridDims::paper(), &SimOptions::default());
+        let rep = simulate(
+            &DeviceSpec::gtx580(),
+            &plan,
+            &GridDims::paper(),
+            &SimOptions::default(),
+        );
         assert!(!rep.feasible());
     }
 
@@ -311,7 +387,10 @@ mod tests {
         let mut dp = sp.clone();
         dp.elem_bytes = 8;
         let dev = DeviceSpec::gtx580();
-        let o = SimOptions { launch_overhead_s: 0.0, ..SimOptions::default() };
+        let o = SimOptions {
+            launch_overhead_s: 0.0,
+            ..SimOptions::default()
+        };
         let t_sp = simulate(&dev, &sp, &GridDims::paper(), &o).time_s;
         let t_dp = simulate(&dev, &dp, &GridDims::paper(), &o).time_s;
         assert!(
@@ -351,7 +430,10 @@ mod tests {
         let mut plan_hi = plan.clone();
         plan_hi.resources.smem_bytes = 4096;
         let hi = simulate(&dev, &plan_hi, &GridDims::paper(), &o);
-        assert!(low.time_s > hi.time_s, "lower occupancy must not be faster here");
+        assert!(
+            low.time_s > hi.time_s,
+            "lower occupancy must not be faster here"
+        );
     }
 
     #[test]
@@ -386,7 +468,10 @@ mod tests {
         for p in [4.0, 12.0, 24.0, 40.0] {
             let sat = latency_hiding_fraction_saturating(&dev, p);
             let lin = latency_hiding_fraction(&dev, p);
-            assert!(sat > lin, "parallelism {p}: saturating {sat:.3} vs linear {lin:.3}");
+            assert!(
+                sat > lin,
+                "parallelism {p}: saturating {sat:.3} vs linear {lin:.3}"
+            );
         }
     }
 
@@ -400,10 +485,16 @@ mod tests {
         plan.plane.dependent_rounds = 5.0;
         let dev = DeviceSpec::gtx580();
         let lin = SimOptions::default();
-        let sat = SimOptions { hiding: HidingModel::Saturating, ..SimOptions::default() };
+        let sat = SimOptions {
+            hiding: HidingModel::Saturating,
+            ..SimOptions::default()
+        };
         let t_lin = simulate(&dev, &plan, &GridDims::paper(), &lin).time_s;
         let t_sat = simulate(&dev, &plan, &GridDims::paper(), &sat).time_s;
-        assert!(t_sat < t_lin, "saturating {t_sat} should beat linear {t_lin} here");
+        assert!(
+            t_sat < t_lin,
+            "saturating {t_sat} should beat linear {t_lin} here"
+        );
     }
 
     #[test]
@@ -422,8 +513,7 @@ mod tests {
     fn noise_is_bounded_and_deterministic() {
         let plan = stream_plan(4, 100);
         let dev = DeviceSpec::gtx580();
-        let clean =
-            simulate(&dev, &plan, &GridDims::paper(), &SimOptions::default()).time_s;
+        let clean = simulate(&dev, &plan, &GridDims::paper(), &SimOptions::default()).time_s;
         let o = SimOptions::with_noise("cfg", 7, 0.02);
         let a = simulate(&dev, &plan, &GridDims::paper(), &o).time_s;
         let b = simulate(&dev, &plan, &GridDims::paper(), &o).time_s;
@@ -435,7 +525,10 @@ mod tests {
     fn more_planes_cost_proportionally_more() {
         let plan = stream_plan(8, 100);
         let dev = DeviceSpec::gtx580();
-        let o = SimOptions { launch_overhead_s: 0.0, ..SimOptions::default() };
+        let o = SimOptions {
+            launch_overhead_s: 0.0,
+            ..SimOptions::default()
+        };
         let d1 = GridDims::new(512, 512, 64);
         let d2 = GridDims::new(512, 512, 128);
         let mut p1 = plan.clone();
@@ -445,6 +538,78 @@ mod tests {
         let t1 = simulate(&dev, &p1, &d1, &o).time_s;
         let t2 = simulate(&dev, &p2, &d2, &o).time_s;
         assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulate_is_clean_plus_string_noise() {
+        let plan = stream_plan(4, 100);
+        let dev = DeviceSpec::gtx580();
+        let o = SimOptions::default();
+        let clean = simulate_clean(&dev, &plan, &GridDims::paper(), &o);
+        let composed = simulate(&dev, &plan, &GridDims::paper(), &o);
+        assert_eq!(clean.time_s, composed.time_s);
+        let noisy_opts = SimOptions::with_noise("k", 3, 0.02);
+        // Clean pricing ignores the noise fields entirely.
+        assert_eq!(
+            simulate_clean(&dev, &plan, &GridDims::paper(), &noisy_opts).time_s,
+            clean.time_s
+        );
+    }
+
+    #[test]
+    fn apply_noise_is_deterministic_and_bounded() {
+        let plan = stream_plan(4, 100);
+        let dev = DeviceSpec::gtx580();
+        let clean = simulate_clean(&dev, &plan, &GridDims::paper(), &SimOptions::default());
+        let key = NoiseKey::from_words(&[1, 2, 3]);
+        let mut a = clean.clone();
+        apply_noise(&mut a, key, 7, 0.02);
+        let mut b = clean.clone();
+        apply_noise(&mut b, key, 7, 0.02);
+        assert_eq!(a.time_s, b.time_s);
+        assert!((a.time_s / clean.time_s - 1.0).abs() <= 0.02);
+        let mut c = clean.clone();
+        apply_noise(&mut c, key, 8, 0.02);
+        assert_ne!(
+            a.time_s, c.time_s,
+            "different seeds must perturb differently"
+        );
+        let mut z = clean.clone();
+        apply_noise(&mut z, key, 7, 0.0);
+        assert_eq!(z.time_s, clean.time_s, "zero amplitude is identity");
+    }
+
+    #[test]
+    fn apply_noise_leaves_infeasible_untouched() {
+        let mut plan = stream_plan(8, 100);
+        plan.resources.smem_bytes = 1 << 20;
+        let dev = DeviceSpec::gtx580();
+        let mut rep = simulate_clean(&dev, &plan, &GridDims::paper(), &SimOptions::default());
+        let before = rep.time_s;
+        apply_noise(&mut rep, NoiseKey::from_words(&[9]), 1, 0.02);
+        assert_eq!(rep.time_s.to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn pricing_fingerprint_tracks_only_pricing_fields() {
+        let base = SimOptions::default();
+        let noisy = SimOptions::with_noise("anything", 99, 0.05);
+        assert_eq!(base.pricing_fingerprint(), noisy.pricing_fingerprint());
+        let slower = SimOptions {
+            barrier_cycles: 64.0,
+            ..SimOptions::default()
+        };
+        assert_ne!(base.pricing_fingerprint(), slower.pricing_fingerprint());
+        let sat = SimOptions {
+            hiding: HidingModel::Saturating,
+            ..SimOptions::default()
+        };
+        assert_ne!(base.pricing_fingerprint(), sat.pricing_fingerprint());
+        let overhead = SimOptions {
+            launch_overhead_s: 0.0,
+            ..SimOptions::default()
+        };
+        assert_ne!(base.pricing_fingerprint(), overhead.pricing_fingerprint());
     }
 
     #[test]

@@ -53,7 +53,13 @@ pub fn copy_boundary_ring<T: Real>(input: &Grid3<T>, out: &mut Grid3<T>, r: usiz
 
 /// True if `(i, j, k)` lies in the boundary ring of width `r`.
 #[inline]
-pub fn in_boundary_ring(dims: (usize, usize, usize), r: usize, i: usize, j: usize, k: usize) -> bool {
+pub fn in_boundary_ring(
+    dims: (usize, usize, usize),
+    r: usize,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> bool {
     let (nx, ny, nz) = dims;
     i < r || i >= nx - r || j < r || j >= ny - r || k < r || k >= nz - r
 }

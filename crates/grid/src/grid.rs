@@ -40,11 +40,20 @@ impl<T: Real> Grid3<T> {
     /// # Panics
     /// Panics if any dimension is zero or `align_elems` is zero.
     pub fn new_aligned(nx: usize, ny: usize, nz: usize, align_elems: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be non-zero");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be non-zero"
+        );
         assert!(align_elems > 0, "alignment must be non-zero");
         let row_stride = nx.div_ceil(align_elems) * align_elems;
         let data = vec![T::ZERO; row_stride * ny * nz];
-        Self { nx, ny, nz, row_stride, data }
+        Self {
+            nx,
+            ny,
+            nz,
+            row_stride,
+            data,
+        }
     }
 
     /// Create a zero-filled unpadded grid.
@@ -181,17 +190,13 @@ impl<T: Real> Grid3<T> {
     /// Iterate logical elements in (k, j, i) order, yielding `((i, j, k), v)`.
     pub fn iter_logical(&self) -> impl Iterator<Item = ((usize, usize, usize), T)> + '_ {
         (0..self.nz).flat_map(move |k| {
-            (0..self.ny).flat_map(move |j| {
-                (0..self.nx).map(move |i| ((i, j, k), self.get(i, j, k)))
-            })
+            (0..self.ny)
+                .flat_map(move |j| (0..self.nx).map(move |i| ((i, j, k), self.get(i, j, k))))
         })
     }
 
     /// Iterate interior points only (ring of width `r` excluded).
-    pub fn iter_interior(
-        &self,
-        r: usize,
-    ) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+    pub fn iter_interior(&self, r: usize) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         let (nx, ny, nz) = self.dims();
         (r..nz.saturating_sub(r)).flat_map(move |k| {
             (r..ny.saturating_sub(r))

@@ -66,19 +66,19 @@ impl FillPattern {
                 grid.fill_with(|_, _, _| T::from_f64(rng.gen_range(lo..hi)));
             }
             FillPattern::Linear { a, b, c } => {
-                grid.fill_with(|i, j, k| {
-                    T::from_f64(a * i as f64 + b * j as f64 + c * k as f64)
-                });
+                grid.fill_with(|i, j, k| T::from_f64(a * i as f64 + b * j as f64 + c * k as f64));
             }
             FillPattern::GaussianPulse { amplitude, sigma } => {
-                let (cx, cy, cz) =
-                    ((nx - 1) as f64 / 2.0, (ny - 1) as f64 / 2.0, (nz - 1) as f64 / 2.0);
+                let (cx, cy, cz) = (
+                    (nx - 1) as f64 / 2.0,
+                    (ny - 1) as f64 / 2.0,
+                    (nz - 1) as f64 / 2.0,
+                );
                 let w = sigma * nx.min(ny).min(nz) as f64;
                 let w2 = 2.0 * w * w;
                 grid.fill_with(|i, j, k| {
-                    let d2 = (i as f64 - cx).powi(2)
-                        + (j as f64 - cy).powi(2)
-                        + (k as f64 - cz).powi(2);
+                    let d2 =
+                        (i as f64 - cx).powi(2) + (j as f64 - cy).powi(2) + (k as f64 - cz).powi(2);
                     T::from_f64(amplitude * (-d2 / w2).exp())
                 });
             }
@@ -133,24 +133,47 @@ mod tests {
 
     #[test]
     fn random_fill_is_seeded_and_in_range() {
-        let a: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(8, 8, 8);
-        let b: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(8, 8, 8);
+        let a: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 7,
+        }
+        .build(8, 8, 8);
+        let b: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 7,
+        }
+        .build(8, 8, 8);
         assert_eq!(a, b, "same seed must reproduce the same grid");
         assert!(a.iter_logical().all(|(_, v)| (-1.0..1.0).contains(&v)));
-        let c: Grid3<f64> = FillPattern::Random { lo: -1.0, hi: 1.0, seed: 8 }.build(8, 8, 8);
+        let c: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 8,
+        }
+        .build(8, 8, 8);
         assert_ne!(a, c, "different seeds should differ");
     }
 
     #[test]
     fn linear_fill_values() {
-        let g: Grid3<f64> = FillPattern::Linear { a: 1.0, b: 10.0, c: 100.0 }.build(4, 4, 4);
+        let g: Grid3<f64> = FillPattern::Linear {
+            a: 1.0,
+            b: 10.0,
+            c: 100.0,
+        }
+        .build(4, 4, 4);
         assert_eq!(g.get(2, 3, 1), 2.0 + 30.0 + 100.0);
     }
 
     #[test]
     fn gaussian_peak_is_at_centre() {
-        let g: Grid3<f64> =
-            FillPattern::GaussianPulse { amplitude: 1.0, sigma: 0.2 }.build(9, 9, 9);
+        let g: Grid3<f64> = FillPattern::GaussianPulse {
+            amplitude: 1.0,
+            sigma: 0.2,
+        }
+        .build(9, 9, 9);
         let centre = g.get(4, 4, 4);
         assert!((centre - 1.0).abs() < 1e-12);
         for ((i, j, k), v) in g.iter_logical() {
@@ -161,8 +184,12 @@ mod tests {
 
     #[test]
     fn sine_product_vanishes_on_axes() {
-        let g: Grid3<f64> =
-            FillPattern::SineProduct { fx: 1.0, fy: 1.0, fz: 1.0 }.build(8, 8, 8);
+        let g: Grid3<f64> = FillPattern::SineProduct {
+            fx: 1.0,
+            fy: 1.0,
+            fz: 1.0,
+        }
+        .build(8, 8, 8);
         assert!(g.get(0, 3, 3).abs() < 1e-12);
         assert!(g.get(3, 0, 3).abs() < 1e-12);
     }

@@ -42,7 +42,13 @@ pub fn iterate_stencil_loop<T: Real>(
         kernel(&input, &mut out);
         std::mem::swap(&mut input, &mut out);
     }
-    (input, IterationStats { steps, points_per_step })
+    (
+        input,
+        IterationStats {
+            steps,
+            points_per_step,
+        },
+    )
 }
 
 /// Run until `stop(step, grid)` returns true (checked *after* each step)

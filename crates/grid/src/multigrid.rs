@@ -105,12 +105,25 @@ pub fn apply_multigrid<T: Real>(
     outputs: &mut GridSet<T>,
     boundary: Boundary,
 ) {
-    assert_eq!(inputs.count(), kernel.num_inputs(), "{}: input count", kernel.name());
-    assert_eq!(outputs.count(), kernel.num_outputs(), "{}: output count", kernel.name());
+    assert_eq!(
+        inputs.count(),
+        kernel.num_inputs(),
+        "{}: input count",
+        kernel.name()
+    );
+    assert_eq!(
+        outputs.count(),
+        kernel.num_outputs(),
+        "{}: output count",
+        kernel.name()
+    );
     assert_eq!(inputs.dims(), outputs.dims(), "{}: dims", kernel.name());
     let r = kernel.radius();
     let (nx, ny, nz) = inputs.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
     for o in 0..kernel.num_outputs() {
         for k in r..nz - r {
             for j in r..ny - r {
@@ -163,8 +176,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn gridset_rejects_mismatched_dims() {
-        let _: GridSet<f32> =
-            GridSet::new(vec![Grid3::new(3, 3, 3), Grid3::new(4, 3, 3)]);
+        let _: GridSet<f32> = GridSet::new(vec![Grid3::new(3, 3, 3), Grid3::new(4, 3, 3)]);
     }
 
     #[test]

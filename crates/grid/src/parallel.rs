@@ -22,7 +22,10 @@ pub fn apply_reference_par<T: Real>(
     assert_eq!(input.dims(), out.dims(), "grids must have matching dims");
     let r = stencil.radius();
     let (nx, ny, nz) = input.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
 
     let plane_stride = out.plane_stride();
     let row_stride = out.row_stride();
@@ -43,11 +46,7 @@ pub fn apply_reference_par<T: Real>(
 }
 
 /// Run `steps` Jacobi iterations with the parallel reference.
-pub fn iterate_par<T: Real>(
-    initial: Grid3<T>,
-    stencil: &StarStencil<T>,
-    steps: usize,
-) -> Grid3<T> {
+pub fn iterate_par<T: Real>(initial: Grid3<T>, stencil: &StarStencil<T>, steps: usize) -> Grid3<T> {
     let mut input = initial;
     let mut out = input.clone();
     for _ in 0..steps {
@@ -67,8 +66,12 @@ mod tests {
         for radius in [1usize, 3] {
             let s: StarStencil<f32> = StarStencil::diffusion(radius);
             let n = 4 * radius + 9;
-            let input: Grid3<f32> =
-                FillPattern::Random { lo: -1.0, hi: 1.0, seed: 11 }.build(n, n, n);
+            let input: Grid3<f32> = FillPattern::Random {
+                lo: -1.0,
+                hi: 1.0,
+                seed: 11,
+            }
+            .build(n, n, n);
             let mut seq = Grid3::new(n, n, n);
             let mut par = Grid3::new(n, n, n);
             apply_reference(&s, &input, &mut seq, Boundary::CopyInput);
@@ -95,8 +98,11 @@ mod tests {
     #[test]
     fn iterate_par_matches_iterate() {
         let s: StarStencil<f64> = StarStencil::diffusion(2);
-        let initial: Grid3<f64> =
-            FillPattern::GaussianPulse { amplitude: 5.0, sigma: 0.2 }.build(16, 16, 16);
+        let initial: Grid3<f64> = FillPattern::GaussianPulse {
+            amplitude: 5.0,
+            sigma: 0.2,
+        }
+        .build(16, 16, 16);
         let (seq, _) = crate::iterate_stencil_loop(initial.clone(), 2, 6, |i, o| {
             apply_reference(&s, i, o, Boundary::CopyInput)
         });

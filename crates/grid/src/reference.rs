@@ -26,7 +26,10 @@ pub fn apply_reference<T: Real>(
     assert_eq!(input.dims(), out.dims(), "grids must have matching dims");
     let r = stencil.radius();
     let (nx, ny, nz) = input.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
     for k in r..nz - r {
         for j in r..ny - r {
             for i in r..nx - r {
@@ -52,7 +55,10 @@ pub fn apply_reference_inplane_order<T: Real>(
     assert_eq!(input.dims(), out.dims(), "grids must have matching dims");
     let r = stencil.radius();
     let (nx, ny, nz) = input.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
     // Pipeline of r pending planes of partial outputs, indexed by how many
     // updates they still need. queue[d] holds partials for plane (k - d).
     let plane_elems = (nx - 2 * r) * (ny - 2 * r);
@@ -109,7 +115,12 @@ mod tests {
     use crate::{FillPattern, Precision};
 
     fn random_grid<T: Real>(n: usize, seed: u64) -> Grid3<T> {
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed }.build(n, n, n)
+        FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed,
+        }
+        .build(n, n, n)
     }
 
     #[test]

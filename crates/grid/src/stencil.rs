@@ -34,7 +34,10 @@ impl<T: Real> StarStencil<T> {
     /// # Panics
     /// Panics if no coefficients are given (radius would be undefined).
     pub fn new(coeffs: Vec<T>) -> Self {
-        assert!(!coeffs.is_empty(), "need at least the centre coefficient c0");
+        assert!(
+            !coeffs.is_empty(),
+            "need at least the centre coefficient c0"
+        );
         Self { coeffs }
     }
 
@@ -55,7 +58,9 @@ impl<T: Real> StarStencil<T> {
 
     /// The classic 7-point Laplacian (radius 1): `c0 = -6, c1 = 1`.
     pub fn laplacian7() -> Self {
-        Self { coeffs: vec![T::from_f64(-6.0), T::ONE] }
+        Self {
+            coeffs: vec![T::from_f64(-6.0), T::ONE],
+        }
     }
 
     /// Stencil radius `r`.
@@ -76,7 +81,10 @@ impl<T: Real> StarStencil<T> {
     /// # Panics
     /// Panics if `order` is zero or odd.
     pub fn from_order(order: usize) -> Self {
-        assert!(order >= 2 && order.is_multiple_of(2), "stencil order must be even and >= 2");
+        assert!(
+            order >= 2 && order.is_multiple_of(2),
+            "stencil order must be even and >= 2"
+        );
         Self::diffusion(order / 2)
     }
 
@@ -158,13 +166,7 @@ impl<T: Real> StarStencil<T> {
     /// Evaluate the *partial* in-plane sum of Eqn (3) at `(i, j, k)`:
     /// everything except the forward (`k + m`) z-terms.
     #[inline]
-    pub fn eval_inplane_partial(
-        &self,
-        input: &crate::Grid3<T>,
-        i: usize,
-        j: usize,
-        k: usize,
-    ) -> T {
+    pub fn eval_inplane_partial(&self, input: &crate::Grid3<T>, i: usize, j: usize, k: usize) -> T {
         let r = self.radius();
         let mut acc = self.c0() * input.get(i, j, k);
         for m in 1..=r {
@@ -185,7 +187,12 @@ pub fn table1_rows() -> Vec<(usize, usize, usize, usize)> {
     (1..=6)
         .map(|r| {
             let s: StarStencil<f64> = StarStencil::diffusion(r);
-            (s.order(), s.extent(), s.memory_refs_per_elem(), s.flops_forward())
+            (
+                s.order(),
+                s.extent(),
+                s.memory_refs_per_elem(),
+                s.flops_forward(),
+            )
         })
         .collect()
 }
@@ -195,7 +202,12 @@ pub fn table2_rows() -> Vec<(usize, usize, usize, usize)> {
     (1..=6)
         .map(|r| {
             let s: StarStencil<f64> = StarStencil::diffusion(r);
-            (s.order(), s.memory_refs_per_elem(), s.flops_inplane(), s.flops_forward())
+            (
+                s.order(),
+                s.memory_refs_per_elem(),
+                s.flops_inplane(),
+                s.flops_forward(),
+            )
         })
         .collect()
 }

@@ -36,7 +36,13 @@ pub fn stats<T: Real>(g: &Grid3<T>) -> GridStats {
         sum_sq += x * x;
         linf = linf.max(x.abs());
     }
-    GridStats { min, max, mean: sum / g.len() as f64, l2: sum_sq.sqrt(), linf }
+    GridStats {
+        min,
+        max,
+        mean: sum / g.len() as f64,
+        l2: sum_sq.sqrt(),
+        linf,
+    }
 }
 
 /// Extract the sub-grid `[x0, x0+w) × [y0, y0+h) × [z0, z0+d)`.
@@ -49,7 +55,10 @@ pub fn subgrid<T: Real>(
     (w, h, d): (usize, usize, usize),
 ) -> Grid3<T> {
     let (nx, ny, nz) = g.dims();
-    assert!(x0 + w <= nx && y0 + h <= ny && z0 + d <= nz, "window exceeds grid");
+    assert!(
+        x0 + w <= nx && y0 + h <= ny && z0 + d <= nz,
+        "window exceeds grid"
+    );
     let mut out = Grid3::new(w, h, d);
     out.fill_with(|i, j, k| g.get(x0 + i, y0 + j, z0 + k));
     out
@@ -98,11 +107,17 @@ pub fn read_grid<T: Real>(r: &mut impl IoRead) -> io::Result<Grid3<T>> {
     if elem != T::PRECISION.bytes() as u64 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("file holds {elem}-byte elements, expected {}", T::PRECISION.bytes()),
+            format!(
+                "file holds {elem}-byte elements, expected {}",
+                T::PRECISION.bytes()
+            ),
         ));
     }
     if nx == 0 || ny == 0 || nz == 0 || nx.saturating_mul(ny).saturating_mul(nz) > (1 << 34) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible dimensions"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible dimensions",
+        ));
     }
     let mut g = Grid3::new(nx, ny, nz);
     for k in 0..nz {

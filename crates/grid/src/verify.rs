@@ -53,8 +53,16 @@ impl VerifyReport {
 }
 
 /// Compare `candidate` against `golden` within `tolerance` (absolute).
-pub fn verify_close<T: Real>(candidate: &Grid3<T>, golden: &Grid3<T>, tolerance: f64) -> VerifyReport {
-    assert_eq!(candidate.dims(), golden.dims(), "grids must have matching dims");
+pub fn verify_close<T: Real>(
+    candidate: &Grid3<T>,
+    golden: &Grid3<T>,
+    tolerance: f64,
+) -> VerifyReport {
+    assert_eq!(
+        candidate.dims(),
+        golden.dims(),
+        "grids must have matching dims"
+    );
     let mut max_abs = 0.0f64;
     let mut max_rel = 0.0f64;
     let mut worst_at = (0, 0, 0);
@@ -71,10 +79,20 @@ pub fn verify_close<T: Real>(candidate: &Grid3<T>, golden: &Grid3<T>, tolerance:
             max_rel = rel;
         }
         if !x.is_finite() {
-            return VerifyReport { max_abs: f64::INFINITY, max_rel: f64::INFINITY, worst_at: (i, j, k), tolerance };
+            return VerifyReport {
+                max_abs: f64::INFINITY,
+                max_rel: f64::INFINITY,
+                worst_at: (i, j, k),
+                tolerance,
+            };
         }
     }
-    VerifyReport { max_abs, max_rel, worst_at, tolerance }
+    VerifyReport {
+        max_abs,
+        max_rel,
+        worst_at,
+        tolerance,
+    }
 }
 
 /// Default verification tolerance for a precision after `steps` Jacobi

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use stencil_grid::{
-    apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern,
-    Grid3, StarStencil,
+    apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern, Grid3,
+    StarStencil,
 };
 
 proptest! {

@@ -77,7 +77,10 @@ pub fn execute_multi_gpu<T: Real>(
 ) -> (Grid3<T>, MultiGpuStats) {
     let r = stencil.radius();
     let (nx, ny, nz) = initial.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
     let parts = partition(nz, devices);
     assert!(
         parts.iter().all(|&(a, b)| b - a >= r),
@@ -93,11 +96,20 @@ pub fn execute_multi_gpu<T: Real>(
             let depth = (z1 - z0) + halo_lo + halo_hi;
             let mut local = Grid3::new(nx, ny, depth);
             local.fill_with(|i, j, k| initial.get(i, j, z0 - halo_lo + k));
-            Slab { z0, z1, halo_lo, halo_hi, local }
+            Slab {
+                z0,
+                z1,
+                halo_lo,
+                halo_hi,
+                local,
+            }
         })
         .collect();
 
-    let mut stats = MultiGpuStats { devices, ..Default::default() };
+    let mut stats = MultiGpuStats {
+        devices,
+        ..Default::default()
+    };
     let plane_bytes = (nx * ny * T::PRECISION.bytes()) as u64;
 
     for _ in 0..steps {
@@ -109,7 +121,14 @@ pub fn execute_multi_gpu<T: Real>(
         let mut next: Vec<Grid3<T>> = Vec::with_capacity(slabs.len());
         for s in &slabs {
             let mut out = s.local.clone();
-            execute_step(method, stencil, config, &s.local, &mut out, Boundary::CopyInput);
+            execute_step(
+                method,
+                stencil,
+                config,
+                &s.local,
+                &mut out,
+                Boundary::CopyInput,
+            );
             next.push(out);
         }
         for (s, n) in slabs.iter_mut().zip(next) {
@@ -195,17 +214,23 @@ mod tests {
     fn partition_covers_exactly() {
         assert_eq!(partition(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
         assert_eq!(partition(8, 1), vec![(0, 8)]);
-        assert_eq!(partition(8, 8), (0..8).map(|z| (z, z + 1)).collect::<Vec<_>>());
+        assert_eq!(
+            partition(8, 8),
+            (0..8).map(|z| (z, z + 1)).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn two_devices_match_one_bit_for_bit() {
         let s: StarStencil<f64> = StarStencil::diffusion(1);
         let cfg = LaunchConfig::new(8, 4, 1, 1);
-        let initial: Grid3<f64> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 9 }.build(14, 14, 12);
-        let golden =
-            single_device(Method::InPlane(Variant::FullSlice), &s, &cfg, &initial, 4);
+        let initial: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 9,
+        }
+        .build(14, 14, 12);
+        let golden = single_device(Method::InPlane(Variant::FullSlice), &s, &cfg, &initial, 4);
         let (multi, stats) = execute_multi_gpu(
             Method::InPlane(Variant::FullSlice),
             &s,

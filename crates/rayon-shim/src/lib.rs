@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+
+//! Std-only data-parallelism stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API surface it uses — `par_iter().map(..).collect()`,
+//! `par_iter().for_each(..)` and `par_chunks_mut(..)` chains — backed by
+//! `std::thread::scope` fan-out over `available_parallelism()` workers
+//! (overridable with `RAYON_NUM_THREADS`, like real rayon).
+//!
+//! Results are always produced in input order, so any pipeline that is a
+//! pure function per element is bit-identical to its sequential run —
+//! the property the evaluation-cache tests pin down.
+
+/// Worker threads used for parallel operations (`RAYON_NUM_THREADS`
+/// override, else `available_parallelism`).
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn threads_for(items: usize) -> usize {
+    current_num_threads().min(items).max(1)
+}
+
+/// Ordered parallel map over a slice.
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let workers = threads_for(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Parallel consumption of owned items.
+fn parallel_consume<I: Send, F: Fn(I) + Sync>(items: Vec<I>, f: &F) {
+    let n = items.len();
+    let workers = threads_for(n);
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    let mut batches: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while items.len() > chunk {
+        let rest = items.split_off(items.len() - chunk);
+        batches.push(rest);
+    }
+    batches.push(items);
+    std::thread::scope(|scope| {
+        for batch in batches {
+            scope.spawn(move || {
+                for item in batch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|item| f(item));
+    }
+}
+
+/// A mapped parallel iterator; terminal `collect` runs the fan-out.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Evaluate in parallel and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        // Rebind so the closure handed to workers is `&F`.
+        let f = &self.f;
+        parallel_map(self.items, &|item: &'a T| f(item))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint mutable chunks of `chunk_size` for parallel
+    /// processing.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParEnumChunksMut<'a, T> {
+        ParEnumChunksMut {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, f: F) {
+        parallel_consume(self.chunks, &f);
+    }
+}
+
+/// Enumerated parallel chunk iterator (supports `filter` + `for_each`).
+pub struct ParEnumChunksMut<'a, T> {
+    items: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParEnumChunksMut<'a, T> {
+    /// Keep only items matching `pred`.
+    pub fn filter<P: Fn(&(usize, &'a mut [T])) -> bool>(mut self, pred: P) -> Self {
+        self.items.retain(|item| pred(item));
+        self
+    }
+
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
+        parallel_consume(self.items, &f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_matches_sequential_for_any_length() {
+        for n in [0usize, 1, 2, 7, 63, 1000] {
+            let input: Vec<usize> = (0..n).collect();
+            let got: Vec<usize> = input.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(got.len(), n);
+            assert!(got.iter().enumerate().all(|(i, &v)| v == i + 1));
+        }
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_filter_for_each() {
+        let mut data = vec![0u32; 64];
+        data.par_chunks_mut(8)
+            .enumerate()
+            .filter(|(k, _)| *k % 2 == 0)
+            .for_each(|(k, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = k as u32 + 1;
+                }
+            });
+        for (i, &v) in data.iter().enumerate() {
+            let k = i / 8;
+            assert_eq!(v, if k % 2 == 0 { k as u32 + 1 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let input: Vec<u64> = (1..=1000).collect();
+        let sum = AtomicU64::new(0);
+        input.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500_500);
+    }
+}

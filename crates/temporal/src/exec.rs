@@ -65,7 +65,10 @@ pub fn execute_temporal<T: Real>(
     assert_eq!(input.dims(), out.dims());
     let r = stencil.radius();
     let (nx, ny, nz) = input.dims();
-    assert!(nx > 2 * r && ny > 2 * r && nz > 2 * r, "grid too small for radius {r}");
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
     let halo = r * t_steps;
     let mut stats = TemporalStats::default();
 
@@ -127,11 +130,7 @@ mod tests {
     use super::*;
     use stencil_grid::{iterate_stencil_loop, max_abs_diff, FillPattern};
 
-    fn golden<T: Real>(
-        stencil: &StarStencil<T>,
-        input: &Grid3<T>,
-        steps: usize,
-    ) -> Grid3<T> {
+    fn golden<T: Real>(stencil: &StarStencil<T>, input: &Grid3<T>, steps: usize) -> Grid3<T> {
         let (g, _) = iterate_stencil_loop(input.clone(), stencil.radius(), steps, |i, o| {
             apply_reference(stencil, i, o, Boundary::CopyInput)
         });
@@ -141,8 +140,12 @@ mod tests {
     #[test]
     fn one_step_equals_plain_reference() {
         let s: StarStencil<f64> = StarStencil::diffusion(1);
-        let input: Grid3<f64> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 1 }.build(14, 14, 10);
+        let input: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 1,
+        }
+        .build(14, 14, 10);
         let mut out = Grid3::new(14, 14, 10);
         execute_temporal(&s, &input, &mut out, 4, 4, 1);
         let expect = golden(&s, &input, 1);
@@ -154,8 +157,12 @@ mod tests {
         for (radius, t_steps) in [(1usize, 2usize), (1, 4), (2, 3)] {
             let s: StarStencil<f64> = StarStencil::diffusion(radius);
             let n = 4 * radius * t_steps + 7;
-            let input: Grid3<f64> =
-                FillPattern::Random { lo: -1.0, hi: 1.0, seed: 7 }.build(n, n, 2 * radius + 4);
+            let input: Grid3<f64> = FillPattern::Random {
+                lo: -1.0,
+                hi: 1.0,
+                seed: 7,
+            }
+            .build(n, n, 2 * radius + 4);
             let mut out = Grid3::new(n, n, 2 * radius + 4);
             execute_temporal(&s, &input, &mut out, 5, 3, t_steps);
             let expect = golden(&s, &input, t_steps);
@@ -169,8 +176,12 @@ mod tests {
     #[test]
     fn tile_size_does_not_change_the_answer() {
         let s: StarStencil<f64> = StarStencil::diffusion(1);
-        let input: Grid3<f64> =
-            FillPattern::Random { lo: 0.0, hi: 1.0, seed: 3 }.build(18, 18, 8);
+        let input: Grid3<f64> = FillPattern::Random {
+            lo: 0.0,
+            hi: 1.0,
+            seed: 3,
+        }
+        .build(18, 18, 8);
         let mut a = Grid3::new(18, 18, 8);
         let mut b = Grid3::new(18, 18, 8);
         execute_temporal(&s, &input, &mut a, 3, 7, 3);
@@ -186,7 +197,10 @@ mod tests {
             let mut out = Grid3::new(34, 34, 8);
             execute_temporal(&s, &input, &mut out, tile, tile, t).redundancy()
         };
-        assert!(run(8, 4) > run(8, 2), "deeper T must cost more redundant work");
+        assert!(
+            run(8, 4) > run(8, 2),
+            "deeper T must cost more redundant work"
+        );
         assert!(run(16, 4) < run(8, 4), "bigger tiles amortise the shell");
         assert!(run(8, 1) >= 1.0);
     }
@@ -194,8 +208,12 @@ mod tests {
     #[test]
     fn boundary_ring_is_held_fixed() {
         let s: StarStencil<f64> = StarStencil::diffusion(2);
-        let input: Grid3<f64> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 5 }.build(13, 13, 9);
+        let input: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 5,
+        }
+        .build(13, 13, 9);
         let mut out = Grid3::new(13, 13, 9);
         execute_temporal(&s, &input, &mut out, 4, 4, 3);
         for ((i, j, k), v) in out.iter_logical() {

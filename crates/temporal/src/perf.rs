@@ -10,11 +10,11 @@
 
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::plan::{BlockPlan, GridDims, LaunchGeometry, PlanePlan};
-use gpu_sim::{DeviceSpec, SimOptions, SimReport};
+use gpu_sim::{apply_noise, DeviceSpec, SimOptions, SimReport};
 use inplane_core::layout::TileGeometry;
 use inplane_core::regions::{Assignment, Region};
 use inplane_core::resources::BASE_REGS;
-use inplane_core::{KernelSpec, LaunchConfig};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig, PlanKey};
 
 /// A temporally blocked launch: spatial blocking plus temporal depth.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,7 +51,13 @@ pub fn temporal_plan(
     let vw = kernel.precision().max_vector_width();
 
     // Geometry with the temporally expanded halo standing in for `r`.
-    let geom = TileGeometry::interior(&config.launch, halo, kernel.elem_bytes as u64, dims.lx, device.segment_bytes);
+    let geom = TileGeometry::interior(
+        &config.launch,
+        halo,
+        kernel.elem_bytes as u64,
+        dims.lx,
+        device.segment_bytes,
+    );
 
     // Loads: one packed vectorised sweep over the expanded slab.
     let (sx_s, sx_e) = geom.slab_x();
@@ -126,6 +132,11 @@ pub fn temporal_plan(
 /// Simulate one sweep and return `(report, effective_mpoints)`: a sweep
 /// advances the whole grid by `T` steps, so the effective rate is `T ×`
 /// points over the sweep time.
+///
+/// Routes through the global [`EvalContext`]: the temporal plan and its
+/// clean price are memoized under a key salted with `T` (so a `T`-deep
+/// plan never aliases the plain spatial lowering of the same launch);
+/// noise, if enabled in `opts`, is applied after the cache.
 pub fn simulate_temporal(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -133,8 +144,16 @@ pub fn simulate_temporal(
     dims: GridDims,
     opts: &SimOptions,
 ) -> (SimReport, f64) {
-    let plan = temporal_plan(device, kernel, config, dims);
-    let report = gpu_sim::simulate(device, &plan, &dims, opts);
+    let key = PlanKey::with_salt(device, kernel, &config.launch, dims, config.t_steps as u64);
+    let mut report = EvalContext::global().price_with(device, &key, dims, opts, || {
+        temporal_plan(device, kernel, config, dims)
+    });
+    apply_noise(
+        &mut report,
+        key.noise_key(),
+        opts.noise_seed,
+        opts.noise_amplitude,
+    );
     let effective = report.mpoints_per_s() * config.t_steps as f64;
     (report, effective)
 }
@@ -179,7 +198,10 @@ mod tests {
         let dims = GridDims::paper();
         let cfg = TemporalConfig::new(LaunchConfig::new(64, 8, 1, 1), 16);
         let (rep, _) = simulate_temporal(&dev, &kernel(), &cfg, dims, &SimOptions::default());
-        assert!(!rep.feasible(), "T = 16 slabs cannot fit 48 KB of shared memory");
+        assert!(
+            !rep.feasible(),
+            "T = 16 slabs cannot fit 48 KB of shared memory"
+        );
     }
 
     #[test]
@@ -194,7 +216,10 @@ mod tests {
         };
         let e1 = eff(1);
         let best = (2..=8).map(eff).fold(0.0f64, f64::max);
-        assert!(best > e1, "some T > 1 must beat T = 1 for a bandwidth-bound kernel");
+        assert!(
+            best > e1,
+            "some T > 1 must beat T = 1 for a bandwidth-bound kernel"
+        );
         let deep = eff(8);
         let mid = eff(2).max(eff(3)).max(eff(4));
         assert!(deep < mid || deep == 0.0, "very deep T should fall off");

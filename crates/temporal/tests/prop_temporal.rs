@@ -6,8 +6,7 @@ use gpu_sim::{DeviceSpec, GridDims, SimOptions};
 use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
 use proptest::prelude::*;
 use stencil_grid::{
-    apply_reference, iterate_stencil_loop, max_abs_diff, Boundary, FillPattern, Grid3,
-    StarStencil,
+    apply_reference, iterate_stencil_loop, max_abs_diff, Boundary, FillPattern, Grid3, StarStencil,
 };
 use stencil_temporal::{execute_temporal, simulate_temporal, temporal_plan, TemporalConfig};
 

@@ -12,7 +12,10 @@ use inplane_isl::sim::DeviceSpec;
 use stencil_grid::Precision;
 
 fn main() {
-    let order: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let order: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let dims = GridDims::paper();
     let kernel = KernelSpec::star_order(
         inplane_isl::core::Method::InPlane(Variant::FullSlice),

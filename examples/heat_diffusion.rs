@@ -22,8 +22,11 @@ fn main() {
     let n = 40;
     let steps = 25;
     let stencil = StarStencil::<f64>::diffusion(1);
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 100.0, sigma: 0.08 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 100.0,
+        sigma: 0.08,
+    }
+    .build(n, n, n);
     println!(
         "heat diffusion: {n}^3 grid, {steps} Jacobi steps, initial peak {:.1}",
         peak(&initial)
@@ -47,7 +50,10 @@ fn main() {
 
     for (name, grid) in [("forward-plane", &fwd), ("in-plane", &inp)] {
         let err = stencil_grid::max_abs_diff(grid, &cpu);
-        println!("  {name:14} peak {:8.3}  max |err| vs CPU {err:.2e}", peak(grid));
+        println!(
+            "  {name:14} peak {:8.3}  max |err| vs CPU {err:.2e}",
+            peak(grid)
+        );
         assert!(err < 1e-10, "{name} diverged from the reference");
     }
     println!("  pulse decayed {:.1}x", peak(&initial) / peak(&cpu));
@@ -55,10 +61,21 @@ fn main() {
     // What would this cost on real-sized grids on a GTX580?
     let dev = gpu_sim::DeviceSpec::gtx580();
     let dims = GridDims::paper();
-    println!("\nprojected time for {steps} steps on {} at 512x512x256 (DP):", dev.name);
+    println!(
+        "\nprojected time for {steps} steps on {} at 512x512x256 (DP):",
+        dev.name
+    );
     for (label, method, cfg) in [
-        ("nvstencil", Method::ForwardPlane, LaunchConfig::new(128, 8, 1, 1)),
-        ("in-plane full-slice", Method::InPlane(Variant::FullSlice), LaunchConfig::new(128, 1, 1, 4)),
+        (
+            "nvstencil",
+            Method::ForwardPlane,
+            LaunchConfig::new(128, 8, 1, 1),
+        ),
+        (
+            "in-plane full-slice",
+            Method::InPlane(Variant::FullSlice),
+            LaunchConfig::new(128, 1, 1, 4),
+        ),
     ] {
         let spec = KernelSpec::star_order(method, 2, stencil_grid::Precision::Double);
         let rep = simulate_star_kernel(&dev, &spec, &cfg, dims);

@@ -16,8 +16,11 @@ use stencil_grid::Precision;
 fn main() {
     let stencil = StarStencil::<f64>::diffusion(1);
     let config = LaunchConfig::new(8, 8, 1, 1);
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 100.0, sigma: 0.1 }.build(32, 32, 24);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 100.0,
+        sigma: 0.1,
+    }
+    .build(32, 32, 24);
     let steps = 6;
 
     // Single-device reference run.
@@ -52,14 +55,17 @@ fn main() {
 
     // Projected strong scaling at paper scale.
     let dev = DeviceSpec::gtx580();
-    let kernel = KernelSpec::star_order(
-        Method::InPlane(Variant::FullSlice),
-        2,
-        Precision::Single,
-    );
+    let kernel = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 2, Precision::Single);
     let tuned = LaunchConfig::new(128, 4, 1, 2);
     println!("\nprojected strong scaling at 512x512x256 SP on GTX580s over PCIe 2.0:");
-    for p in simulate_scaling(&dev, &kernel, &tuned, GridDims::paper(), &Interconnect::pcie2(), 8) {
+    for p in simulate_scaling(
+        &dev,
+        &kernel,
+        &tuned,
+        GridDims::paper(),
+        &Interconnect::pcie2(),
+        8,
+    ) {
         println!(
             "  {} GPU(s): {:6.0} MPoint/s, efficiency {:.2}, exchange {:4.1}% of the step",
             p.devices,

@@ -21,7 +21,9 @@ fn residual(u: &Grid3<f64>, f: &Grid3<f64>) -> f64 {
     for k in 1..nz - 1 {
         for j in 1..ny - 1 {
             for i in 1..nx - 1 {
-                let lap = u.get(i - 1, j, k) + u.get(i + 1, j, k) + u.get(i, j - 1, k)
+                let lap = u.get(i - 1, j, k)
+                    + u.get(i + 1, j, k)
+                    + u.get(i, j - 1, k)
                     + u.get(i, j + 1, k)
                     + u.get(i, j, k - 1)
                     + u.get(i, j, k + 1)
@@ -58,12 +60,16 @@ fn main() -> std::io::Result<()> {
             println!("  step {iterations}: residual {:.3e}", residual(&u, &f));
         }
     }
-    println!(
-        "converged to 5% of the initial residual in {iterations} Jacobi steps"
-    );
+    println!("converged to 5% of the initial residual in {iterations} Jacobi steps");
     let s = stats(&u);
-    println!("solution range [{:.4}, {:.4}], L2 {:.4}", s.min, s.max, s.l2);
-    assert!(s.min < 0.0 && s.max > 0.0, "dipole potential must have both signs");
+    println!(
+        "solution range [{:.4}, {:.4}], L2 {:.4}",
+        s.min, s.max, s.l2
+    );
+    assert!(
+        s.min < 0.0 && s.max > 0.0,
+        "dipole potential must have both signs"
+    );
 
     // Checkpoint and re-load.
     let mut buf = Vec::new();
@@ -75,7 +81,10 @@ fn main() -> std::io::Result<()> {
     // Project the cost of those iterations on the GTX580 at paper scale.
     let dev = DeviceSpec::gtx580();
     let dims = GridDims::paper();
-    println!("\nprojected {iterations} DP iterations at 512x512x256 on {}:", dev.name);
+    println!(
+        "\nprojected {iterations} DP iterations at 512x512x256 on {}:",
+        dev.name
+    );
     for method in [Method::ForwardPlane, Method::InPlane(Variant::FullSlice)] {
         let app: &dyn MultiGridKernel<f64> = &poisson;
         let spec = KernelSpec::from_app(method, app);

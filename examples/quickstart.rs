@@ -18,8 +18,12 @@ fn main() {
     // --- 1. problem setup -------------------------------------------------
     let stencil = StarStencil::<f32>::from_order(4);
     let n = 48;
-    let input: Grid3<f32> =
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed: 42 }.build(n, n, n);
+    let input: Grid3<f32> = FillPattern::Random {
+        lo: -1.0,
+        hi: 1.0,
+        seed: 42,
+    }
+    .build(n, n, n);
     println!("4th-order SP star stencil on a {n}x{n}x{n} grid");
 
     // --- 2. functional run + verification --------------------------------
@@ -34,12 +38,7 @@ fn main() {
         Boundary::CopyInput,
     );
     let mut golden = Grid3::new(n, n, n);
-    stencil_grid::apply_reference_inplane_order(
-        &stencil,
-        &input,
-        &mut golden,
-        Boundary::CopyInput,
-    );
+    stencil_grid::apply_reference_inplane_order(&stencil, &input, &mut golden, Boundary::CopyInput);
     let report = stencil_grid::verify_close(&emulated, &golden, 1e-6);
     println!(
         "emulated {} blocks, staged {} cells -> max |err| vs CPU reference: {:.2e} ({})",
@@ -75,5 +74,16 @@ fn main() {
         tuned.best.config,
         tuned.best.mpoints,
         tuned.evaluated()
+    );
+
+    // Steps 3 and 4 both measured through the global EvalContext: each
+    // (device, kernel, config, dims) point was planned and priced once,
+    // and the tuner's noisy "measurements" reused the cached clean price.
+    let stats = EvalContext::global().stats();
+    println!(
+        "evaluation cache: {} hits, {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
     );
 }

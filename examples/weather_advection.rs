@@ -25,7 +25,11 @@ fn centre_of_mass_x(g: &Grid3<f64>) -> f64 {
 
 fn main() {
     let n = 32;
-    let wind = Upstream { cx: 0.4, cy: 0.0, cz: 0.0 };
+    let wind = Upstream {
+        cx: 0.4,
+        cy: 0.0,
+        cz: 0.0,
+    };
     println!(
         "upwind advection on a {n}^3 grid, Courant numbers ({}, {}, {})",
         wind.cx, wind.cy, wind.cz
@@ -49,7 +53,10 @@ fn main() {
     let x1 = centre_of_mass_x(&tracer);
     println!("tracer centre of mass: x = {x0:.2} -> {x1:.2} after {steps} steps");
     assert!(x1 > x0 + 2.0, "tracer must advect downwind");
-    let max = tracer.iter_logical().map(|(_, v)| v).fold(f64::MIN, f64::max);
+    let max = tracer
+        .iter_logical()
+        .map(|(_, v)| v)
+        .fold(f64::MIN, f64::max);
     assert!(max <= 1.0 + 1e-9, "upwind scheme must not overshoot");
     println!("peak after transport: {max:.3} (bounded, as upwind guarantees)");
 

@@ -49,11 +49,10 @@ pub use stencil_temporal as temporal;
 pub mod prelude {
     pub use gpu_sim::{DeviceSpec, GridDims, SimOptions};
     pub use inplane_core::{
-        simulate_star_kernel, KernelSpec, LaunchConfig, Method, Variant,
+        simulate_star_kernel, CacheStats, EvalContext, KernelSpec, LaunchConfig, Method, PlanKey,
+        Variant,
     };
-    pub use stencil_autotune::{
-        exhaustive_tune, model_based_tune, ParameterSpace, TuneOutcome,
-    };
+    pub use stencil_autotune::{exhaustive_tune, model_based_tune, ParameterSpace, TuneOutcome};
     pub use stencil_grid::{
         apply_reference, iterate_stencil_loop, Boundary, FillPattern, Grid3, Precision, Real,
         StarStencil,

@@ -32,7 +32,10 @@ fn measurement_noise_is_seeded_not_random() {
     assert_eq!(t1, t2);
     let t3 = measure_kernel(&dev, &kernel(), &c, dims, 43).time_s;
     assert_ne!(t1, t3, "different seeds should jitter");
-    assert!((t3 / t1 - 1.0).abs() < 0.025, "jitter bounded by noise amplitude");
+    assert!(
+        (t3 / t1 - 1.0).abs() < 0.025,
+        "jitter bounded by noise amplitude"
+    );
 }
 
 #[test]
@@ -54,12 +57,30 @@ fn tuning_outcome_is_reproducible() {
 fn functional_execution_is_deterministic() {
     use inplane_isl::core::execute_step;
     let stencil = StarStencil::<f32>::from_order(4);
-    let input: Grid3<f32> =
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed: 9 }.build(16, 16, 16);
+    let input: Grid3<f32> = FillPattern::Random {
+        lo: -1.0,
+        hi: 1.0,
+        seed: 9,
+    }
+    .build(16, 16, 16);
     let c = LaunchConfig::new(8, 4, 1, 1);
     let mut a = Grid3::new(16, 16, 16);
     let mut b = Grid3::new(16, 16, 16);
-    execute_step(Method::InPlane(Variant::Vertical), &stencil, &c, &input, &mut a, Boundary::CopyInput);
-    execute_step(Method::InPlane(Variant::Vertical), &stencil, &c, &input, &mut b, Boundary::CopyInput);
+    execute_step(
+        Method::InPlane(Variant::Vertical),
+        &stencil,
+        &c,
+        &input,
+        &mut a,
+        Boundary::CopyInput,
+    );
+    execute_step(
+        Method::InPlane(Variant::Vertical),
+        &stencil,
+        &c,
+        &input,
+        &mut b,
+        Boundary::CopyInput,
+    );
     assert_eq!(a, b);
 }

@@ -1,0 +1,65 @@
+//! End-to-end check of the memoizing evaluation pipeline: repeating a
+//! full tuning sweep against a warm [`EvalContext`] must be dominated by
+//! cache hits and dramatically faster than the cold sweep that populated
+//! it, while returning bit-identical results.
+
+use std::time::Instant;
+
+use inplane_isl::autotune::{exhaustive_tune_with, ParameterSpace};
+use inplane_isl::prelude::*;
+
+#[test]
+fn warm_sweep_is_cached_and_much_faster() {
+    let dev = DeviceSpec::gtx580();
+    let kernel = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 8, Precision::Single);
+    let dims = GridDims::paper();
+    let space = ParameterSpace::paper_space(&dev, &kernel, &dims);
+    assert!(
+        space.len() > 100,
+        "need a non-trivial sweep, got {}",
+        space.len()
+    );
+
+    let ctx = EvalContext::new();
+    let t0 = Instant::now();
+    let cold = exhaustive_tune_with(&ctx, &dev, &kernel, dims, &space, 42);
+    let cold_time = t0.elapsed();
+    let after_cold = ctx.stats();
+    assert_eq!(after_cold.hits, 0, "a fresh context cannot hit");
+    assert_eq!(after_cold.misses, space.len() as u64);
+
+    // Warm repeats: same sweep, same seed. Best of three absorbs
+    // scheduler jitter; correctness is asserted on every repeat.
+    let mut warm_time = None;
+    for _ in 0..3 {
+        let t1 = Instant::now();
+        let warm = exhaustive_tune_with(&ctx, &dev, &kernel, dims, &space, 42);
+        let dt = t1.elapsed();
+        warm_time = Some(warm_time.map_or(dt, |w: std::time::Duration| w.min(dt)));
+        assert_eq!(warm.best.config, cold.best.config);
+        assert_eq!(warm.best.mpoints.to_bits(), cold.best.mpoints.to_bits());
+        for (a, b) in warm.samples.iter().zip(&cold.samples) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.mpoints.to_bits(), b.mpoints.to_bits());
+        }
+    }
+    let warm_time = warm_time.unwrap();
+
+    // The warm passes performed no new pricing work at all.
+    let after_warm = ctx.stats();
+    assert_eq!(
+        after_warm.misses, after_cold.misses,
+        "warm sweeps must not miss"
+    );
+    assert_eq!(after_warm.inserts, after_cold.inserts);
+    let warm_lookups =
+        (after_warm.hits + after_warm.misses) - (after_cold.hits + after_cold.misses);
+    let warm_hit_rate = (after_warm.hits - after_cold.hits) as f64 / warm_lookups as f64;
+    assert!(warm_hit_rate > 0.95, "warm hit rate {warm_hit_rate:.3}");
+
+    let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64();
+    assert!(
+        speedup >= 5.0,
+        "warm sweep only {speedup:.1}x faster (cold {cold_time:?}, warm {warm_time:?})"
+    );
+}

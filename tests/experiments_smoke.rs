@@ -6,7 +6,11 @@ use stencil_bench::exp;
 use stencil_bench::RunOpts;
 
 fn quick() -> RunOpts {
-    RunOpts { quick: true, seed: 1, csv_dir: None }
+    RunOpts {
+        quick: true,
+        seed: 1,
+        csv_dir: None,
+    }
 }
 
 #[test]

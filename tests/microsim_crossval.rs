@@ -19,7 +19,10 @@ fn plans() -> Vec<(String, gpu_sim::BlockPlan)> {
         (Method::InPlane(Variant::Vertical), "vertical"),
     ] {
         for order in [2usize, 8] {
-            for config in [LaunchConfig::new(64, 8, 1, 1), LaunchConfig::new(128, 4, 1, 2)] {
+            for config in [
+                LaunchConfig::new(64, 8, 1, 1),
+                LaunchConfig::new(128, 4, 1, 2),
+            ] {
                 let spec = KernelSpec::star_order(method, order, Precision::Single);
                 out.push((
                     format!("{label} order {order} at {config}"),

@@ -7,18 +7,18 @@ use inplane_isl::sim::measure_achieved_bandwidth;
 use stencil_autotune::ParameterSpace;
 use stencil_grid::Precision;
 
-fn tune(
-    dev: &DeviceSpec,
-    kernel: &KernelSpec,
-    dims: GridDims,
-    register_blocking: bool,
-) -> f64 {
+fn tune(dev: &DeviceSpec, kernel: &KernelSpec, dims: GridDims, register_blocking: bool) -> f64 {
     let space = ParameterSpace::quick_space(dev, kernel, &dims);
     let space = if register_blocking {
         space
     } else {
         ParameterSpace::from_configs(
-            space.configs().iter().copied().filter(|c| !c.has_register_blocking()).collect(),
+            space
+                .configs()
+                .iter()
+                .copied()
+                .filter(|c| !c.has_register_blocking())
+                .collect(),
         )
     };
     exhaustive_tune(dev, kernel, dims, &space, 1).best.mpoints
@@ -31,7 +31,16 @@ fn abstract_claim_speedup_near_2x_exists() {
     let dims = GridDims::paper();
     let mut best = 0.0f64;
     for dev in DeviceSpec::paper_devices() {
-        let nv = tune(&dev, &KernelSpec::star_order(inplane_isl::core::Method::ForwardPlane, 2, Precision::Single), dims, false);
+        let nv = tune(
+            &dev,
+            &KernelSpec::star_order(
+                inplane_isl::core::Method::ForwardPlane,
+                2,
+                Precision::Single,
+            ),
+            dims,
+            false,
+        );
         let fs = tune(
             &dev,
             &KernelSpec::star_order(
@@ -44,7 +53,10 @@ fn abstract_claim_speedup_near_2x_exists() {
         );
         best = best.max(fs / nv);
     }
-    assert!(best > 1.6, "best order-2 speedup {best:.2} should approach 2x");
+    assert!(
+        best > 1.6,
+        "best order-2 speedup {best:.2} should approach 2x"
+    );
     assert!(best < 2.8, "speedup {best:.2} implausibly high");
 }
 
@@ -83,7 +95,11 @@ fn measured_bandwidths_match_section_iv_a() {
     ];
     for (dev, expect) in cases {
         let got = measure_achieved_bandwidth(&dev);
-        assert!((got - expect).abs() / expect < 0.03, "{}: {got:.1}", dev.name);
+        assert!(
+            (got - expect).abs() / expect < 0.03,
+            "{}: {got:.1}",
+            dev.name
+        );
     }
 }
 
@@ -94,7 +110,16 @@ fn speedup_decreases_with_stencil_order() {
     let dev = DeviceSpec::gtx580();
     let dims = GridDims::paper();
     let speedup = |order: usize| {
-        let nv = tune(&dev, &KernelSpec::star_order(inplane_isl::core::Method::ForwardPlane, order, Precision::Single), dims, false);
+        let nv = tune(
+            &dev,
+            &KernelSpec::star_order(
+                inplane_isl::core::Method::ForwardPlane,
+                order,
+                Precision::Single,
+            ),
+            dims,
+            false,
+        );
         let fs = tune(
             &dev,
             &KernelSpec::star_order(
@@ -109,7 +134,10 @@ fn speedup_decreases_with_stencil_order() {
     };
     let low = (speedup(2) + speedup(4)) / 2.0;
     let high = (speedup(10) + speedup(12)) / 2.0;
-    assert!(low > high, "low-order mean {low:.2} vs high-order mean {high:.2}");
+    assert!(
+        low > high,
+        "low-order mean {low:.2} vs high-order mean {high:.2}"
+    );
 }
 
 #[test]
@@ -119,7 +147,12 @@ fn dp_speedups_are_smaller_than_sp_on_gtx680() {
     let dev = DeviceSpec::gtx680();
     let dims = GridDims::paper();
     let speedup = |order: usize, prec: Precision| {
-        let nv = tune(&dev, &KernelSpec::star_order(inplane_isl::core::Method::ForwardPlane, order, prec), dims, false);
+        let nv = tune(
+            &dev,
+            &KernelSpec::star_order(inplane_isl::core::Method::ForwardPlane, order, prec),
+            dims,
+            false,
+        );
         let fs = tune(
             &dev,
             &KernelSpec::star_order(
@@ -134,8 +167,14 @@ fn dp_speedups_are_smaller_than_sp_on_gtx680() {
     };
     let sp = speedup(10, Precision::Single);
     let dp = speedup(10, Precision::Double);
-    assert!(dp < sp, "order-10 GTX680: DP {dp:.2} should trail SP {sp:.2}");
-    assert!(dp < 1.45, "high-order DP speedup should be marginal, got {dp:.2}");
+    assert!(
+        dp < sp,
+        "order-10 GTX680: DP {dp:.2} should trail SP {sp:.2}"
+    );
+    assert!(
+        dp < 1.45,
+        "high-order DP speedup should be marginal, got {dp:.2}"
+    );
 }
 
 #[test]
@@ -145,7 +184,16 @@ fn c2070_supports_very_high_orders() {
     // and still favours the in-plane method.
     let dev = DeviceSpec::c2070();
     let dims = GridDims::paper();
-    let nv = tune(&dev, &KernelSpec::star_order(inplane_isl::core::Method::ForwardPlane, 32, Precision::Single), dims, false);
+    let nv = tune(
+        &dev,
+        &KernelSpec::star_order(
+            inplane_isl::core::Method::ForwardPlane,
+            32,
+            Precision::Single,
+        ),
+        dims,
+        false,
+    );
     let fs = tune(
         &dev,
         &KernelSpec::star_order(
@@ -171,6 +219,14 @@ fn c2070_supports_very_high_orders() {
     // pure-traffic model; the corner-free horizontal variant carries the
     // in-plane win at extreme orders (see EXPERIMENTS.md).
     let best_inplane = fs.max(hz);
-    assert!(best_inplane / nv > 1.0, "order-32 SP speedup {:.2}", best_inplane / nv);
-    assert!(fs / nv > 0.8, "full-slice should remain competitive, got {:.2}", fs / nv);
+    assert!(
+        best_inplane / nv > 1.0,
+        "order-32 SP speedup {:.2}",
+        best_inplane / nv
+    );
+    assert!(
+        fs / nv > 0.8,
+        "full-slice should remain competitive, got {:.2}",
+        fs / nv
+    );
 }

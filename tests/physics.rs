@@ -17,8 +17,12 @@ fn diffusion_eigenmode_decays_at_the_analytic_rate() {
     let stencil = StarStencil::<f64>::diffusion(1);
     // Eigenfunction of the periodic operator; with Dirichlet ring the
     // interior still tracks the eigenvalue for several steps.
-    let initial: Grid3<f64> =
-        FillPattern::SineProduct { fx: 1.0, fy: 1.0, fz: 1.0 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::SineProduct {
+        fx: 1.0,
+        fy: 1.0,
+        fz: 1.0,
+    }
+    .build(n, n, n);
     // Eigenvalue of c0 + c1 * (2cos kx + 2cos ky + 2cos kz) at k = 2π/n.
     let k = 2.0 * PI / n as f64;
     let lambda = 0.5 + (0.5 / 6.0) * (2.0 * k.cos()) * 3.0;
@@ -54,12 +58,22 @@ fn diffusion_eigenmode_decays_at_the_analytic_rate() {
 fn diffusion_conserves_mass_before_boundary_contact() {
     let n = 40usize;
     let stencil = StarStencil::<f64>::diffusion(1);
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 1.0, sigma: 0.05 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 1.0,
+        sigma: 0.05,
+    }
+    .build(n, n, n);
     let mass0 = total(&initial);
     let config = LaunchConfig::new(8, 8, 1, 2);
     let (out, _) = iterate_stencil_loop(initial, 1, 5, |inp, o| {
-        execute_step(Method::ForwardPlane, &stencil, &config, inp, o, Boundary::CopyInput);
+        execute_step(
+            Method::ForwardPlane,
+            &stencil,
+            &config,
+            inp,
+            o,
+            Boundary::CopyInput,
+        );
     });
     let mass1 = total(&out);
     assert!(
@@ -74,8 +88,12 @@ fn diffusion_conserves_mass_before_boundary_contact() {
 fn diffusion_maximum_principle() {
     let n = 20usize;
     let stencil = StarStencil::<f64>::diffusion(2);
-    let initial: Grid3<f64> =
-        FillPattern::Random { lo: -1.0, hi: 1.0, seed: 31 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::Random {
+        lo: -1.0,
+        hi: 1.0,
+        seed: 31,
+    }
+    .build(n, n, n);
     let config = LaunchConfig::new(8, 4, 1, 1);
     let mut grid = initial;
     let mut out = Grid3::new(n, n, n);
@@ -92,8 +110,14 @@ fn diffusion_maximum_principle() {
         );
         let after_max = out.iter_logical().map(|(_, v)| v).fold(f64::MIN, f64::max);
         let after_min = out.iter_logical().map(|(_, v)| v).fold(f64::MAX, f64::min);
-        assert!(after_max <= before_max + 1e-12, "max grew: {before_max} -> {after_max}");
-        assert!(after_min >= before_min - 1e-12, "min fell: {before_min} -> {after_min}");
+        assert!(
+            after_max <= before_max + 1e-12,
+            "max grew: {before_max} -> {after_max}"
+        );
+        assert!(
+            after_min >= before_min - 1e-12,
+            "min fell: {before_min} -> {after_min}"
+        );
         std::mem::swap(&mut grid, &mut out);
     }
 }
@@ -104,8 +128,11 @@ fn diffusion_maximum_principle() {
 fn methods_agree_on_long_horizons() {
     let n = 24usize;
     let stencil = StarStencil::<f64>::diffusion(1);
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 50.0, sigma: 0.1 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 50.0,
+        sigma: 0.1,
+    }
+    .build(n, n, n);
     let config = LaunchConfig::new(8, 8, 1, 1);
     let run = |method| {
         let (g, _) = iterate_stencil_loop(initial.clone(), 1, 25, |inp, o| {

@@ -11,9 +11,13 @@ use stencil_grid::Precision;
 fn cells() -> Vec<table4::Cell> {
     // Quick space over the full 512x512x256 grid: the absolute rates are
     // grid-scale-sensitive, the search-space reduction is not.
-    table4::compute(&RunOpts { quick: true, seed: 1, csv_dir: None })
-        .into_iter()
-        .collect()
+    table4::compute(&RunOpts {
+        quick: true,
+        seed: 1,
+        csv_dir: None,
+    })
+    .into_iter()
+    .collect()
 }
 
 #[test]
@@ -21,7 +25,13 @@ fn all_36_cells_within_factor_two_of_paper() {
     let cells = cells();
     assert_eq!(cells.len(), 36);
     for c in &cells {
-        assert!(c.mpoints > 0.0, "{} {} order {}: infeasible", c.precision, c.device, c.order);
+        assert!(
+            c.mpoints > 0.0,
+            "{} {} order {}: infeasible",
+            c.precision,
+            c.device,
+            c.order
+        );
         let ratio = c.mpoints / c.paper.1;
         assert!(
             (0.5..2.2).contains(&ratio),
@@ -84,7 +94,10 @@ fn fermi_speedups_decrease_from_low_to_high_orders() {
         };
         let low = (speedup(2) + speedup(4)) / 2.0;
         let high = (speedup(10) + speedup(12)) / 2.0;
-        assert!(low > high, "{dev}: low-order mean {low:.2} vs high-order {high:.2}");
+        assert!(
+            low > high,
+            "{dev}: low-order mean {low:.2} vs high-order {high:.2}"
+        );
     }
 }
 

@@ -7,8 +7,7 @@
 use inplane_isl::core::execute_step;
 use inplane_isl::prelude::*;
 use stencil_grid::{
-    apply_reference, apply_reference_inplane_order, default_tolerance, max_abs_diff,
-    verify_close,
+    apply_reference, apply_reference_inplane_order, default_tolerance, max_abs_diff, verify_close,
 };
 
 fn configs() -> Vec<LaunchConfig> {
@@ -32,11 +31,22 @@ fn every_method_every_order_sp() {
         for order in [2usize, 4, 6] {
             let stencil = StarStencil::<f32>::from_order(order);
             let n = order + 9;
-            let input: Grid3<f32> =
-                FillPattern::Random { lo: -1.0, hi: 1.0, seed: order as u64 }.build(n, n, n);
+            let input: Grid3<f32> = FillPattern::Random {
+                lo: -1.0,
+                hi: 1.0,
+                seed: order as u64,
+            }
+            .build(n, n, n);
             for config in configs() {
                 let mut got = Grid3::new(n, n, n);
-                execute_step(method, &stencil, &config, &input, &mut got, Boundary::CopyInput);
+                execute_step(
+                    method,
+                    &stencil,
+                    &config,
+                    &input,
+                    &mut got,
+                    Boundary::CopyInput,
+                );
                 let mut golden = Grid3::new(n, n, n);
                 match method {
                     Method::ForwardPlane => {
@@ -64,8 +74,11 @@ fn multi_step_iteration_stays_verified_dp() {
     let stencil = StarStencil::<f64>::from_order(4);
     let n = 20;
     let steps = 8;
-    let initial: Grid3<f64> =
-        FillPattern::GaussianPulse { amplitude: 10.0, sigma: 0.15 }.build(n, n, n);
+    let initial: Grid3<f64> = FillPattern::GaussianPulse {
+        amplitude: 10.0,
+        sigma: 0.15,
+    }
+    .build(n, n, n);
 
     let (cpu, _) = iterate_stencil_loop(initial.clone(), 2, steps, |inp, out| {
         apply_reference(&stencil, inp, out, Boundary::CopyInput);
@@ -94,8 +107,12 @@ fn high_order_stencils_verify() {
         let r = order / 2;
         let stencil = StarStencil::<f64>::from_order(order);
         let n = 2 * r + 5;
-        let input: Grid3<f64> =
-            FillPattern::Random { lo: -1.0, hi: 1.0, seed: 77 }.build(n, n, n);
+        let input: Grid3<f64> = FillPattern::Random {
+            lo: -1.0,
+            hi: 1.0,
+            seed: 77,
+        }
+        .build(n, n, n);
         let mut got = Grid3::new(n, n, n);
         execute_step(
             Method::InPlane(Variant::FullSlice),
@@ -121,7 +138,14 @@ fn forward_and_inplane_agree_across_methods() {
     let config = LaunchConfig::new(8, 2, 1, 4);
     let mut a = Grid3::new(n, n, n);
     let mut b = Grid3::new(n, n, n);
-    execute_step(Method::ForwardPlane, &stencil, &config, &input, &mut a, Boundary::CopyInput);
+    execute_step(
+        Method::ForwardPlane,
+        &stencil,
+        &config,
+        &input,
+        &mut a,
+        Boundary::CopyInput,
+    );
     execute_step(
         Method::InPlane(Variant::Horizontal),
         &stencil,
