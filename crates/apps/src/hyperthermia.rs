@@ -1,6 +1,6 @@
 //! The hyperthermia cancer-treatment stencil (Table V: *Hyperthermia*,
 //! 10 in / 1 out), after the Pennes bioheat kernel used in the Patus
-//! framework the paper takes it from [17].
+//! framework the paper takes it from \[17\].
 //!
 //! The temperature update at each point combines the six neighbours and
 //! the centre with **spatially varying** coefficients — tissue

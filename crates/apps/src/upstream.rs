@@ -1,6 +1,6 @@
 //! The upstream (upwind-biased advection) stencil from weather-forecast
 //! code (Table V: *Upstream*, 1 in / 1 out), after the Patus kernel the
-//! paper takes it from [17].
+//! paper takes it from \[17\].
 //!
 //! A first-order upwind advection update with a constant wind vector
 //! `(ux, uy, uz)`: each axis takes its difference against the upstream

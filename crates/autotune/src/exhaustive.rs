@@ -15,6 +15,32 @@ pub struct TuneSample {
     pub mpoints: f64,
 }
 
+/// How a tuning outcome was produced — the search itself, a persistent
+/// store lookup, or a search warm-started from a stored sibling result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The full search ran in this process.
+    #[default]
+    Computed,
+    /// Served verbatim from a persistent tune store without searching.
+    Store,
+    /// The search ran, but its measured shortlist was seeded with the
+    /// stored best configuration of a sibling key (same kernel,
+    /// different device or grid).
+    WarmStarted,
+}
+
+impl Provenance {
+    /// Short human-readable label ("computed", "store", "warm-started").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provenance::Computed => "computed",
+            Provenance::Store => "store",
+            Provenance::WarmStarted => "warm-started",
+        }
+    }
+}
+
 /// Result of a tuning run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TuneOutcome {
@@ -22,6 +48,10 @@ pub struct TuneOutcome {
     pub best: TuneSample,
     /// Every sample, in descending measured performance.
     pub samples: Vec<TuneSample>,
+    /// Where the result came from (always [`Provenance::Computed`] for
+    /// an in-process search; the tune-store service overrides it when a
+    /// result is served from persistence).
+    pub provenance: Provenance,
 }
 
 impl TuneOutcome {
@@ -95,6 +125,7 @@ pub fn exhaustive_tune_with(
     TuneOutcome {
         best: samples[0],
         samples,
+        provenance: Provenance::Computed,
     }
 }
 

@@ -23,10 +23,12 @@ pub mod space;
 pub mod stochastic;
 pub mod surface;
 
-pub use exhaustive::{exhaustive_tune, exhaustive_tune_with, TuneOutcome, TuneSample};
+pub use exhaustive::{exhaustive_tune, exhaustive_tune_with, Provenance, TuneOutcome, TuneSample};
 pub use model::predict_mpoints;
-pub use model_based::{model_based_tune, model_based_tune_with, ModelBasedOutcome};
-pub use report::{summarize, TuneReport};
+pub use model_based::{
+    model_based_tune, model_based_tune_seeded_with, model_based_tune_with, ModelBasedOutcome,
+};
+pub use report::{summarize, summarize_with, StoreCounters, TuneReport};
 pub use space::ParameterSpace;
 pub use stochastic::{stochastic_tune, stochastic_tune_with, AnnealOptions, StochasticOutcome};
 pub use surface::{performance_surface, performance_surface_with, SurfacePoint};

@@ -2,7 +2,7 @@
 //! the analytic model, *execute* only the top β% of configurations, and
 //! return the best actually-measured one.
 
-use crate::exhaustive::TuneSample;
+use crate::exhaustive::{Provenance, TuneSample};
 use crate::model::predict_mpoints;
 use crate::space::ParameterSpace;
 use gpu_sim::{DeviceSpec, GridDims};
@@ -14,19 +14,37 @@ use rayon::prelude::*;
 pub struct ModelBasedOutcome {
     /// Best measured configuration among the executed candidates.
     pub best: TuneSample,
-    /// Number of configurations actually executed (`N = β/100 · M`).
+    /// Number of configurations actually executed (`N = β/100 · M`,
+    /// plus any injected warm-start seeds).
     pub executed: usize,
     /// Total size of the parameter space (`M`).
     pub space_size: usize,
-    /// The executed candidates in model-rank order with their
-    /// (prediction, measurement) pairs.
+    /// The executed candidates in model-rank order (warm-start seeds
+    /// first, when present) with their (prediction, measurement) pairs.
     pub candidates: Vec<(LaunchConfig, f64, f64)>,
+    /// [`Provenance::WarmStarted`] when a stored sibling configuration
+    /// was injected into the shortlist, [`Provenance::Computed`]
+    /// otherwise.
+    pub provenance: Provenance,
 }
 
 impl ModelBasedOutcome {
     /// Fraction of the space executed.
     pub fn executed_fraction(&self) -> f64 {
         self.executed as f64 / self.space_size as f64
+    }
+
+    /// Repackage as a [`crate::TuneOutcome`] over the executed candidates.
+    pub fn into_outcome(self) -> crate::TuneOutcome {
+        crate::TuneOutcome {
+            best: self.best,
+            samples: self
+                .candidates
+                .into_iter()
+                .map(|(config, _, mpoints)| TuneSample { config, mpoints })
+                .collect(),
+            provenance: self.provenance,
+        }
     }
 }
 
@@ -68,6 +86,32 @@ pub fn model_based_tune_with(
     beta_percent: f64,
     seed: u64,
 ) -> ModelBasedOutcome {
+    model_based_tune_seeded_with(ctx, device, kernel, dims, space, beta_percent, seed, &[])
+}
+
+/// [`model_based_tune_with`] with a warm-start: `warm_seeds` are
+/// configurations (typically stored optima of the same kernel on a
+/// different device or grid, supplied by the tune-store service) that
+/// are injected at the front of the measured shortlist when they are
+/// feasible in `space` and not already shortlisted by the model.
+///
+/// The outcome's provenance is [`Provenance::WarmStarted`] iff at least
+/// one seed was injected; seeds the model already ranked into the top
+/// β% change nothing and leave the provenance [`Provenance::Computed`].
+///
+/// # Panics
+/// Panics on an empty space or a non-positive β.
+#[allow(clippy::too_many_arguments)]
+pub fn model_based_tune_seeded_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    space: &ParameterSpace,
+    beta_percent: f64,
+    seed: u64,
+    warm_seeds: &[LaunchConfig],
+) -> ModelBasedOutcome {
     assert!(
         !space.is_empty(),
         "cannot tune over an empty parameter space"
@@ -86,10 +130,24 @@ pub fn model_based_tune_with(
     let n = ((beta_percent / 100.0) * space.len() as f64).ceil() as usize;
     let n = n.clamp(1, space.len());
 
+    // Seed the shortlist: stored sibling optima ride along in front of
+    // the model's own picks (dedup'd, and only if feasible here).
+    let mut shortlist: Vec<(LaunchConfig, f64)> = Vec::with_capacity(n + warm_seeds.len());
+    let mut injected = false;
+    for &c in warm_seeds {
+        let in_top = ranked[..n].iter().any(|&(rc, _)| rc == c);
+        let in_space = space.configs().contains(&c);
+        if !in_top && in_space && !shortlist.iter().any(|&(sc, _)| sc == c) {
+            shortlist.push((c, predict_mpoints(device, kernel, &c, &dims)));
+            injected = true;
+        }
+    }
+    shortlist.extend_from_slice(&ranked[..n]);
+
     // Execute them and record actual run-time performance.
-    let shortlist: Vec<LaunchConfig> = ranked[..n].iter().map(|&(c, _)| c).collect();
-    let measured = ctx.measure_batch(device, kernel, &shortlist, dims, seed);
-    let candidates: Vec<(LaunchConfig, f64, f64)> = ranked[..n]
+    let configs: Vec<LaunchConfig> = shortlist.iter().map(|&(c, _)| c).collect();
+    let measured = ctx.measure_batch(device, kernel, &configs, dims, seed);
+    let candidates: Vec<(LaunchConfig, f64, f64)> = shortlist
         .iter()
         .zip(&measured)
         .map(|(&(c, pred), report)| (c, pred, report.mpoints_per_s()))
@@ -103,9 +161,14 @@ pub fn model_based_tune_with(
 
     ModelBasedOutcome {
         best,
-        executed: n,
+        executed: candidates.len(),
         space_size: space.len(),
         candidates,
+        provenance: if injected {
+            Provenance::WarmStarted
+        } else {
+            Provenance::Computed
+        },
     }
 }
 

@@ -1,10 +1,28 @@
 //! Human-readable tuning reports: what the paper's performance surfaces
 //! (Fig 8) summarise, as numbers — distribution statistics over the
-//! search space, the top candidates, and what limits them.
+//! search space, the top candidates, and what limits them — plus the
+//! cache and tune-store counters that make a run's reuse behaviour
+//! observable.
 
 use crate::exhaustive::TuneOutcome;
 use gpu_sim::{DeviceSpec, GridDims, LimitingFactor, SimOptions};
-use inplane_core::{simulate_kernel, KernelSpec};
+use inplane_core::{simulate_kernel, CacheStats, EvalContext, KernelSpec};
+
+/// Counters of a persistent tune store, as surfaced in a [`TuneReport`].
+///
+/// The store itself lives in `stencil-tunestore` (which depends on this
+/// crate); this mirror struct keeps the dependency one-way while still
+/// letting reports carry store behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that missed and fell through to a search.
+    pub misses: u64,
+    /// Persisted records skipped as corrupt (checksum/parse failures,
+    /// truncated lines) or stale (schema-version mismatch) at load.
+    pub corrupt: u64,
+}
 
 /// Distribution summary of a tuning run.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +43,25 @@ pub struct TuneReport {
     pub tuning_gain_over_median: f64,
     /// The limiting factor of the winning configuration.
     pub best_limited_by: LimitingFactor,
+    /// Evaluation-cache counters for the run (`None` when summarised
+    /// without a context).
+    pub cache: Option<CacheStats>,
+    /// Persistent tune-store counters (`None` when no store was used).
+    pub store: Option<StoreCounters>,
+}
+
+/// Nearest-rank quantile over an ascending-sorted non-empty slice.
+///
+/// `(len - 1) · q` is *rounded* to the nearest index — truncation would
+/// bias q1/median/q3 low on small sample sets (e.g. the median of five
+/// samples must be index 2, not whatever `floor` lands on for q = 0.5
+/// after float noise, and q3 must be index 3, not 2).
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Summarise a completed tuning run (re-pricing the winner for its
@@ -42,15 +79,8 @@ pub fn summarize(
         .filter(|&m| m > 0.0)
         .collect();
     feasible.sort_by(f64::total_cmp);
-    let pick = |q: f64| {
-        if feasible.is_empty() {
-            0.0
-        } else {
-            feasible[((feasible.len() - 1) as f64 * q) as usize]
-        }
-    };
     let best = outcome.best.mpoints;
-    let median = pick(0.5);
+    let median = nearest_rank(&feasible, 0.5);
     let rep = simulate_kernel(
         device,
         kernel,
@@ -62,18 +92,40 @@ pub fn summarize(
         evaluated: outcome.evaluated(),
         best,
         median,
-        q1: pick(0.25),
-        q3: pick(0.75),
-        worst_feasible: pick(0.0),
+        q1: nearest_rank(&feasible, 0.25),
+        q3: nearest_rank(&feasible, 0.75),
+        worst_feasible: nearest_rank(&feasible, 0.0),
         tuning_gain_over_median: if median > 0.0 { best / median } else { 0.0 },
         best_limited_by: rep.limiting,
+        cache: None,
+        store: None,
     }
 }
 
+/// [`summarize`], capturing the evaluation-cache counters of the
+/// context the run used.
+pub fn summarize_with(
+    ctx: &EvalContext,
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    outcome: &TuneOutcome,
+) -> TuneReport {
+    let mut report = summarize(device, kernel, dims, outcome);
+    report.cache = Some(ctx.stats());
+    report
+}
+
 impl TuneReport {
+    /// Attach persistent tune-store counters (builder style).
+    pub fn with_store(mut self, counters: StoreCounters) -> Self {
+        self.store = Some(counters);
+        self
+    }
+
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "evaluated {} configurations\n\
              best {:.0} MPoint/s (limited by {:?})\n\
              quartiles: {:.0} / {:.0} / {:.0} MPoint/s; worst feasible {:.0}\n\
@@ -86,14 +138,30 @@ impl TuneReport {
             self.q3,
             self.worst_feasible,
             self.tuning_gain_over_median,
-        )
+        );
+        if let Some(c) = self.cache {
+            out.push_str(&format!(
+                "\neval cache: {} hits / {} misses / {} inserts ({:.0}% hit rate)",
+                c.hits,
+                c.misses,
+                c.inserts,
+                100.0 * c.hit_rate(),
+            ));
+        }
+        if let Some(s) = self.store {
+            out.push_str(&format!(
+                "\ntune store: {} hits / {} misses / {} corrupt-or-stale skipped",
+                s.hits, s.misses, s.corrupt,
+            ));
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{exhaustive_tune, ParameterSpace};
+    use crate::{exhaustive_tune, exhaustive_tune_with, ParameterSpace};
     use inplane_core::{Method, Variant};
     use stencil_grid::Precision;
 
@@ -119,6 +187,25 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_pins_known_five_element_quartiles() {
+        // Truncating (len-1)·q floors q1 to index 0 and q3 to index 2;
+        // nearest-rank must land on indices 1 / 2 / 3.
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(nearest_rank(&sorted, 0.0), 10.0);
+        assert_eq!(nearest_rank(&sorted, 0.25), 20.0);
+        assert_eq!(nearest_rank(&sorted, 0.5), 30.0);
+        assert_eq!(nearest_rank(&sorted, 0.75), 40.0);
+        assert_eq!(nearest_rank(&sorted, 1.0), 50.0);
+        // Four samples: q1 rounds (3·0.25 = 0.75) up to index 1.
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&four, 0.25), 2.0);
+        assert_eq!(nearest_rank(&four, 0.75), 3.0);
+        // Degenerate inputs stay total.
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+        assert_eq!(nearest_rank(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
     fn tuning_buys_something_real() {
         // The paper's whole §IV-C point: the spread between a blind pick
         // and the tuned optimum is large.
@@ -138,5 +225,26 @@ mod tests {
         let s = rep.render();
         assert!(s.contains("best"));
         assert!(s.contains("quartiles"));
+        assert!(!s.contains("eval cache"), "no counters without a context");
+    }
+
+    #[test]
+    fn counters_surface_in_render() {
+        let dev = DeviceSpec::gtx580();
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dims = GridDims::new(256, 256, 32);
+        let space = ParameterSpace::quick_space(&dev, &k, &dims);
+        let ctx = EvalContext::new();
+        let out = exhaustive_tune_with(&ctx, &dev, &k, dims, &space, 1);
+        let rep = summarize_with(&ctx, &dev, &k, dims, &out).with_store(StoreCounters {
+            hits: 1,
+            misses: 2,
+            corrupt: 0,
+        });
+        let cache = rep.cache.expect("cache counters captured");
+        assert_eq!(cache.misses as usize, space.len());
+        let s = rep.render();
+        assert!(s.contains("eval cache:"));
+        assert!(s.contains("tune store: 1 hits / 2 misses"));
     }
 }

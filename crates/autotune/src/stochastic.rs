@@ -1,6 +1,6 @@
 //! Stochastic search tuning — the §II alternative to exhaustive search
 //! for large parameter spaces ("for a larger search space, methods like
-//! dynamic programming or stochastic search can be used [17]").
+//! dynamic programming or stochastic search can be used \[17\]").
 //!
 //! A simulated-annealing walk over the constrained `(TX, TY, RX, RY)`
 //! lattice: neighbours differ in one factor by one step (half-warp for
@@ -49,6 +49,17 @@ pub struct StochasticOutcome {
     pub executed: usize,
     /// The accepted-walk trace `(config, measured)` in order.
     pub trace: Vec<TuneSample>,
+}
+
+impl StochasticOutcome {
+    /// Repackage as a [`crate::TuneOutcome`] over the walk trace.
+    pub fn into_outcome(self) -> crate::TuneOutcome {
+        crate::TuneOutcome {
+            best: self.best,
+            samples: self.trace,
+            provenance: crate::Provenance::Computed,
+        }
+    }
 }
 
 /// One-factor neighbours of `c` within the feasible space.

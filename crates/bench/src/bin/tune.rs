@@ -11,7 +11,10 @@
 use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::{KernelSpec, Method, Variant};
 use stencil_autotune::{exhaustive_tune, model_based_tune, ParameterSpace};
+use stencil_bench::exp::service_at;
+use stencil_bench::opts::TUNE_STORE_ENV;
 use stencil_grid::Precision;
+use stencil_tunestore::{TuneRequest, TunerSpec};
 
 struct Args {
     device: DeviceSpec,
@@ -21,15 +24,18 @@ struct Args {
     beta: Option<f64>,
     dims: GridDims,
     seed: u64,
+    store: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tune [--device gtx580|gtx680|c2070] [--order N] [--precision sp|dp]\n\
          \x20           [--method nvstencil|classical|vertical|horizontal|full-slice]\n\
-         \x20           [--beta PCT] [--lx N --ly N --lz N] [--seed N]\n\
+         \x20           [--beta PCT] [--lx N --ly N --lz N] [--seed N] [--store PATH]\n\
          --beta selects model-based tuning (execute only the top PCT% of the space);\n\
-         without it the search is exhaustive."
+         without it the search is exhaustive.\n\
+         --store (or INPLANE_TUNE_STORE) persists results; a repeated run is\n\
+         served from disk bit-identically without re-searching."
     );
     std::process::exit(2)
 }
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         beta: None,
         dims: GridDims::paper(),
         seed: 1,
+        store: std::env::var(TUNE_STORE_ENV).ok().filter(|p| !p.is_empty()),
     };
     let mut it = std::env::args().skip(1);
     let (mut lx, mut ly, mut lz) = (512usize, 512usize, 256usize);
@@ -80,6 +87,7 @@ fn parse_args() -> Args {
             "--ly" => ly = val().parse().unwrap_or_else(|_| usage()),
             "--lz" => lz = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--store" => args.store = Some(val()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -97,6 +105,35 @@ fn main() {
     );
     let space = ParameterSpace::paper_space(&a.device, &kernel, &a.dims);
     println!("{} feasible configurations", space.len());
+    if let Some(svc) = a.store.as_deref().and_then(service_at) {
+        let tuner = match a.beta {
+            Some(beta_percent) => TunerSpec::ModelBased { beta_percent },
+            None => TunerSpec::Exhaustive,
+        };
+        let resp = svc.resolve(&TuneRequest {
+            device: a.device,
+            kernel,
+            dims: a.dims,
+            space,
+            tuner,
+            seed: a.seed,
+        });
+        println!(
+            "optimal: {} -> {:.0} MPoint/s ({}, {} configurations executed)",
+            resp.best.config,
+            resp.best.mpoints,
+            resp.provenance.label(),
+            resp.evaluated
+        );
+        let s = svc.store().stats();
+        println!(
+            "tune store: {} hits / {} misses / {} corrupt-or-stale skipped",
+            s.hits,
+            s.misses,
+            s.skipped()
+        );
+        return;
+    }
     match a.beta {
         Some(beta) => {
             let out = model_based_tune(&a.device, &kernel, a.dims, &space, beta, a.seed);

@@ -5,18 +5,75 @@
 //! ```sh
 //! cargo run --release -p stencil-bench --bin tuners [-- --quick]
 //! ```
+//!
+//! With `--store <path>` (or `INPLANE_TUNE_STORE`) every strategy's
+//! result persists; a second run is served from disk and the closing
+//! report shows the store and evaluation-cache counters.
 
 use gpu_sim::DeviceSpec;
-use inplane_core::{KernelSpec, Method, Variant};
+use inplane_core::{EvalContext, KernelSpec, Method, Variant};
 use stencil_autotune::{
-    exhaustive_tune, model_based_tune, stochastic_tune, AnnealOptions, ParameterSpace,
+    exhaustive_tune_with, model_based_tune_with, stochastic_tune_with, summarize_with,
+    AnnealOptions, ParameterSpace, TuneOutcome,
 };
+use stencil_bench::exp::service_at;
 use stencil_bench::{fmt, RunOpts};
 use stencil_grid::Precision;
+use stencil_tunestore::{TuneRequest, TuneService, TunerSpec};
+
+/// Resolve one strategy, through the service when one is mounted.
+/// Returns the outcome plus the configurations the *producing* search
+/// executed (meaningful even when the result was served from the store).
+fn run_strategy(
+    svc: Option<&TuneService>,
+    dev: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: gpu_sim::GridDims,
+    space: &ParameterSpace,
+    tuner: TunerSpec,
+    seed: u64,
+) -> (TuneOutcome, usize) {
+    match svc {
+        Some(svc) => {
+            let resp = svc.resolve(&TuneRequest {
+                device: dev.clone(),
+                kernel: kernel.clone(),
+                dims,
+                space: space.clone(),
+                tuner,
+                seed,
+            });
+            let executed = resp.evaluated as usize;
+            (resp.into_outcome(), executed)
+        }
+        None => {
+            let ctx = EvalContext::global();
+            match tuner {
+                TunerSpec::Exhaustive => {
+                    let out = exhaustive_tune_with(ctx, dev, kernel, dims, space, seed);
+                    let executed = out.evaluated();
+                    (out, executed)
+                }
+                TunerSpec::ModelBased { beta_percent } => {
+                    let out =
+                        model_based_tune_with(ctx, dev, kernel, dims, space, beta_percent, seed);
+                    let executed = out.executed;
+                    (out.into_outcome(), executed)
+                }
+                TunerSpec::Stochastic(opts) => {
+                    let out = stochastic_tune_with(ctx, dev, kernel, dims, space, &opts, seed);
+                    let executed = out.executed;
+                    (out.into_outcome(), executed)
+                }
+            }
+        }
+    }
+}
 
 fn main() {
     let opts = RunOpts::from_env();
     let dims = opts.dims();
+    let svc = opts.tune_store.as_deref().and_then(service_at);
     let mut table = fmt::Table::new(&[
         "Device",
         "Order",
@@ -24,7 +81,9 @@ fn main() {
         "Executed",
         "MP/s",
         "of exhaustive",
+        "From",
     ]);
+    let mut last_report = None;
     for dev in DeviceSpec::paper_devices() {
         for order in [2usize, 8] {
             let kernel = KernelSpec::star_order(
@@ -37,30 +96,68 @@ fn main() {
             } else {
                 ParameterSpace::paper_space(&dev, &kernel, &dims)
             };
-            let ex = exhaustive_tune(&dev, &kernel, dims, &space, opts.seed);
-            let mb = model_based_tune(&dev, &kernel, dims, &space, 5.0, opts.seed);
+            let (ex, ex_executed) = run_strategy(
+                svc.as_ref(),
+                &dev,
+                &kernel,
+                dims,
+                &space,
+                TunerSpec::Exhaustive,
+                opts.seed,
+            );
+            let (mb, mb_executed) = run_strategy(
+                svc.as_ref(),
+                &dev,
+                &kernel,
+                dims,
+                &space,
+                TunerSpec::ModelBased { beta_percent: 5.0 },
+                opts.seed,
+            );
+            // Budget the annealer by the model-based tuner's *search*
+            // execution count (stable across store-served reruns, so the
+            // stochastic key — and thus its store hit — is too).
             let anneal_opts = AnnealOptions {
-                evaluations: mb.executed,
+                evaluations: mb_executed.max(1),
                 ..AnnealOptions::default()
             };
-            let sa = stochastic_tune(&dev, &kernel, dims, &space, &anneal_opts, opts.seed);
-            for (name, executed, mpoints) in [
-                ("exhaustive", space.len(), ex.best.mpoints),
-                ("model-based 5%", mb.executed, mb.best.mpoints),
-                ("simulated annealing", sa.executed, sa.best.mpoints),
+            let (sa, sa_executed) = run_strategy(
+                svc.as_ref(),
+                &dev,
+                &kernel,
+                dims,
+                &space,
+                TunerSpec::Stochastic(anneal_opts),
+                opts.seed,
+            );
+            for (name, out, executed) in [
+                ("exhaustive", &ex, ex_executed),
+                ("model-based 5%", &mb, mb_executed),
+                ("simulated annealing", &sa, sa_executed),
             ] {
                 table.row(vec![
                     dev.name.to_string(),
                     order.to_string(),
                     name.to_string(),
                     executed.to_string(),
-                    fmt::f(mpoints, 0),
-                    fmt::f(mpoints / ex.best.mpoints, 3),
+                    fmt::f(out.best.mpoints, 0),
+                    fmt::f(out.best.mpoints / ex.best.mpoints, 3),
+                    out.provenance.label().to_string(),
                 ]);
             }
+            last_report = Some((dev.clone(), kernel, ex));
         }
     }
     table.print("Tuning strategies: quality vs configurations executed");
+    if let Some((dev, kernel, ex)) = &last_report {
+        let report = match &svc {
+            Some(svc) => summarize_with(svc.ctx(), dev, kernel, dims, ex)
+                .with_store(svc.store().stats().counters()),
+            None => summarize_with(EvalContext::global(), dev, kernel, dims, ex),
+        };
+        println!("\nlast exhaustive run ({} on {}):", kernel.name, dev.name);
+        println!("{}", report.render());
+    }
     println!("\nThe model-based tuner (the paper's section VI) and the stochastic tuner");
     println!("(the section II alternative) both run on a small fraction of the space;");
     println!("the model-based ranking is the stronger prior on this landscape.");

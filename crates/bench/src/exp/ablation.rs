@@ -148,6 +148,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let baseline = rows.iter().find(|r| r.name == "baseline").unwrap();
         let granular = rows
@@ -173,6 +174,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let base = rows
             .iter()
@@ -200,6 +202,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let sat = rows.iter().find(|r| r.name == "saturating hiding").unwrap();
         assert!(sat.order2_speedup > 1.0);

@@ -100,6 +100,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         }) {
             assert!(
                 c.fs_rb >= c.nv_rb && c.fs_rb >= c.fs_norb,
@@ -121,6 +122,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let (total, from_fs, from_rb) = summary(&cells);
         assert!(total > 0.2, "total gain {total:.2}");
@@ -135,6 +137,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let mean_nv_rb: f64 = cells.iter().map(|c| c.nv_rb - 1.0).sum::<f64>() / cells.len() as f64;
         assert!(

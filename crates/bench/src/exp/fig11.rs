@@ -77,6 +77,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         };
         // One device is enough for the shape checks and keeps tests fast.
         let dims = opts.dims();

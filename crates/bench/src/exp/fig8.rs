@@ -87,6 +87,7 @@ mod tests {
             quick: false,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let p2 = &panels[0];
         assert_eq!(p2.order, 2);
@@ -105,6 +106,7 @@ mod tests {
             quick: false,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let p8 = &panels[1];
         assert!(p8.points.iter().any(|p| p.mpoints == 0.0));
@@ -118,6 +120,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         assert_eq!(render(&panels[0]).len(), 4);
     }

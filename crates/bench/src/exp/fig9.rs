@@ -76,6 +76,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         }) {
             assert!(
                 c.full_slice > c.nvstencil,
@@ -94,6 +95,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         }) {
             assert!((0.0..=1.0).contains(&c.nvstencil));
             assert!((0.0..=1.0).contains(&c.full_slice));

@@ -102,6 +102,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         assert_eq!(rows.len(), 4);
         for r in &rows {
@@ -122,6 +123,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         }) {
             assert!(
                 r.ours > r.prior_work,

@@ -14,12 +14,47 @@ pub mod table3;
 pub mod table4;
 pub mod temporal_cmp;
 
+use std::sync::{Arc, OnceLock};
+
 use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::{EvalContext, KernelSpec};
 use stencil_autotune::{exhaustive_tune_with, ParameterSpace, TuneSample};
+use stencil_tunestore::{JsonlDiskStore, TuneRequest, TuneService, TunerSpec};
+
+use crate::opts::TUNE_STORE_ENV;
 
 /// The stencil orders of the paper's evaluation.
 pub const ORDERS: [usize; 6] = [2, 4, 6, 8, 10, 12];
+
+/// Open a persistent tuning service at `path`, evaluating through the
+/// process-wide [`EvalContext::global`]. A store that cannot be opened
+/// degrades to `None` (tuning without persistence) with a warning —
+/// never an abort.
+pub fn service_at(path: &str) -> Option<TuneService> {
+    match JsonlDiskStore::open(path) {
+        Ok(store) => Some(TuneService::with_global_ctx(Arc::new(store))),
+        Err(e) => {
+            eprintln!("warning: cannot open tune store {path}: {e}; tuning without persistence");
+            None
+        }
+    }
+}
+
+/// The process-wide tuning service, present when the
+/// `INPLANE_TUNE_STORE` environment variable names a store path. All
+/// default-entry-point tuning ([`tune_best`], the fig/table binaries)
+/// routes through it, so a second run of any sweep is served from disk.
+pub fn global_service() -> Option<&'static TuneService> {
+    static SERVICE: OnceLock<Option<TuneService>> = OnceLock::new();
+    SERVICE
+        .get_or_init(|| {
+            let path = std::env::var(TUNE_STORE_ENV)
+                .ok()
+                .filter(|p| !p.is_empty())?;
+            service_at(&path)
+        })
+        .as_ref()
+}
 
 /// Build the tuning space for `kernel`, optionally restricted to thread
 /// blocking only (`RX = RY = 1`, as in Fig 7) and/or the reduced quick
@@ -54,6 +89,9 @@ pub fn space_for(
 /// All figure/table experiments funnel through here, sharing the global
 /// [`EvalContext`]: one binary that tunes the same kernel for several
 /// figures prices each `(device, kernel, config, dims)` point once.
+/// When `INPLANE_TUNE_STORE` is set the search additionally routes
+/// through the persistent [`TuneService`], so a repeated run is served
+/// from disk bit-identically without re-searching.
 pub fn tune_best(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -62,6 +100,19 @@ pub fn tune_best(
     quick: bool,
     seed: u64,
 ) -> TuneSample {
+    if let Some(svc) = global_service() {
+        let space = space_for(device, kernel, &dims, register_blocking, quick);
+        return svc
+            .resolve(&TuneRequest {
+                device: device.clone(),
+                kernel: kernel.clone(),
+                dims,
+                space,
+                tuner: TunerSpec::Exhaustive,
+                seed,
+            })
+            .best;
+    }
     tune_best_with(
         EvalContext::global(),
         device,

@@ -181,6 +181,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let sp580: Vec<&Cell> = cells
             .iter()
@@ -217,6 +218,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let avg = |p: Precision| {
             let v: Vec<f64> = cells

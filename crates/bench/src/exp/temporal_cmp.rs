@@ -102,6 +102,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let get = |order: usize, t: usize| {
             cells
@@ -145,6 +146,7 @@ mod tests {
             quick: true,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         });
         let t8_o8 = cells
             .iter()

@@ -100,12 +100,13 @@ impl Table {
     }
 
     /// Write the CSV rendering to `dir/name.csv` when `dir` is set (the
-    /// `--csv <dir>` flag); silently does nothing otherwise.
+    /// `--csv <dir>` flag); silently does nothing otherwise. The write
+    /// is atomic (staged to a temp file, then renamed), so a killed run
+    /// never leaves a half-written experiment output behind.
     pub fn maybe_csv(&self, dir: &Option<String>, name: &str) {
         if let Some(dir) = dir {
-            let _ = std::fs::create_dir_all(dir);
             let path = format!("{dir}/{name}.csv");
-            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            if let Err(e) = stencil_tunestore::atomic_write(&path, self.to_csv()) {
                 eprintln!("warning: could not write {path}: {e}");
             } else {
                 println!("(csv written to {path})");

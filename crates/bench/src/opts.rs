@@ -2,6 +2,10 @@
 
 use gpu_sim::GridDims;
 
+/// Environment variable naming the persistent tune-store path every
+/// tuning binary honors (`--store <path>` overrides it).
+pub const TUNE_STORE_ENV: &str = "INPLANE_TUNE_STORE";
+
 /// Run options parsed from the command line.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunOpts {
@@ -11,6 +15,9 @@ pub struct RunOpts {
     pub seed: u64,
     /// Directory to write per-experiment CSV data into (`--csv <dir>`).
     pub csv_dir: Option<String>,
+    /// Path of the persistent tune store (`--store <path>`, or the
+    /// `INPLANE_TUNE_STORE` environment variable).
+    pub tune_store: Option<String>,
 }
 
 impl Default for RunOpts {
@@ -19,13 +26,14 @@ impl Default for RunOpts {
             quick: false,
             seed: 1,
             csv_dir: None,
+            tune_store: None,
         }
     }
 }
 
 impl RunOpts {
     /// Parse from `std::env::args`-style strings: `--quick`,
-    /// `--seed <n>`.
+    /// `--seed <n>`, `--csv <dir>`, `--store <path>`.
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         let mut opts = RunOpts::default();
         let mut args = args.peekable();
@@ -39,15 +47,23 @@ impl RunOpts {
                 "--csv" => {
                     opts.csv_dir = Some(args.next().expect("--csv needs a directory"));
                 }
+                "--store" => {
+                    opts.tune_store = Some(args.next().expect("--store needs a path"));
+                }
                 _ => {}
             }
         }
         opts
     }
 
-    /// Parse from the process arguments.
+    /// Parse from the process arguments, falling back to
+    /// [`TUNE_STORE_ENV`] for the store path when `--store` is absent.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let mut opts = Self::parse(std::env::args().skip(1));
+        if opts.tune_store.is_none() {
+            opts.tune_store = std::env::var(TUNE_STORE_ENV).ok().filter(|p| !p.is_empty());
+        }
+        opts
     }
 
     /// The evaluation grid: the paper's 512×512×256, or a quarter-size
@@ -84,6 +100,12 @@ mod tests {
     fn parses_csv_dir() {
         let o = RunOpts::parse(["--csv", "out"].iter().map(|s| s.to_string()));
         assert_eq!(o.csv_dir.as_deref(), Some("out"));
+    }
+
+    #[test]
+    fn parses_store_path() {
+        let o = RunOpts::parse(["--store", "/tmp/s.jsonl"].iter().map(|s| s.to_string()));
+        assert_eq!(o.tune_store.as_deref(), Some("/tmp/s.jsonl"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! CUDA C source generation for the stencil methods of the paper — the
 //! bridge from this reproduction back to real hardware. The paper's
 //! artifact is a set of hand-written CUDA kernels plus an auto-tuner;
-//! Patus-style systems [17] showed the same methods as generated code.
+//! Patus-style systems \[17\] showed the same methods as generated code.
 //! This crate emits compilable CUDA C for:
 //!
 //! * the **forward-plane** (*nvstencil*-style) kernel,

@@ -4,7 +4,7 @@
 //!
 //! Multi-GPU domain decomposition for iterative stencil loops — the
 //! scaling context the paper's related work points at (multi-GPU
-//! Navier–Stokes solvers [6], GPU-cluster stencil auto-generation [23]).
+//! Navier–Stokes solvers \[6\], GPU-cluster stencil auto-generation \[23\]).
 //!
 //! The decomposition is the natural one for z-streaming kernels: the
 //! grid is split into contiguous **z-slabs**, one per device; every

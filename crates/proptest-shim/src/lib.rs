@@ -331,7 +331,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Size specification for [`vec`]: a fixed size or a range.
+        /// Size specification for [`vec()`]: a fixed size or a range.
         #[derive(Clone, Debug)]
         pub struct SizeRange {
             lo: usize,

@@ -1,0 +1,269 @@
+//! A deliberately tiny JSON codec for the store's flat record objects.
+//!
+//! The build environment has no access to crates.io, so the JSONL
+//! format is read and written by hand. Only the subset the store emits
+//! is supported: one flat object per line whose values are unsigned
+//! integers, floats, or strings (escapes limited to `\"`, `\\`, `\n`,
+//! `\t`). Anything else is a parse error — which the store treats as a
+//! corrupt record and skips, never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value in a flat record object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (all numeric record fields are u64-encoded;
+    /// `f64`s travel as bit-pattern hex strings for exact round-trips).
+    U64(u64),
+    /// A float (only used for human-readable convenience fields).
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl Value {
+    /// The integer value, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the first problem encountered.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed record: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(reason: &'static str) -> Result<T, ParseError> {
+    Err(ParseError { reason })
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8, reason: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(reason)
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected opening quote")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return err("truncated unicode escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| ParseError {
+                                    reason: "non-utf8 unicode escape",
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                                reason: "bad unicode escape",
+                            })?;
+                            out.push(char::from_u32(code).ok_or(ParseError {
+                                reason: "invalid unicode scalar",
+                            })?);
+                            self.pos += 4;
+                        }
+                        _ => return err("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+                            reason: "non-utf8 content",
+                        })?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| ParseError {
+            reason: "non-utf8 number",
+        })?;
+        if text.is_empty() {
+            return err("expected a value");
+        }
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .or(err("integer overflow"))
+        } else {
+            text.parse::<f64>().map(Value::F64).or(err("bad float"))
+        }
+    }
+}
+
+/// Parse one flat JSON object (`{"k": v, ...}`) into an ordered map.
+///
+/// Trailing content after the closing brace is an error (a record is
+/// exactly one object per line).
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Value>, ParseError> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cur.skip_ws();
+    cur.expect(b'{', "expected object")?;
+    let mut map = BTreeMap::new();
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            cur.skip_ws();
+            let key = cur.string()?;
+            cur.skip_ws();
+            cur.expect(b':', "expected colon")?;
+            cur.skip_ws();
+            let value = match cur.peek() {
+                Some(b'"') => Value::Str(cur.string()?),
+                Some(b) if b.is_ascii_digit() || b == b'-' => cur.number()?,
+                _ => return err("unsupported value type"),
+            };
+            if map.insert(key, value).is_some() {
+                return err("duplicate key");
+            }
+            cur.skip_ws();
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                _ => return err("expected comma or closing brace"),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return err("trailing content after object");
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_flat_objects() {
+        let line = r#"{"a": 12, "b": "x\"y\\z", "c": 1.5, "d": ""}"#;
+        let map = parse_flat_object(line).unwrap();
+        assert_eq!(map["a"], Value::U64(12));
+        assert_eq!(map["b"], Value::Str("x\"y\\z".into()));
+        assert_eq!(map["c"], Value::F64(1.5));
+        assert_eq!(map["d"], Value::Str(String::new()));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote \" slash \\ newline \n tab \t done";
+        let line = format!("{{\"k\":\"{}\"}}", escape(nasty));
+        let map = parse_flat_object(&line).unwrap();
+        assert_eq!(map["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1",
+            "{\"a\":1} trailing",
+            "{\"a\":[1]}",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":99999999999999999999999999}",
+            "not json at all",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

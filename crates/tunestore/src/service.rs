@@ -1,0 +1,365 @@
+//! The serving layer: batch tuning requests against a shared
+//! [`EvalContext`], fronted by the persistent store and a single-flight
+//! guard.
+//!
+//! Request resolution is layered:
+//!
+//! 1. **store** — an exact [`TuneKey`] hit is served verbatim
+//!    ([`Provenance::Store`]); a second run of an identical sweep does
+//!    no search work at all and returns bit-identical numbers;
+//! 2. **single-flight** — concurrent identical requests collapse onto
+//!    one worker: the first becomes the leader and computes, the rest
+//!    block on a condvar and share the leader's response;
+//! 3. **warm start** — a model-based request that misses looks for
+//!    stored optima of the *same kernel* on a different device or grid
+//!    and injects them into the measured shortlist
+//!    ([`Provenance::WarmStarted`] when that changed the shortlist);
+//! 4. **compute** — the requested tuner runs over the shared
+//!    memoizing [`EvalContext`], and the result is persisted.
+//!
+//! Batches fan out over the rayon worker pool; duplicates inside one
+//! batch dedup through the same single-flight path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
+use rayon::prelude::*;
+use stencil_autotune::{
+    exhaustive_tune_with, model_based_tune_seeded_with, stochastic_tune_with, AnnealOptions,
+    ParameterSpace, Provenance, TuneOutcome, TuneSample,
+};
+
+use crate::key::{TuneKey, TunerKind};
+use crate::record::TuneRecord;
+use crate::store::TuneStore;
+
+/// Which search strategy a request asks for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TunerSpec {
+    /// Exhaustive search (§IV-C).
+    Exhaustive,
+    /// Model-based tuning (§VI) with its β cutoff in percent.
+    ModelBased {
+        /// The cutoff (the paper uses 5).
+        beta_percent: f64,
+    },
+    /// Simulated-annealing search.
+    Stochastic(AnnealOptions),
+}
+
+impl TunerSpec {
+    fn kind(&self) -> TunerKind {
+        match self {
+            TunerSpec::Exhaustive => TunerKind::Exhaustive,
+            TunerSpec::ModelBased { beta_percent } => TunerKind::model_based(*beta_percent),
+            TunerSpec::Stochastic(opts) => TunerKind::stochastic(opts),
+        }
+    }
+}
+
+/// One tuning request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneRequest {
+    /// Target device.
+    pub device: DeviceSpec,
+    /// Kernel to tune.
+    pub kernel: KernelSpec,
+    /// Problem-grid dimensions.
+    pub dims: GridDims,
+    /// The feasible search space.
+    pub space: ParameterSpace,
+    /// Search strategy.
+    pub tuner: TunerSpec,
+    /// Measurement-noise seed.
+    pub seed: u64,
+}
+
+/// One resolved request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneResponse {
+    /// The winning configuration and its measured throughput.
+    pub best: TuneSample,
+    /// Configurations the producing search executed.
+    pub evaluated: u64,
+    /// Every measured sample of the producing search (just the winner
+    /// when the result came from the store — per-sample data is not
+    /// persisted).
+    pub samples: Vec<TuneSample>,
+    /// How the result was produced.
+    pub provenance: Provenance,
+    /// The request's stable key hash (for logging / correlation).
+    pub key_hash: u64,
+}
+
+impl TuneResponse {
+    /// Repackage as a [`TuneOutcome`] over the carried samples.
+    pub fn into_outcome(self) -> TuneOutcome {
+        TuneOutcome {
+            best: self.best,
+            samples: self.samples,
+            provenance: self.provenance,
+        }
+    }
+}
+
+/// Counter snapshot of a [`TuneService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests served verbatim from the store.
+    pub served_from_store: u64,
+    /// Requests that ran a full search.
+    pub computed: u64,
+    /// Requests that ran a warm-started search.
+    pub warm_started: u64,
+    /// Requests that blocked on — and shared — another worker's
+    /// in-flight computation.
+    pub shared: u64,
+}
+
+/// Maximum warm-start donor configurations injected per request.
+const MAX_WARM_SEEDS: usize = 3;
+
+enum Ctx {
+    Static(&'static EvalContext),
+    Shared(Arc<EvalContext>),
+}
+
+impl Ctx {
+    fn get(&self) -> &EvalContext {
+        match self {
+            Ctx::Static(ctx) => ctx,
+            Ctx::Shared(ctx) => ctx,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<TuneResponse>>,
+    ready: Condvar,
+}
+
+/// The single-flight tuning service. See the [module docs](self).
+pub struct TuneService {
+    store: Arc<dyn TuneStore>,
+    ctx: Ctx,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    served_from_store: AtomicU64,
+    computed: AtomicU64,
+    warm_started: AtomicU64,
+    shared: AtomicU64,
+}
+
+impl TuneService {
+    /// A service over `store` evaluating through `ctx`.
+    pub fn new(store: Arc<dyn TuneStore>, ctx: Arc<EvalContext>) -> Self {
+        Self::build(store, Ctx::Shared(ctx))
+    }
+
+    /// A service over `store` evaluating through the process-wide
+    /// [`EvalContext::global`] — what the bench binaries use, so
+    /// service-routed and direct evaluations share one cache.
+    pub fn with_global_ctx(store: Arc<dyn TuneStore>) -> Self {
+        Self::build(store, Ctx::Static(EvalContext::global()))
+    }
+
+    fn build(store: Arc<dyn TuneStore>, ctx: Ctx) -> Self {
+        TuneService {
+            store,
+            ctx,
+            inflight: Mutex::new(HashMap::new()),
+            served_from_store: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            warm_started: AtomicU64::new(0),
+            shared: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &dyn TuneStore {
+        &*self.store
+    }
+
+    /// The evaluation context requests are priced through.
+    pub fn ctx(&self) -> &EvalContext {
+        self.ctx.get()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            served_from_store: self.served_from_store.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            warm_started: self.warm_started.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resolve one request through store → single-flight → search.
+    ///
+    /// # Panics
+    /// Panics on an empty space or (for the model-based tuner) a
+    /// non-positive β — invalid requests are rejected *before* the
+    /// single-flight guard so a waiter can never block on a leader that
+    /// died validating.
+    pub fn resolve(&self, req: &TuneRequest) -> TuneResponse {
+        assert!(
+            !req.space.is_empty(),
+            "cannot tune over an empty parameter space"
+        );
+        if let TunerSpec::ModelBased { beta_percent } = req.tuner {
+            assert!(beta_percent > 0.0, "beta must be positive");
+        }
+        let key = TuneKey::new(
+            &req.device,
+            &req.kernel,
+            req.dims,
+            &req.space,
+            req.tuner.kind(),
+            req.seed,
+        );
+        let hash = key.stable_hash();
+
+        if let Some(rec) = self.store.get(&key) {
+            self.served_from_store.fetch_add(1, Ordering::Relaxed);
+            let best = TuneSample {
+                config: rec.best,
+                mpoints: rec.mpoints,
+            };
+            return TuneResponse {
+                best,
+                evaluated: rec.evaluated,
+                samples: vec![best],
+                provenance: Provenance::Store,
+                key_hash: hash,
+            };
+        }
+
+        // Single-flight: first miss per key leads, the rest wait.
+        let flight = {
+            let mut inflight = self.inflight.lock().expect("tune service poisoned");
+            match inflight.get(&hash) {
+                Some(flight) => Some(Arc::clone(flight)),
+                None => {
+                    inflight.insert(hash, Arc::new(Flight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(flight) = flight {
+            let mut slot = flight.slot.lock().expect("tune service poisoned");
+            while slot.is_none() {
+                slot = flight.ready.wait(slot).expect("tune service poisoned");
+            }
+            self.shared.fetch_add(1, Ordering::Relaxed);
+            return slot.clone().expect("leader published a response");
+        }
+
+        let response = self.compute(&key, req);
+        self.store.put(&TuneRecord {
+            key: key.clone(),
+            best: response.best.config,
+            mpoints: response.best.mpoints,
+            evaluated: response.evaluated,
+        });
+        // Persist first, then retire the flight: a request arriving
+        // after the removal hits the store instead of recomputing.
+        let flight = self
+            .inflight
+            .lock()
+            .expect("tune service poisoned")
+            .remove(&hash)
+            .expect("leader owns the flight");
+        *flight.slot.lock().expect("tune service poisoned") = Some(response.clone());
+        flight.ready.notify_all();
+        response
+    }
+
+    /// Resolve a batch over the rayon worker pool. Output order matches
+    /// `requests`; duplicate requests inside the batch single-flight.
+    pub fn resolve_batch(&self, requests: &[TuneRequest]) -> Vec<TuneResponse> {
+        requests.par_iter().map(|req| self.resolve(req)).collect()
+    }
+
+    fn compute(&self, key: &TuneKey, req: &TuneRequest) -> TuneResponse {
+        let ctx = self.ctx.get();
+        let (outcome, evaluated) = match &req.tuner {
+            TunerSpec::Exhaustive => {
+                let out = exhaustive_tune_with(
+                    ctx,
+                    &req.device,
+                    &req.kernel,
+                    req.dims,
+                    &req.space,
+                    req.seed,
+                );
+                let evaluated = out.evaluated() as u64;
+                (out, evaluated)
+            }
+            TunerSpec::ModelBased { beta_percent } => {
+                let seeds = self.warm_seeds(key);
+                let out = model_based_tune_seeded_with(
+                    ctx,
+                    &req.device,
+                    &req.kernel,
+                    req.dims,
+                    &req.space,
+                    *beta_percent,
+                    req.seed,
+                    &seeds,
+                );
+                let evaluated = out.executed as u64;
+                (out.into_outcome(), evaluated)
+            }
+            TunerSpec::Stochastic(opts) => {
+                let out = stochastic_tune_with(
+                    ctx,
+                    &req.device,
+                    &req.kernel,
+                    req.dims,
+                    &req.space,
+                    opts,
+                    req.seed,
+                );
+                let evaluated = out.executed as u64;
+                (out.into_outcome(), evaluated)
+            }
+        };
+        match outcome.provenance {
+            Provenance::WarmStarted => self.warm_started.fetch_add(1, Ordering::Relaxed),
+            _ => self.computed.fetch_add(1, Ordering::Relaxed),
+        };
+        TuneResponse {
+            best: outcome.best,
+            evaluated,
+            samples: outcome.samples,
+            provenance: outcome.provenance,
+            key_hash: key.stable_hash(),
+        }
+    }
+
+    /// Stored optima of the same kernel tuned on a different device or
+    /// grid — the warm-start donors, best first.
+    fn warm_seeds(&self, key: &TuneKey) -> Vec<LaunchConfig> {
+        let mut donors: Vec<TuneRecord> = self
+            .store
+            .records()
+            .into_iter()
+            .filter(|rec| key.is_sibling_of(&rec.key))
+            .collect();
+        donors.sort_by(|a, b| b.mpoints.total_cmp(&a.mpoints));
+        let mut seeds: Vec<LaunchConfig> = Vec::new();
+        for rec in donors {
+            if !seeds.contains(&rec.best) {
+                seeds.push(rec.best);
+                if seeds.len() == MAX_WARM_SEEDS {
+                    break;
+                }
+            }
+        }
+        seeds
+    }
+}

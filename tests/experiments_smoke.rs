@@ -10,6 +10,7 @@ fn quick() -> RunOpts {
         quick: true,
         seed: 1,
         csv_dir: None,
+        tune_store: None,
     }
 }
 

@@ -15,6 +15,7 @@ fn cells() -> Vec<table4::Cell> {
         quick: true,
         seed: 1,
         csv_dir: None,
+        tune_store: None,
     })
     .into_iter()
     .collect()
