@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # stencil-autotune
@@ -29,6 +30,6 @@ pub use model_based::{
     model_based_tune, model_based_tune_seeded_with, model_based_tune_with, ModelBasedOutcome,
 };
 pub use report::{summarize, summarize_with, StoreCounters, TuneReport};
-pub use space::ParameterSpace;
+pub use space::{ParameterSpace, SpaceAudit};
 pub use stochastic::{stochastic_tune, stochastic_tune_with, AnnealOptions, StochasticOutcome};
 pub use surface::{performance_surface, performance_surface_with, SurfacePoint};

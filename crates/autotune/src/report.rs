@@ -48,6 +48,9 @@ pub struct TuneReport {
     pub cache: Option<CacheStats>,
     /// Persistent tune-store counters (`None` when no store was used).
     pub store: Option<StoreCounters>,
+    /// Per-code rejection histogram from the space enumeration (`None`
+    /// when summarised without an audit).
+    pub rejections: Option<Vec<(String, u64)>>,
 }
 
 /// Nearest-rank quantile over an ascending-sorted non-empty slice.
@@ -99,6 +102,7 @@ pub fn summarize(
         best_limited_by: rep.limiting,
         cache: None,
         store: None,
+        rejections: None,
     }
 }
 
@@ -120,6 +124,13 @@ impl TuneReport {
     /// Attach persistent tune-store counters (builder style).
     pub fn with_store(mut self, counters: StoreCounters) -> Self {
         self.store = Some(counters);
+        self
+    }
+
+    /// Attach the space enumeration's rejection histogram (builder
+    /// style) — what [`crate::space::SpaceAudit`] collected.
+    pub fn with_rejections(mut self, rejections: Vec<(String, u64)>) -> Self {
+        self.rejections = Some(rejections);
         self
     }
 
@@ -153,6 +164,13 @@ impl TuneReport {
                 "\ntune store: {} hits / {} misses / {} corrupt-or-stale skipped",
                 s.hits, s.misses, s.corrupt,
             ));
+        }
+        if let Some(rej) = &self.rejections {
+            let total: u64 = rej.iter().map(|(_, n)| n).sum();
+            out.push_str(&format!("\nspace rejections ({total} coded reasons):"));
+            for (code, n) in rej {
+                out.push_str(&format!("\n  {code}  x{n}"));
+            }
         }
         out
     }
@@ -226,6 +244,22 @@ mod tests {
         assert!(s.contains("best"));
         assert!(s.contains("quartiles"));
         assert!(!s.contains("eval cache"), "no counters without a context");
+    }
+
+    #[test]
+    fn rejections_surface_in_render() {
+        let dev = DeviceSpec::gtx580();
+        let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dims = GridDims::new(256, 256, 32);
+        let (space, audit) = ParameterSpace::paper_space_audited(&dev, &k, &dims);
+        let out = exhaustive_tune(&dev, &k, dims, &space, 1);
+        let rep = summarize(&dev, &k, dims, &out).with_rejections(audit.rejections.clone());
+        let s = rep.render();
+        assert!(s.contains("space rejections"), "{s}");
+        assert!(s.contains("LNT-R002"), "{s}");
+        // Without an audit the section is absent.
+        let plain = summarize(&dev, &k, dims, &out).render();
+        assert!(!plain.contains("space rejections"));
     }
 
     #[test]

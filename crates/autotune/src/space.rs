@@ -11,10 +11,17 @@
 //! fit the per-thread hardware cap (otherwise the "kernel" would not
 //! compile at that unrolling), and a block's tile cannot exceed the grid
 //! extent.
+//!
+//! The checks themselves live in `stencil-lint`'s explained feasibility
+//! analyzer ([`stencil_lint::explain_feasibility`]): every rejection
+//! carries a coded reason (`LNT-R…`) and a by-how-much context.
+//! [`ParameterSpace::feasible`] is a boolean shim over that analyzer,
+//! and [`ParameterSpace::paper_space_audited`] keeps the per-code
+//! rejection histogram that tuning reports surface.
 
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::resources::{regs_per_thread, smem_bytes};
 use inplane_core::{KernelSpec, LaunchConfig};
+use stencil_lint::{explain_feasibility, Severity};
 
 /// An enumerated, constraint-filtered set of launch configurations.
 #[derive(Clone, Debug, PartialEq)]
@@ -22,60 +29,87 @@ pub struct ParameterSpace {
     configs: Vec<LaunchConfig>,
 }
 
+/// What the enumeration rejected and why: a per-code histogram from the
+/// explained feasibility analyzer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpaceAudit {
+    /// Grid points examined (before any filtering).
+    pub examined: usize,
+    /// Configurations accepted into the space.
+    pub accepted: usize,
+    /// Rejection histogram: `(diagnostic code, count)`, sorted by code.
+    /// Error codes are hard constraint violations; `LNT-R101` counts the
+    /// sub-warp blocks the enumeration excludes by convention.
+    pub rejections: Vec<(String, u64)>,
+}
+
 impl ParameterSpace {
     /// The paper's search space for `kernel` on `device` over `dims`:
     /// `TX ∈ {16, 32, 48, ..., 512}`, `TY ∈ {1..=32}`,
     /// `RX, RY ∈ {1, 2, 4, 8}`, filtered by the constraints above.
     pub fn paper_space(device: &DeviceSpec, kernel: &KernelSpec, dims: &GridDims) -> Self {
+        Self::paper_space_audited(device, kernel, dims).0
+    }
+
+    /// [`Self::paper_space`], also returning the audit of what the
+    /// constraints rejected (per diagnostic code).
+    pub fn paper_space_audited(
+        device: &DeviceSpec,
+        kernel: &KernelSpec,
+        dims: &GridDims,
+    ) -> (Self, SpaceAudit) {
         let half_warp = device.warp_size / 2;
         let reg_factors = [1usize, 2, 4, 8];
         let mut configs = Vec::new();
+        let mut audit = SpaceAudit::default();
+        let mut histogram: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
         for tx in (half_warp..=512).step_by(half_warp) {
             for ty in 1..=32usize {
-                if tx * ty > device.max_threads_per_block || tx * ty < device.warp_size {
-                    continue;
-                }
                 for rx in reg_factors {
                     for ry in reg_factors {
                         let c = LaunchConfig::new(tx, ty, rx, ry);
-                        if Self::feasible(device, kernel, dims, &c) {
+                        audit.examined += 1;
+                        let diags = explain_feasibility(device, kernel, dims, &c);
+                        // The enumeration excludes both hard constraint
+                        // violations (errors) and sub-warp blocks
+                        // (LNT-R101, convention).
+                        let mut rejected = false;
+                        for d in &diags {
+                            if d.severity == Severity::Error || d.code == "LNT-R101" {
+                                rejected = true;
+                                *histogram.entry(d.code).or_insert(0) += 1;
+                            }
+                        }
+                        if !rejected {
                             configs.push(c);
                         }
                     }
                 }
             }
         }
-        ParameterSpace { configs }
+        audit.accepted = configs.len();
+        audit.rejections = histogram
+            .into_iter()
+            .map(|(code, n)| (code.to_string(), n))
+            .collect();
+        (ParameterSpace { configs }, audit)
     }
 
     /// Check the constraints for one configuration.
+    ///
+    /// Boolean shim over [`stencil_lint::explain_feasibility`]: feasible
+    /// iff the analyzer emits no error-severity diagnostic. (The sub-warp
+    /// `LNT-R101` warning does *not* make a configuration infeasible — it
+    /// is an enumeration convention, handled in
+    /// [`Self::paper_space_audited`].)
     pub fn feasible(
         device: &DeviceSpec,
         kernel: &KernelSpec,
         dims: &GridDims,
         c: &LaunchConfig,
     ) -> bool {
-        let half_warp = device.warp_size / 2;
-        // (i) TX multiple of a half-warp.
-        if !c.tx.is_multiple_of(half_warp) {
-            return false;
-        }
-        // (ii) thread limit.
-        if c.threads() > device.max_threads_per_block {
-            return false;
-        }
-        // (iii) shared-memory limit.
-        if smem_bytes(kernel, c) > device.smem_per_sm {
-            return false;
-        }
-        // (iv) TY·RY divides LY.
-        if !dims.ly.is_multiple_of(c.tile_y()) {
-            return false;
-        }
-        // Tile must fit the plane; register estimate must compile.
-        c.tile_x() <= dims.lx
-            && c.tile_y() <= dims.ly
-            && regs_per_thread(kernel, c) <= device.max_regs_per_thread
+        stencil_lint::is_feasible(device, kernel, dims, c)
     }
 
     /// Wrap an explicit list (used by tests and reduced sweeps).
@@ -254,6 +288,27 @@ mod tests {
             &dims,
             &LaunchConfig::new(32, 1, 4, 1)
         ));
+    }
+
+    #[test]
+    fn audited_space_counts_every_grid_point() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = kernel(4);
+        let (space, audit) = ParameterSpace::paper_space_audited(&dev, &k, &dims);
+        // 32 TX steps x 32 TY values x 4 RX x 4 RY.
+        assert_eq!(audit.examined, 32 * 32 * 16);
+        assert_eq!(audit.accepted, space.len());
+        assert!(audit.accepted < audit.examined);
+        // Every rejected grid point is accounted for by at least one
+        // coded reason (a point can carry several, so the histogram sum
+        // is >= the rejected count).
+        let coded: u64 = audit.rejections.iter().map(|(_, n)| n).sum();
+        assert!(coded >= (audit.examined - audit.accepted) as u64);
+        // The paper grid always contains thread-limit violations and
+        // sub-warp exclusions.
+        assert!(audit.rejections.iter().any(|(c, _)| c == "LNT-R002"));
+        assert!(audit.rejections.iter().any(|(c, _)| c == "LNT-R101"));
     }
 
     #[test]

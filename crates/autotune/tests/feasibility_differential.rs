@@ -1,0 +1,122 @@
+//! Differential test: the historical boolean feasibility predicate, the
+//! `ParameterSpace::feasible` shim and the explained analyzer in
+//! `stencil-lint` must agree on every point of the enumeration grid.
+//!
+//! The replica below is a literal copy of the boolean logic that
+//! `ParameterSpace::feasible` contained before it became a shim over
+//! `stencil_lint::explain_feasibility` — if the analyzer ever drifts
+//! (changes a threshold, reorders a check in a way that changes the
+//! verdict, or promotes the sub-warp warning to an error), this test
+//! pins the regression to the exact configuration.
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::resources::{regs_per_thread, smem_bytes};
+use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
+use stencil_autotune::ParameterSpace;
+use stencil_grid::Precision;
+use stencil_lint::{explain_feasibility, has_errors, Severity};
+
+/// The boolean predicate exactly as it stood before the analyzer.
+fn legacy_feasible(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: &GridDims,
+    c: &LaunchConfig,
+) -> bool {
+    let half_warp = device.warp_size / 2;
+    // (i) TX multiple of a half-warp.
+    if !c.tx.is_multiple_of(half_warp) {
+        return false;
+    }
+    // (ii) thread limit.
+    if c.threads() > device.max_threads_per_block {
+        return false;
+    }
+    // (iii) shared-memory limit.
+    if smem_bytes(kernel, c) > device.smem_per_sm {
+        return false;
+    }
+    // (iv) TY·RY divides LY.
+    if !dims.ly.is_multiple_of(c.tile_y()) {
+        return false;
+    }
+    // Tile must fit the plane; register estimate must compile.
+    c.tile_x() <= dims.lx
+        && c.tile_y() <= dims.ly
+        && regs_per_thread(kernel, c) <= device.max_regs_per_thread
+}
+
+/// Every grid point the paper's enumeration would visit, **plus**
+/// off-grid TX values (not half-warp multiples) the legacy predicate
+/// also rejected, so constraint (i) is differentially covered too.
+fn grid(device: &DeviceSpec) -> Vec<LaunchConfig> {
+    let half_warp = device.warp_size / 2;
+    let mut out = Vec::new();
+    let mut tx = 8;
+    while tx <= 512 {
+        for ty in 1..=32usize {
+            for rx in [1usize, 2, 4, 8] {
+                for ry in [1usize, 2, 4, 8] {
+                    out.push(LaunchConfig::new(tx, ty, rx, ry));
+                }
+            }
+        }
+        tx += half_warp / 2;
+    }
+    out
+}
+
+#[test]
+fn boolean_shim_matches_legacy_and_analyzer_everywhere() {
+    let devices = [
+        DeviceSpec::gtx580(),
+        DeviceSpec::gtx680(),
+        DeviceSpec::c2070(),
+    ];
+    let dims_set = [GridDims::paper(), GridDims::new(512, 96, 64)];
+    let kernels = [
+        KernelSpec::star_order(Method::ForwardPlane, 2, Precision::Single),
+        KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single),
+        KernelSpec::star_order(Method::InPlane(Variant::Vertical), 8, Precision::Double),
+        KernelSpec::star_order(Method::InPlane(Variant::Classical), 12, Precision::Double),
+    ];
+
+    let mut checked = 0usize;
+    let mut rejected = 0usize;
+    for device in &devices {
+        for dims in &dims_set {
+            for kernel in &kernels {
+                for c in grid(device) {
+                    let legacy = legacy_feasible(device, kernel, dims, &c);
+                    let shim = ParameterSpace::feasible(device, kernel, dims, &c);
+                    let diags = explain_feasibility(device, kernel, dims, &c);
+                    let analyzer = !has_errors(&diags);
+                    assert_eq!(
+                        legacy, shim,
+                        "{} {} {dims:?} {c}: legacy {legacy} vs shim {shim}",
+                        device.name, kernel.name
+                    );
+                    assert_eq!(
+                        legacy, analyzer,
+                        "{} {} {dims:?} {c}: legacy {legacy} vs analyzer {analyzer} ({diags:?})",
+                        device.name, kernel.name
+                    );
+                    // Contract: every rejection is explained by at least
+                    // one error-severity code.
+                    if !legacy {
+                        rejected += 1;
+                        assert!(
+                            diags.iter().any(|d| d.severity == Severity::Error),
+                            "{} {} {dims:?} {c}: rejected without a coded reason",
+                            device.name,
+                            kernel.name
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 100_000, "differential grid too small: {checked}");
+    assert!(rejected > 10_000, "grid exercised too few rejections");
+}

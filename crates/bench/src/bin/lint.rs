@@ -1,0 +1,136 @@
+//! Static-analysis sweep over the full tuning grid: every launch
+//! configuration of every method is checked by `stencil-lint`'s
+//! analyzers (feasibility, schedule, coverage, coalescing, generated
+//! source), and the process exits non-zero if any *feasible*
+//! configuration produces an error-severity diagnostic or any infeasible
+//! configuration lacks a coded rejection reason.
+//!
+//! ```sh
+//! cargo run --release --bin lint -- --device gtx580 --kernel laplacian --json
+//! ```
+
+use gpu_sim::{DeviceSpec, GridDims};
+use inplane_core::{KernelSpec, Method, Variant};
+use stencil_apps::{Laplacian3d, Poisson};
+use stencil_grid::MultiGridKernel;
+use stencil_lint::sweep::{enumerate_configs, enumerate_configs_quick, lint_configs, SweepReport};
+
+struct Args {
+    devices: Vec<DeviceSpec>,
+    kernels: Vec<&'static str>,
+    json: bool,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint [--device gtx580|gtx680|c2070|all] [--kernel laplacian|poisson|all]\n\
+         \x20           [--json] [--quick]\n\
+         Sweeps the full (TX, TY, RX, RY) tuning grid for every method variant and\n\
+         reports coded diagnostics. Exits non-zero when a feasible configuration\n\
+         carries an error-severity diagnostic or a rejection is unexplained."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: vec![DeviceSpec::gtx580()],
+        kernels: vec!["laplacian"],
+        json: false,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--device" => {
+                args.devices = match val().as_str() {
+                    "gtx580" => vec![DeviceSpec::gtx580()],
+                    "gtx680" => vec![DeviceSpec::gtx680()],
+                    "c2070" => vec![DeviceSpec::c2070()],
+                    "all" => DeviceSpec::paper_devices().to_vec(),
+                    _ => usage(),
+                }
+            }
+            "--kernel" => {
+                args.kernels = match val().as_str() {
+                    "laplacian" => vec!["laplacian"],
+                    "poisson" => vec!["poisson"],
+                    "all" => vec!["laplacian", "poisson"],
+                    _ => usage(),
+                }
+            }
+            "--json" => args.json = true,
+            "--quick" => args.quick = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// Kernel specs for one named application: the forward-plane baseline
+/// plus every in-plane variant.
+fn specs_for(kernel: &str) -> Vec<KernelSpec> {
+    let methods = [
+        Method::ForwardPlane,
+        Method::InPlane(Variant::Classical),
+        Method::InPlane(Variant::Vertical),
+        Method::InPlane(Variant::Horizontal),
+        Method::InPlane(Variant::FullSlice),
+    ];
+    methods
+        .iter()
+        .map(|&m| match kernel {
+            "laplacian" => {
+                KernelSpec::from_app(m, &Laplacian3d::default() as &dyn MultiGridKernel<f32>)
+            }
+            "poisson" => KernelSpec::from_app(m, &Poisson::default() as &dyn MultiGridKernel<f32>),
+            _ => unreachable!("parse_args validated the kernel name"),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let dims = GridDims::paper();
+    let mut reports: Vec<SweepReport> = Vec::new();
+
+    for device in &args.devices {
+        let configs = if args.quick {
+            enumerate_configs_quick(device)
+        } else {
+            enumerate_configs(device)
+        };
+        for kernel_name in &args.kernels {
+            for spec in specs_for(kernel_name) {
+                let results = lint_configs(device, &spec, &dims, &configs);
+                reports.push(SweepReport::from_results(device, &spec, &results));
+            }
+        }
+    }
+
+    let failed = reports.iter().filter(|r| !r.clean()).count();
+    if args.json {
+        let items: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
+        println!(
+            "{{\"reports\":[{}],\"failed\":{failed},\"clean\":{}}}",
+            items.join(","),
+            failed == 0
+        );
+    } else {
+        for r in &reports {
+            print!("{}", r.render());
+        }
+        let examined: usize = reports.iter().map(|r| r.examined).sum();
+        let feasible: usize = reports.iter().map(|r| r.feasible).sum();
+        println!(
+            "total: {} sweeps, {examined} configurations examined, {feasible} feasible, {failed} failed",
+            reports.len()
+        );
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -103,8 +103,15 @@ fn main() {
         "tuning {} on {} over {}x{}x{}",
         kernel.name, a.device.name, a.dims.lx, a.dims.ly, a.dims.lz
     );
-    let space = ParameterSpace::paper_space(&a.device, &kernel, &a.dims);
-    println!("{} feasible configurations", space.len());
+    let (space, audit) = ParameterSpace::paper_space_audited(&a.device, &kernel, &a.dims);
+    println!(
+        "{} feasible configurations ({} grid points examined)",
+        space.len(),
+        audit.examined
+    );
+    for (code, n) in &audit.rejections {
+        println!("  rejected {code} x{n}");
+    }
     if let Some(svc) = a.store.as_deref().and_then(service_at) {
         let tuner = match a.beta {
             Some(beta_percent) => TunerSpec::ModelBased { beta_percent },

@@ -91,10 +91,11 @@ fn main() {
                 order,
                 Precision::Single,
             );
-            let space = if opts.quick {
-                ParameterSpace::quick_space(&dev, &kernel, &dims)
+            let (space, audit) = if opts.quick {
+                (ParameterSpace::quick_space(&dev, &kernel, &dims), None)
             } else {
-                ParameterSpace::paper_space(&dev, &kernel, &dims)
+                let (space, audit) = ParameterSpace::paper_space_audited(&dev, &kernel, &dims);
+                (space, Some(audit))
             };
             let (ex, ex_executed) = run_strategy(
                 svc.as_ref(),
@@ -145,16 +146,19 @@ fn main() {
                     out.provenance.label().to_string(),
                 ]);
             }
-            last_report = Some((dev.clone(), kernel, ex));
+            last_report = Some((dev.clone(), kernel, ex, audit));
         }
     }
     table.print("Tuning strategies: quality vs configurations executed");
-    if let Some((dev, kernel, ex)) = &last_report {
-        let report = match &svc {
+    if let Some((dev, kernel, ex, audit)) = &last_report {
+        let mut report = match &svc {
             Some(svc) => summarize_with(svc.ctx(), dev, kernel, dims, ex)
                 .with_store(svc.store().stats().counters()),
             None => summarize_with(EvalContext::global(), dev, kernel, dims, ex),
         };
+        if let Some(audit) = audit {
+            report = report.with_rejections(audit.rejections.clone());
+        }
         println!("\nlast exhaustive run ({} on {}):", kernel.name, dev.name);
         println!("{}", report.render());
     }

@@ -7,7 +7,45 @@
 //! its tests instead of silently reading stale shared memory (which is
 //! what the real CUDA kernel would do).
 
+use std::fmt;
 use stencil_grid::Real;
+
+/// Structured description of a read from an un-staged shared-buffer
+/// cell: where in the grid it happened, which z-plane the buffer was
+/// staging, and which zone of the halo-framed window the cell belongs
+/// to. This is the dynamic counterpart of the static schedule proof in
+/// `stencil-lint` (`LNT-S001`): both name the same coordinates and
+/// staging zone, so a static finding can be cross-checked against the
+/// emulator's runtime verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageError {
+    /// Grid x-coordinate of the offending read.
+    pub x: isize,
+    /// Grid y-coordinate of the offending read.
+    pub y: isize,
+    /// z-plane the buffer was staging when the read happened (`None`
+    /// before the first [`SharedBuffer::set_plane`]).
+    pub plane: Option<usize>,
+    /// Which staging zone the cell belongs to: `interior`, `top halo`,
+    /// `bottom halo`, `left halo`, `right halo` or `corner halo`.
+    pub zone: &'static str,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read of un-staged shared-buffer cell ({},{}) in the {}",
+            self.x, self.y, self.zone
+        )?;
+        match self.plane {
+            Some(k) => write!(f, " while staging plane {k}"),
+            None => write!(f, " before any plane was staged"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
 
 /// A 2-D staging buffer covering grid columns `[x0, x0+w)` and rows
 /// `[y0, y0+h)` of the current z-plane.
@@ -17,19 +55,24 @@ pub struct SharedBuffer<T> {
     y0: isize,
     w: usize,
     h: usize,
+    halo: usize,
+    plane: Option<usize>,
     data: Vec<T>,
     staged: Vec<bool>,
     stage_count: u64,
 }
 
 impl<T: Real> SharedBuffer<T> {
-    /// Allocate a buffer for the given grid-coordinate window.
+    /// Allocate a buffer for the given grid-coordinate window (no halo
+    /// frame: every cell classifies as `interior`).
     pub fn new(x0: isize, y0: isize, w: usize, h: usize) -> Self {
         SharedBuffer {
             x0,
             y0,
             w,
             h,
+            halo: 0,
+            plane: None,
             data: vec![T::ZERO; w * h],
             staged: vec![false; w * h],
             stage_count: 0,
@@ -39,12 +82,14 @@ impl<T: Real> SharedBuffer<T> {
     /// Buffer for a tile `[x0, x0+w) × [y0, y0+h)` framed by a halo of
     /// width `r` on every side.
     pub fn for_tile(x0: usize, y0: usize, w: usize, h: usize, r: usize) -> Self {
-        Self::new(
+        let mut buf = Self::new(
             x0 as isize - r as isize,
             y0 as isize - r as isize,
             w + 2 * r,
             h + 2 * r,
-        )
+        );
+        buf.halo = r;
+        buf
     }
 
     #[inline]
@@ -70,19 +115,57 @@ impl<T: Real> SharedBuffer<T> {
         self.stage_count += 1;
     }
 
+    /// Which staging zone of the halo-framed window `(x, y)` falls in.
+    fn zone(&self, x: isize, y: isize) -> &'static str {
+        let r = self.halo as isize;
+        let lx = x - self.x0;
+        let ly = y - self.y0;
+        let x_side = lx < r || lx >= self.w as isize - r;
+        let y_side = ly < r || ly >= self.h as isize - r;
+        match (x_side, y_side) {
+            (false, false) => "interior",
+            (true, true) => "corner halo",
+            (true, false) if lx < r => "left halo",
+            (true, false) => "right halo",
+            (false, true) if ly < r => "top halo",
+            (false, true) => "bottom halo",
+        }
+    }
+
+    /// Read a staged value, or describe exactly what went wrong.
+    ///
+    /// # Panics
+    /// Panics if `(x, y)` lies outside the buffer window (a structural
+    /// bug in the caller, not a staging-order bug).
+    pub fn try_read(&self, x: isize, y: isize) -> Result<T, StageError> {
+        let i = self.index(x, y);
+        if self.staged[i] {
+            Ok(self.data[i])
+        } else {
+            Err(StageError {
+                x,
+                y,
+                plane: self.plane,
+                zone: self.zone(x, y),
+            })
+        }
+    }
+
     /// Read a staged value.
     ///
     /// # Panics
     /// Panics if the cell was never staged since the last
     /// [`SharedBuffer::clear`] — the emulated equivalent of reading
-    /// garbage shared memory.
+    /// garbage shared memory. The message names the grid coordinates,
+    /// the staging zone and the z-plane being staged.
     pub fn read(&self, x: isize, y: isize) -> T {
-        let i = self.index(x, y);
-        assert!(
-            self.staged[i],
-            "read of un-staged shared-buffer cell ({x},{y})"
-        );
-        self.data[i]
+        self.try_read(x, y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Record which z-plane the buffer is staging (carried into
+    /// [`StageError`]s for diagnosis).
+    pub fn set_plane(&mut self, k: usize) {
+        self.plane = Some(k);
     }
 
     /// Whether a cell currently holds staged data.
@@ -124,6 +207,47 @@ mod tests {
     fn unstaged_read_panics() {
         let b: SharedBuffer<f64> = SharedBuffer::new(0, 0, 2, 2);
         b.read(0, 0);
+    }
+
+    #[test]
+    fn unstaged_read_message_carries_coordinates_zone_and_plane() {
+        let mut b: SharedBuffer<f32> = SharedBuffer::for_tile(8, 8, 4, 4, 2);
+        b.set_plane(17);
+        let err = b.try_read(6, 6).unwrap_err();
+        assert_eq!((err.x, err.y), (6, 6));
+        assert_eq!(err.plane, Some(17));
+        assert_eq!(err.zone, "corner halo");
+        assert_eq!(
+            err.to_string(),
+            "read of un-staged shared-buffer cell (6,6) in the corner halo while staging plane 17"
+        );
+        let caught = std::panic::catch_unwind(|| b.read(6, 6)).unwrap_err();
+        let msg = caught.downcast_ref::<String>().expect("panic message");
+        assert_eq!(msg, &err.to_string());
+    }
+
+    #[test]
+    fn zones_classify_the_halo_frame() {
+        let b: SharedBuffer<f32> = SharedBuffer::for_tile(8, 8, 4, 4, 2);
+        assert_eq!(b.try_read(9, 9).unwrap_err().zone, "interior");
+        assert_eq!(b.try_read(9, 6).unwrap_err().zone, "top halo");
+        assert_eq!(b.try_read(9, 13).unwrap_err().zone, "bottom halo");
+        assert_eq!(b.try_read(6, 9).unwrap_err().zone, "left halo");
+        assert_eq!(b.try_read(13, 9).unwrap_err().zone, "right halo");
+        assert_eq!(b.try_read(13, 13).unwrap_err().zone, "corner halo");
+        // A plain window has no halo: everything is interior.
+        let plain: SharedBuffer<f32> = SharedBuffer::new(0, 0, 2, 2);
+        let err = plain.try_read(0, 0).unwrap_err();
+        assert_eq!(err.zone, "interior");
+        assert_eq!(err.plane, None);
+        assert!(err.to_string().contains("before any plane was staged"));
+    }
+
+    #[test]
+    fn try_read_roundtrips_staged_cells() {
+        let mut b: SharedBuffer<f64> = SharedBuffer::for_tile(0, 0, 4, 4, 1);
+        b.stage(2, 2, 9.0);
+        assert_eq!(b.try_read(2, 2), Ok(9.0));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub fn execute_forward_plane<T: Real>(
         for k in r..nz - r {
             stats.planes_staged += 1;
             buf.clear();
+            buf.set_plane(k);
             // Publish centre registers (plane k) to shared memory.
             for y in y0..y0 + h {
                 for x in x0..x0 + w {

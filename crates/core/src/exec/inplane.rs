@@ -60,6 +60,7 @@ pub fn execute_inplane<T: Real>(
         for k in r..nz {
             stats.planes_staged += 1;
             buf.clear();
+            buf.set_plane(k);
             stats.cells_staged += stage_plane(variant, &mut buf, input, x0, y0, w, h, r, k);
 
             // Step 2: new partials (Eqn 3) for plane k, if it is an

@@ -19,7 +19,7 @@ mod buffer;
 mod forward;
 mod inplane;
 
-pub use buffer::SharedBuffer;
+pub use buffer::{SharedBuffer, StageError};
 pub use forward::execute_forward_plane;
 pub use inplane::execute_inplane;
 

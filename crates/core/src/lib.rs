@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # inplane-core
@@ -43,7 +44,7 @@ pub mod simulate;
 
 pub use config::LaunchConfig;
 pub use eval::{CacheStats, EvalContext, PlanKey, MEASUREMENT_NOISE_AMPLITUDE};
-pub use exec::{execute_step, ExecStats};
+pub use exec::{execute_step, ExecStats, SharedBuffer, StageError};
 pub use kernel::KernelSpec;
 pub use method::{Method, Variant};
 pub use run::{RunOutcome, StencilRun};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Std-only benchmark-harness stand-in for the `criterion` crate.

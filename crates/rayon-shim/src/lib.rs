@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Std-only data-parallelism stand-in for the `rayon` crate.

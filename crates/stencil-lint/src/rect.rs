@@ -1,0 +1,214 @@
+//! Exact rectangle arithmetic for the coverage and schedule proofs.
+//!
+//! The analyzer proves "no gap, no overlap" over slabs that can reach a
+//! few thousand cells on a side (`TX·RX` up to 4096), so the proofs are
+//! carried out on half-open rectangles — area sums, pairwise
+//! intersection and rectangle subtraction — rather than per-cell
+//! bitmaps. The property tests cross-validate the rectangle algebra
+//! against per-cell counting on small instances.
+
+/// A half-open axis-aligned rectangle `[x0, x1) × [y0, y1)` in grid
+/// coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub x0: isize,
+    /// Exclusive right edge.
+    pub x1: isize,
+    /// Inclusive top edge.
+    pub y0: isize,
+    /// Exclusive bottom edge.
+    pub y1: isize,
+}
+
+impl Rect {
+    /// Build from the `(start, end)` span pairs the load planner uses.
+    pub fn from_spans(x: (isize, isize), y: (isize, isize)) -> Self {
+        Rect {
+            x0: x.0,
+            x1: x.1,
+            y0: y.0,
+            y1: y.1,
+        }
+    }
+
+    /// True when the rectangle contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// Number of cells covered.
+    pub fn area(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.x1 - self.x0) as u64 * (self.y1 - self.y0) as u64
+        }
+    }
+
+    /// The overlap with `other`, if any.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            x1: self.x1.min(other.x1),
+            y0: self.y0.max(other.y0),
+            y1: self.y1.min(other.y1),
+        };
+        if r.is_empty() {
+            None
+        } else {
+            Some(r)
+        }
+    }
+
+    /// True when `other` lies entirely inside `self` (empty rectangles
+    /// are contained everywhere).
+    pub fn contains(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (self.x0 <= other.x0
+                && other.x1 <= self.x1
+                && self.y0 <= other.y0
+                && other.y1 <= self.y1)
+    }
+
+    /// True when the cell `(x, y)` is inside.
+    pub fn contains_cell(&self, x: isize, y: isize) -> bool {
+        self.x0 <= x && x < self.x1 && self.y0 <= y && y < self.y1
+    }
+
+    /// `self` minus `cut`: at most four disjoint rectangles.
+    pub fn subtract(&self, cut: &Rect) -> Vec<Rect> {
+        let Some(overlap) = self.intersect(cut) else {
+            return if self.is_empty() {
+                Vec::new()
+            } else {
+                vec![*self]
+            };
+        };
+        let mut out = Vec::with_capacity(4);
+        // Band above the cut.
+        if self.y0 < overlap.y0 {
+            out.push(Rect {
+                y1: overlap.y0,
+                ..*self
+            });
+        }
+        // Band below the cut.
+        if overlap.y1 < self.y1 {
+            out.push(Rect {
+                y0: overlap.y1,
+                ..*self
+            });
+        }
+        // Left and right slivers within the cut's row band.
+        if self.x0 < overlap.x0 {
+            out.push(Rect {
+                x1: overlap.x0,
+                y0: overlap.y0,
+                y1: overlap.y1,
+                ..*self
+            });
+        }
+        if overlap.x1 < self.x1 {
+            out.push(Rect {
+                x0: overlap.x1,
+                y0: overlap.y0,
+                y1: overlap.y1,
+                ..*self
+            });
+        }
+        out
+    }
+}
+
+/// Subtract every rectangle in `cuts` from every rectangle in `base`,
+/// returning the (disjoint) leftovers.
+pub fn subtract_all(base: Vec<Rect>, cuts: &[Rect]) -> Vec<Rect> {
+    let mut remaining = base;
+    for cut in cuts {
+        let mut next = Vec::with_capacity(remaining.len());
+        for r in &remaining {
+            next.extend(r.subtract(cut));
+        }
+        remaining = next;
+    }
+    remaining.retain(|r| !r.is_empty());
+    remaining
+}
+
+/// Total area of a set of (assumed disjoint) rectangles.
+pub fn total_area(rects: &[Rect]) -> u64 {
+    rects.iter().map(Rect::area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: isize, x1: isize, y0: isize, y1: isize) -> Rect {
+        Rect { x0, x1, y0, y1 }
+    }
+
+    #[test]
+    fn area_and_empty() {
+        assert_eq!(r(0, 4, 0, 3).area(), 12);
+        assert!(r(2, 2, 0, 5).is_empty());
+        assert_eq!(r(5, 2, 0, 5).area(), 0);
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(r(0, 4, 0, 4).intersect(&r(2, 6, 2, 6)), Some(r(2, 4, 2, 4)));
+        assert_eq!(r(0, 4, 0, 4).intersect(&r(4, 8, 0, 4)), None);
+    }
+
+    #[test]
+    fn subtract_interior_hole_gives_four_bands() {
+        let base = r(0, 10, 0, 10);
+        let hole = r(3, 7, 3, 7);
+        let parts = base.subtract(&hole);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(total_area(&parts), 100 - 16);
+        // Parts are pairwise disjoint and avoid the hole.
+        for (i, a) in parts.iter().enumerate() {
+            assert!(a.intersect(&hole).is_none());
+            for b in parts.iter().skip(i + 1) {
+                assert!(a.intersect(b).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_is_identity() {
+        let base = r(0, 4, 0, 4);
+        assert_eq!(base.subtract(&r(10, 12, 0, 4)), vec![base]);
+    }
+
+    #[test]
+    fn subtract_superset_is_empty() {
+        assert!(r(2, 4, 2, 4).subtract(&r(0, 10, 0, 10)).is_empty());
+    }
+
+    #[test]
+    fn subtract_all_matches_per_cell_counting() {
+        // Randomised-ish small cases, checked cell by cell.
+        let base = vec![r(0, 9, 0, 7)];
+        let cuts = [r(0, 3, 0, 7), r(3, 9, 0, 2), r(5, 7, 4, 6)];
+        let left = subtract_all(base, &cuts);
+        for y in 0..7 {
+            for x in 0..9 {
+                let in_cut = cuts.iter().any(|c| c.contains_cell(x, y));
+                let in_left = left.iter().filter(|l| l.contains_cell(x, y)).count();
+                assert_eq!(in_left, usize::from(!in_cut), "cell ({x},{y})");
+            }
+        }
+        assert_eq!(total_area(&left), 9 * 7 - 21 - 12 - 4);
+    }
+
+    #[test]
+    fn contains() {
+        assert!(r(0, 10, 0, 10).contains(&r(2, 4, 3, 5)));
+        assert!(!r(0, 10, 0, 10).contains(&r(8, 12, 0, 2)));
+        assert!(r(0, 1, 0, 1).contains(&r(5, 5, 5, 9)), "empty is contained");
+    }
+}

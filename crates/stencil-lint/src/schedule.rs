@@ -1,0 +1,382 @@
+//! Barrier/happens-before proof over the abstract per-plane schedule.
+//!
+//! Each plane of the 2.5-D sweep is abstracted into an ordered list of
+//! [`Op`]s: shared-memory *stages* (region stores into the tile, from
+//! global memory or from the register pipeline), *barriers*
+//! (`__syncthreads()`), and *reads* (the compute phase's neighbour
+//! gathers). The proof obligations (§III):
+//!
+//! * every read rectangle is covered by staged rectangles (`LNT-S001`
+//!   otherwise — a read of memory nothing staged);
+//! * the covering stages are separated from the read by a barrier
+//!   (`LNT-S002` otherwise — a cross-warp race: another warp's stage is
+//!   not visible without a barrier);
+//! * the schedule issues exactly the two barriers per plane the method
+//!   is specified with — stage barrier + reuse barrier (`LNT-S003`);
+//! * the register-pipeline depth matches the method: `2r + 1` z-values
+//!   forward-plane, `r` queued partials + `r` trailing z-values in-plane
+//!   (`LNT-S004`).
+//!
+//! The same proof is cross-checked dynamically in the integration tests:
+//! replaying the staged regions into the emulator's `SharedBuffer` and
+//! `try_read`ing the read footprint must agree with the static verdict.
+
+use crate::diag::Diagnostic;
+use crate::rect::{subtract_all, total_area, Rect};
+use gpu_sim::plan::PlanePlan;
+use inplane_core::layout::TileGeometry;
+use inplane_core::loadplan::load_regions;
+use inplane_core::resources::{regs_per_thread, vector_width, BASE_REGS};
+use inplane_core::{KernelSpec, LaunchConfig, Method};
+
+/// One step of the abstract per-plane schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// A region of the plane is written into the shared tile.
+    Stage(Rect),
+    /// `__syncthreads()`: all prior stages become visible to all threads.
+    Barrier,
+    /// The compute phase reads this region of the shared tile.
+    Read(Rect),
+}
+
+/// The read footprint of the compute phase: the interior plus the four
+/// radius-wide halo arms (corners are never read by a star stencil).
+pub fn read_footprint(geom: &TileGeometry) -> Vec<Rect> {
+    let (ix_s, ix_e) = geom.interior_x();
+    let (iy_s, iy_e) = geom.interior_y();
+    let r = geom.r as isize;
+    vec![
+        Rect {
+            x0: ix_s,
+            x1: ix_e,
+            y0: iy_s,
+            y1: iy_e,
+        },
+        Rect {
+            x0: ix_s - r,
+            x1: ix_s,
+            y0: iy_s,
+            y1: iy_e,
+        },
+        Rect {
+            x0: ix_e,
+            x1: ix_e + r,
+            y0: iy_s,
+            y1: iy_e,
+        },
+        Rect {
+            x0: ix_s,
+            x1: ix_e,
+            y0: iy_s - r,
+            y1: iy_s,
+        },
+        Rect {
+            x0: ix_s,
+            x1: ix_e,
+            y0: iy_e,
+            y1: iy_e + r,
+        },
+    ]
+}
+
+/// Build the abstract per-plane schedule for `(kernel, geom)`: stage the
+/// variant's load regions, barrier, read the stencil footprint, barrier
+/// (the reuse barrier protecting the next plane's restaging).
+pub fn build_schedule(kernel: &KernelSpec, geom: &TileGeometry) -> Vec<Op> {
+    let mut ops = Vec::new();
+    // Forward-plane publishes the interior from its register pipeline and
+    // loads the four arms; in-plane stages the variant's regions. Either
+    // way, the staged rectangles are exactly the method's load regions
+    // (the forward-plane interior "load" is the register publish).
+    for region in load_regions(kernel.method, geom, vector_width(kernel)) {
+        ops.push(Op::Stage(Rect::from_spans(region.x, region.y)));
+    }
+    ops.push(Op::Barrier);
+    for r in read_footprint(geom) {
+        ops.push(Op::Read(r));
+    }
+    // Reuse barrier: no thread may restage the next plane while another
+    // warp still reads this one.
+    ops.push(Op::Barrier);
+    ops
+}
+
+/// Verify the happens-before obligations on an explicit op list.
+/// Exposed separately so tests can probe broken schedules.
+pub fn verify_ops(ops: &[Op]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Stages made visible by a barrier vs stages still pending one.
+    let mut visible: Vec<Rect> = Vec::new();
+    let mut pending: Vec<Rect> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Stage(r) => pending.push(*r),
+            Op::Barrier => {
+                visible.append(&mut pending);
+            }
+            Op::Read(r) => {
+                let after_visible = subtract_all(vec![*r], &visible);
+                if after_visible.is_empty() {
+                    continue;
+                }
+                // Part of the read is not barrier-protected; is it staged
+                // at all?
+                let unstaged = subtract_all(after_visible.clone(), &pending);
+                if !unstaged.is_empty() {
+                    let g = unstaged[0];
+                    diags.push(
+                        Diagnostic::error(
+                            "LNT-S001",
+                            format!(
+                                "read op {i} touches {} cells no stage covers (first gap [{}, {})x[{}, {}))",
+                                total_area(&unstaged),
+                                g.x0,
+                                g.x1,
+                                g.y0,
+                                g.y1
+                            ),
+                        )
+                        .with("op", i)
+                        .with("cells", total_area(&unstaged)),
+                    );
+                }
+                let racy_area = total_area(&after_visible) - total_area(&unstaged);
+                if racy_area > 0 {
+                    diags.push(
+                        Diagnostic::error(
+                            "LNT-S002",
+                            format!(
+                                "read op {i} reaches {racy_area} cells staged after the last barrier (cross-warp race)"
+                            ),
+                        )
+                        .with("op", i)
+                        .with("cells", racy_area),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// The method's specified register-pipeline depth in words per point:
+/// `2r + 1` forward-plane, `2r` (queue + z-history) in-plane.
+pub fn expected_pipeline_words(kernel: &KernelSpec) -> usize {
+    match kernel.method {
+        Method::ForwardPlane => 2 * kernel.radius + 1,
+        Method::InPlane(_) => 2 * kernel.radius,
+    }
+}
+
+/// Full schedule check for `(kernel, config, geom)` against the lowered
+/// `plan`: happens-before over the abstract schedule, barrier count, and
+/// pipeline depth.
+pub fn check_schedule(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    geom: &TileGeometry,
+    plan: &PlanePlan,
+) -> Vec<Diagnostic> {
+    let ops = build_schedule(kernel, geom);
+    let mut diags = verify_ops(&ops);
+
+    // S003: the proven schedule has exactly two barriers per plane, and
+    // the lowered plan must agree.
+    let barriers = ops.iter().filter(|o| matches!(o, Op::Barrier)).count() as u64;
+    if barriers != 2 || plan.syncthreads != 2 {
+        diags.push(
+            Diagnostic::error(
+                "LNT-S003",
+                format!(
+                    "schedule has {barriers} barriers, plan declares {} (proven count: 2)",
+                    plan.syncthreads
+                ),
+            )
+            .with("schedule_barriers", barriers)
+            .with("plan_syncthreads", plan.syncthreads),
+        );
+    }
+
+    // S004: re-derive the pipeline register count from the method's
+    // specified depth and compare with the resource model's estimate.
+    diags.extend(check_pipeline_depth(
+        kernel,
+        config,
+        regs_per_thread(kernel, config),
+    ));
+
+    diags
+}
+
+/// Prove `claimed_regs` (a per-thread register estimate for `(kernel,
+/// config)`) carries exactly the method's specified pipeline depth:
+/// `2r + 1` words per point forward-plane, `2r` in-plane, on top of the
+/// base/coefficient/vector-staging overheads. `LNT-S004` on mismatch.
+pub fn check_pipeline_depth(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    claimed_regs: usize,
+) -> Option<Diagnostic> {
+    let r = kernel.radius;
+    let regs_per_word = kernel.elem_bytes / 4;
+    let expected_pipeline =
+        expected_pipeline_words(kernel) * config.points_per_thread() * regs_per_word;
+    let coeffs = if kernel.coeff_inputs == 0 {
+        (r + 1).min(6) * regs_per_word
+    } else {
+        0
+    };
+    let vector_tmp = if vector_width(kernel) > 1 {
+        2 * regs_per_word
+    } else {
+        regs_per_word
+    };
+    let derived_pipeline = claimed_regs.saturating_sub(BASE_REGS + coeffs + vector_tmp);
+    if derived_pipeline != expected_pipeline {
+        return Some(
+            Diagnostic::error(
+                "LNT-S004",
+                format!(
+                    "register estimate carries {derived_pipeline} pipeline registers, the {} method specifies {expected_pipeline} ({} words/point)",
+                    kernel.method.label(),
+                    expected_pipeline_words(kernel)
+                ),
+            )
+            .with("derived", derived_pipeline)
+            .with("expected", expected_pipeline)
+            .with("words_per_point", expected_pipeline_words(kernel)),
+        );
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use inplane_core::loadplan::build_plane_plan;
+    use inplane_core::Variant;
+    use stencil_grid::Precision;
+
+    fn geom(c: &LaunchConfig, r: usize) -> TileGeometry {
+        TileGeometry::interior(c, r, 4, 512, 128)
+    }
+
+    fn spec(method: Method, order: usize) -> KernelSpec {
+        KernelSpec::star_order(method, order, Precision::Single)
+    }
+
+    #[test]
+    fn all_methods_prove_clean() {
+        for method in [
+            Method::ForwardPlane,
+            Method::InPlane(Variant::Classical),
+            Method::InPlane(Variant::Vertical),
+            Method::InPlane(Variant::Horizontal),
+            Method::InPlane(Variant::FullSlice),
+        ] {
+            for order in [2usize, 4, 8, 12] {
+                let c = LaunchConfig::new(32, 8, 1, 1);
+                let g = geom(&c, order / 2);
+                let k = spec(method, order);
+                let plan = build_plane_plan(&k, &c, &g, 32);
+                let d = check_schedule(&k, &c, &g, &plan);
+                assert!(
+                    !has_errors(&d),
+                    "{method:?} order {order}: {:?}",
+                    d.iter().map(|x| x.render()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_barrier_is_s002() {
+        let c = LaunchConfig::new(32, 8, 1, 1);
+        let g = geom(&c, 1);
+        let k = spec(Method::InPlane(Variant::FullSlice), 2);
+        let mut ops = build_schedule(&k, &g);
+        // Remove the stage barrier: reads now race with the stores.
+        let first_barrier = ops.iter().position(|o| matches!(o, Op::Barrier)).unwrap();
+        ops.remove(first_barrier);
+        let d = verify_ops(&ops);
+        assert!(d.iter().any(|x| x.code == "LNT-S002"), "{d:?}");
+        assert!(
+            !d.iter().any(|x| x.code == "LNT-S001"),
+            "fully staged: {d:?}"
+        );
+    }
+
+    #[test]
+    fn missing_stage_is_s001() {
+        let c = LaunchConfig::new(32, 8, 1, 1);
+        let g = geom(&c, 1);
+        let k = spec(Method::InPlane(Variant::Horizontal), 2);
+        let mut ops = build_schedule(&k, &g);
+        // Drop the top-halo stage (the second region).
+        let stages: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Op::Stage(_)))
+            .map(|(i, _)| i)
+            .collect();
+        ops.remove(stages[1]);
+        let d = verify_ops(&ops);
+        assert!(d.iter().any(|x| x.code == "LNT-S001"), "{d:?}");
+    }
+
+    #[test]
+    fn wrong_barrier_count_is_s003() {
+        let c = LaunchConfig::new(32, 8, 1, 1);
+        let g = geom(&c, 1);
+        let k = spec(Method::InPlane(Variant::FullSlice), 2);
+        let mut plan = build_plane_plan(&k, &c, &g, 32);
+        plan.syncthreads = 3;
+        let d = check_schedule(&k, &c, &g, &plan);
+        assert!(d.iter().any(|x| x.code == "LNT-S003"), "{d:?}");
+    }
+
+    #[test]
+    fn tampered_pipeline_depth_is_s004() {
+        let c = LaunchConfig::new(32, 8, 1, 1);
+        let k = spec(Method::ForwardPlane, 4);
+        let honest = regs_per_thread(&k, &c);
+        assert!(check_pipeline_depth(&k, &c, honest).is_none());
+        // A register estimate that dropped one pipeline word per point.
+        let d = check_pipeline_depth(&k, &c, honest - c.points_per_thread()).unwrap();
+        assert_eq!(d.code, "LNT-S004");
+        // A forward-plane estimate claimed for an in-plane spec: one word
+        // per point too many.
+        let mut lying = k.clone();
+        lying.method = Method::InPlane(Variant::Classical);
+        let d2 = check_pipeline_depth(&lying, &c, honest).unwrap();
+        assert_eq!(d2.code, "LNT-S004");
+    }
+
+    #[test]
+    fn pipeline_depths_match_table() {
+        for order in [2usize, 4, 8] {
+            let r = order / 2;
+            assert_eq!(
+                expected_pipeline_words(&spec(Method::ForwardPlane, order)),
+                2 * r + 1
+            );
+            assert_eq!(
+                expected_pipeline_words(&spec(Method::InPlane(Variant::FullSlice), order)),
+                2 * r
+            );
+        }
+    }
+
+    #[test]
+    fn read_footprint_is_slab_minus_corners() {
+        let c = LaunchConfig::new(32, 4, 1, 2);
+        let g = geom(&c, 2);
+        let fp = read_footprint(&g);
+        let slab = Rect::from_spans(g.slab_x(), g.slab_y());
+        let left = subtract_all(vec![slab], &fp);
+        // Exactly the four r×r corners remain.
+        assert_eq!(total_area(&left), 4 * 4);
+    }
+}

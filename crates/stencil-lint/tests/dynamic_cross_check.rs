@@ -1,0 +1,140 @@
+//! Dynamic cross-check of the static schedule proof: replay the abstract
+//! per-plane schedule into the emulator's `SharedBuffer` and confirm the
+//! runtime staging discipline reaches the same verdict as the static
+//! analyzer — clean schedules read every cell successfully, and a
+//! schedule the analyzer flags with `LNT-S001` fails `try_read` on
+//! exactly as many cells as the diagnostic counts.
+
+use inplane_core::layout::TileGeometry;
+use inplane_core::{KernelSpec, LaunchConfig, Method, SharedBuffer, StageError, Variant};
+use stencil_grid::Precision;
+use stencil_lint::rect::Rect;
+use stencil_lint::schedule::{build_schedule, read_footprint, verify_ops, Op};
+use stencil_lint::Severity;
+
+fn geom(c: &LaunchConfig, r: usize) -> TileGeometry {
+    TileGeometry::interior(c, r, 4, 512, 128)
+}
+
+/// Replay `ops` into a `SharedBuffer` covering the slab: stage every
+/// `Op::Stage` rect (barriers are visibility no-ops for the
+/// single-threaded emulator), then `try_read` every cell of every
+/// `Op::Read` rect. Returns the staging failures.
+fn replay(ops: &[Op], g: &TileGeometry, plane: usize) -> Vec<StageError> {
+    let (sx_s, sx_e) = g.slab_x();
+    let (sy_s, sy_e) = g.slab_y();
+    let mut buf: SharedBuffer<f32> =
+        SharedBuffer::new(sx_s, sy_s, (sx_e - sx_s) as usize, (sy_e - sy_s) as usize);
+    buf.set_plane(plane);
+    let mut errors = Vec::new();
+    for op in ops {
+        match op {
+            Op::Stage(r) => {
+                for y in r.y0..r.y1 {
+                    for x in r.x0..r.x1 {
+                        buf.stage(x, y, 1.0);
+                    }
+                }
+            }
+            Op::Barrier => {}
+            Op::Read(r) => {
+                for y in r.y0..r.y1 {
+                    for x in r.x0..r.x1 {
+                        if let Err(e) = buf.try_read(x, y) {
+                            errors.push(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[test]
+fn clean_schedules_replay_without_stage_errors() {
+    for method in [
+        Method::ForwardPlane,
+        Method::InPlane(Variant::Classical),
+        Method::InPlane(Variant::Vertical),
+        Method::InPlane(Variant::Horizontal),
+        Method::InPlane(Variant::FullSlice),
+    ] {
+        for order in [2usize, 4, 8] {
+            let c = LaunchConfig::new(32, 8, 1, 1);
+            let g = geom(&c, order / 2);
+            let k = KernelSpec::star_order(method, order, Precision::Single);
+            let ops = build_schedule(&k, &g);
+            assert!(
+                verify_ops(&ops).is_empty(),
+                "{method:?} order {order}: static proof not clean"
+            );
+            let errors = replay(&ops, &g, 7);
+            assert!(
+                errors.is_empty(),
+                "{method:?} order {order}: dynamic replay failed at {:?}",
+                errors.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_s001_matches_dynamic_stage_errors_cell_for_cell() {
+    // Drop one staged region: the static gap count and the dynamic
+    // try_read failures must name the same number of cells.
+    let c = LaunchConfig::new(32, 8, 1, 1);
+    let g = geom(&c, 2);
+    let k = KernelSpec::star_order(Method::InPlane(Variant::Horizontal), 4, Precision::Single);
+    let mut ops = build_schedule(&k, &g);
+    let first_stage = ops.iter().position(|o| matches!(o, Op::Stage(_))).unwrap();
+    ops.remove(first_stage);
+
+    let diags = verify_ops(&ops);
+    let static_cells: u64 = diags
+        .iter()
+        .filter(|d| d.code == "LNT-S001")
+        .map(|d| {
+            d.context
+                .iter()
+                .find(|(key, _)| *key == "cells")
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+                .expect("S001 carries a cell count")
+        })
+        .sum();
+    assert!(
+        static_cells > 0,
+        "tampered schedule must be flagged: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+
+    let errors = replay(&ops, &g, 3);
+    assert_eq!(
+        errors.len() as u64,
+        static_cells,
+        "static proof and emulator disagree on the unstaged cell count"
+    );
+    // The StageError carries the context the lint proves things about:
+    // the plane and a named staging zone.
+    let e = &errors[0];
+    assert_eq!(e.plane, Some(3));
+    assert!(
+        e.to_string()
+            .starts_with("read of un-staged shared-buffer cell"),
+        "{e}"
+    );
+}
+
+#[test]
+fn read_footprint_cells_are_exactly_the_staged_reads() {
+    // The read footprint never touches the corners, so a full-slice
+    // stage of the whole slab over-stages exactly the 4r^2 corner cells.
+    let c = LaunchConfig::new(32, 4, 1, 2);
+    let g = geom(&c, 3);
+    let (sx_s, sx_e) = g.slab_x();
+    let (sy_s, sy_e) = g.slab_y();
+    let slab_cells = ((sx_e - sx_s) * (sy_e - sy_s)) as u64;
+    let fp = read_footprint(&g);
+    let read_cells: u64 = fp.iter().map(Rect::area).sum();
+    assert_eq!(slab_cells - read_cells, 4 * 9, "4r^2 corners for r = 3");
+}
