@@ -17,7 +17,7 @@
 //! plane's forward terms in — the 6-step §III-C procedure, applied to
 //! real application kernels.
 
-use stencil_grid::{Boundary, Grid3, GridSet, MultiGridKernel, Real};
+use stencil_grid::{Boundary, Grid3, GridSet, MultiGridKernel, Real, RegisterPipeline};
 
 /// A multi-grid kernel whose z-dependence is separable as above, making
 /// it executable with the in-plane pipeline.
@@ -73,25 +73,24 @@ pub fn apply_multigrid_inplane<T: Real>(
     let lin = |i: usize, j: usize| (j - r) * (nx - 2 * r) + (i - r);
 
     for o in 0..kernel.num_outputs() {
-        // queue[d] holds the pending plane (k - d) at the top of each
-        // iteration, exactly as in the star reference.
-        let mut queue: Vec<Vec<T>> = vec![vec![T::ZERO; plane_elems]; r + 1];
+        // Queue depth d holds the pending plane (k - d) at the top of
+        // each iteration, exactly as in the star reference.
+        let mut queue: RegisterPipeline<T> = RegisterPipeline::new(r + 1, plane_elems);
         for k in r..nz {
             if k < nz - r {
-                let slot = &mut queue[0];
+                let slot = queue.slot_mut(0);
                 for j in r..ny - r {
                     for i in r..nx - r {
                         slot[lin(i, j)] = kernel.eval_partial(inputs.as_slice(), o, i, j, k);
                     }
                 }
             }
-            #[allow(clippy::needless_range_loop)] // d is the pipeline depth
             for d in 1..=r {
                 let in_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
                 if !in_range {
                     continue;
                 }
-                let slot = &mut queue[d];
+                let slot = queue.slot_mut(d);
                 for j in r..ny - r {
                     for i in r..nx - r {
                         slot[lin(i, j)] +=
@@ -101,7 +100,7 @@ pub fn apply_multigrid_inplane<T: Real>(
             }
             if let Some(done_k) = k.checked_sub(r) {
                 if done_k >= r && done_k < nz - r {
-                    let slot = &queue[r];
+                    let slot = queue.slot(r);
                     for j in r..ny - r {
                         for i in r..nx - r {
                             outputs.grid_mut(o).set(i, j, done_k, slot[lin(i, j)]);
@@ -109,7 +108,7 @@ pub fn apply_multigrid_inplane<T: Real>(
                     }
                 }
             }
-            queue.rotate_right(1);
+            queue.rotate_back();
         }
         let paired_input = o.min(kernel.num_inputs() - 1);
         boundary.apply(inputs.grid(paired_input), outputs.grid_mut(o), r);

@@ -6,7 +6,7 @@
 
 use crate::exhaustive::TuneOutcome;
 use gpu_sim::{DeviceSpec, GridDims, LimitingFactor, SimOptions};
-use inplane_core::{simulate_kernel, CacheStats, EvalContext, KernelSpec};
+use inplane_core::{simulate_kernel, CacheStats, EvalContext, ExecStats, KernelSpec};
 
 /// Counters of a persistent tune store, as surfaced in a [`TuneReport`].
 ///
@@ -51,6 +51,10 @@ pub struct TuneReport {
     /// Per-code rejection histogram from the space enumeration (`None`
     /// when summarised without an audit).
     pub rejections: Option<Vec<(String, u64)>>,
+    /// Instrumented counters from a functional replay of the winning
+    /// configuration through the plan interpreter (`None` when the
+    /// winner was not replayed).
+    pub exec: Option<ExecStats>,
 }
 
 /// Nearest-rank quantile over an ascending-sorted non-empty slice.
@@ -103,6 +107,7 @@ pub fn summarize(
         cache: None,
         store: None,
         rejections: None,
+        exec: None,
     }
 }
 
@@ -131,6 +136,13 @@ impl TuneReport {
     /// style) — what [`crate::space::SpaceAudit`] collected.
     pub fn with_rejections(mut self, rejections: Vec<(String, u64)>) -> Self {
         self.rejections = Some(rejections);
+        self
+    }
+
+    /// Attach the instrumented counters of a functional replay of the
+    /// winning configuration (builder style).
+    pub fn with_exec(mut self, exec: ExecStats) -> Self {
+        self.exec = Some(exec);
         self
     }
 
@@ -172,7 +184,82 @@ impl TuneReport {
                 out.push_str(&format!("\n  {code}  x{n}"));
             }
         }
+        if let Some(e) = self.exec {
+            out.push_str(&format!(
+                "\nwinner replay: {} blocks, {} cells staged ({} halo / {} corner), \
+                 {} writes, {} barriers, {} rotations, {:.2}x redundancy",
+                e.blocks,
+                e.cells_staged,
+                e.staged_cells_by_zone[1..5].iter().sum::<u64>(),
+                e.staged_cells_by_zone[5],
+                e.useful_writes(),
+                e.barriers,
+                e.pipeline_rotations,
+                e.redundancy(),
+            ));
+        }
         out
+    }
+
+    /// Machine-readable JSON rendering of the report, including the
+    /// winner-replay [`ExecStats`] when one was attached.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"evaluated\":{},\"best_mpoints\":{:.3},\"median_mpoints\":{:.3},\
+             \"q1_mpoints\":{:.3},\"q3_mpoints\":{:.3},\"worst_feasible_mpoints\":{:.3},\
+             \"tuning_gain_over_median\":{:.4},\"best_limited_by\":\"{:?}\"",
+            self.evaluated,
+            self.best,
+            self.median,
+            self.q1,
+            self.q3,
+            self.worst_feasible,
+            self.tuning_gain_over_median,
+            self.best_limited_by,
+        );
+        if let Some(c) = self.cache {
+            s.push_str(&format!(
+                ",\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{}}}",
+                c.hits, c.misses, c.inserts
+            ));
+        }
+        if let Some(st) = self.store {
+            s.push_str(&format!(
+                ",\"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{}}}",
+                st.hits, st.misses, st.corrupt
+            ));
+        }
+        if let Some(rej) = &self.rejections {
+            let items: Vec<String> = rej
+                .iter()
+                .map(|(code, n)| format!("\"{code}\":{n}"))
+                .collect();
+            s.push_str(&format!(",\"rejections\":{{{}}}", items.join(",")));
+        }
+        if let Some(e) = self.exec {
+            let zones: Vec<String> = e.staged_cells_by_zone.iter().map(u64::to_string).collect();
+            s.push_str(&format!(
+                ",\"exec\":{{\"blocks\":{},\"planes_staged\":{},\"cells_staged\":{},\
+                 \"staged_cells_by_zone\":[{}],\"global_writes\":{},\"barriers\":{},\
+                 \"pipeline_rotations\":{},\"points_computed\":{},\
+                 \"halo_planes_exchanged\":{},\"halo_cells_exchanged\":{},\
+                 \"cells_copied_out\":{},\"redundancy\":{:.4}}}",
+                e.blocks,
+                e.planes_staged,
+                e.cells_staged,
+                zones.join(","),
+                e.global_writes,
+                e.barriers,
+                e.pipeline_rotations,
+                e.points_computed,
+                e.halo_planes_exchanged,
+                e.halo_cells_exchanged,
+                e.cells_copied_out,
+                e.redundancy(),
+            ));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -260,6 +347,46 @@ mod tests {
         // Without an audit the section is absent.
         let plain = summarize(&dev, &k, dims, &out).render();
         assert!(!plain.contains("space rejections"));
+    }
+
+    #[test]
+    fn exec_stats_surface_in_render_and_json() {
+        let (dev, k, dims, out) = run();
+        let stats = {
+            use stencil_grid::{Boundary, FillPattern, Grid3, StarStencil};
+            let s: StarStencil<f32> = StarStencil::from_order(4);
+            let input: Grid3<f32> = FillPattern::HashNoise.build(12, 12, 12);
+            let mut o = Grid3::new(12, 12, 12);
+            inplane_core::execute_step(
+                Method::InPlane(Variant::FullSlice),
+                &s,
+                &inplane_core::LaunchConfig::new(4, 4, 1, 1),
+                &input,
+                &mut o,
+                Boundary::CopyInput,
+            )
+        };
+        let rep = summarize(&dev, &k, dims, &out).with_exec(stats);
+        let rendered = rep.render();
+        assert!(rendered.contains("winner replay:"), "{rendered}");
+        assert!(rendered.contains("redundancy"), "{rendered}");
+        let json = rep.to_json();
+        for key in [
+            "\"exec\":",
+            "\"cells_staged\":",
+            "\"staged_cells_by_zone\":",
+            "\"barriers\":",
+            "\"pipeline_rotations\":",
+            "\"redundancy\":",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        // A plain single-step replay writes every point exactly once.
+        assert!(json.contains("\"redundancy\":1.0000"), "{json}");
+        // Without a replay the section is absent.
+        let plain = summarize(&dev, &k, dims, &out);
+        assert!(!plain.render().contains("winner replay"));
+        assert!(!plain.to_json().contains("\"exec\""));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::{KernelSpec, Method, Variant};
-use stencil_apps::{Laplacian3d, Poisson};
+use stencil_apps::{Hyperthermia, Laplacian3d, Poisson};
 use stencil_grid::MultiGridKernel;
 use stencil_lint::sweep::{enumerate_configs, enumerate_configs_quick, lint_configs, SweepReport};
 
@@ -24,7 +24,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lint [--device gtx580|gtx680|c2070|all] [--kernel laplacian|poisson|all]\n\
+        "usage: lint [--device gtx580|gtx680|c2070|all] [--kernel laplacian|poisson|hyperthermia|all]\n\
          \x20           [--json] [--quick]\n\
          Sweeps the full (TX, TY, RX, RY) tuning grid for every method variant and\n\
          reports coded diagnostics. Exits non-zero when a feasible configuration\n\
@@ -57,7 +57,8 @@ fn parse_args() -> Args {
                 args.kernels = match val().as_str() {
                     "laplacian" => vec!["laplacian"],
                     "poisson" => vec!["poisson"],
-                    "all" => vec!["laplacian", "poisson"],
+                    "hyperthermia" => vec!["hyperthermia"],
+                    "all" => vec!["laplacian", "poisson", "hyperthermia"],
                     _ => usage(),
                 }
             }
@@ -87,6 +88,7 @@ fn specs_for(kernel: &str) -> Vec<KernelSpec> {
                 KernelSpec::from_app(m, &Laplacian3d::default() as &dyn MultiGridKernel<f32>)
             }
             "poisson" => KernelSpec::from_app(m, &Poisson::default() as &dyn MultiGridKernel<f32>),
+            "hyperthermia" => KernelSpec::from_app(m, &Hyperthermia as &dyn MultiGridKernel<f32>),
             _ => unreachable!("parse_args validated the kernel name"),
         })
         .collect()

@@ -11,15 +11,34 @@
 //! report shows the store and evaluation-cache counters.
 
 use gpu_sim::DeviceSpec;
-use inplane_core::{EvalContext, KernelSpec, Method, Variant};
+use inplane_core::{execute_step, EvalContext, ExecStats, KernelSpec, Method, Variant};
 use stencil_autotune::{
     exhaustive_tune_with, model_based_tune_with, stochastic_tune_with, summarize_with,
     AnnealOptions, ParameterSpace, TuneOutcome,
 };
 use stencil_bench::exp::service_at;
 use stencil_bench::{fmt, RunOpts};
-use stencil_grid::Precision;
+use stencil_grid::{Boundary, FillPattern, Grid3, Precision, StarStencil};
 use stencil_tunestore::{TuneRequest, TuneService, TunerSpec};
+
+/// Replay the winning configuration functionally through the plan
+/// interpreter on a small grid: the instrumented [`ExecStats`] tie the
+/// tuned pick back to the schedule it actually executes (staged cells
+/// per zone, barriers, rotations, redundancy).
+fn replay_winner(kernel: &KernelSpec, config: &inplane_core::LaunchConfig) -> ExecStats {
+    let n = 4 * kernel.radius + 8;
+    let s: StarStencil<f32> = StarStencil::from_order(2 * kernel.radius);
+    let input: Grid3<f32> = FillPattern::HashNoise.build(n, n, n);
+    let mut out = Grid3::new(n, n, n);
+    execute_step(
+        kernel.method,
+        &s,
+        config,
+        &input,
+        &mut out,
+        Boundary::CopyInput,
+    )
+}
 
 /// Resolve one strategy, through the service when one is mounted.
 /// Returns the outcome plus the configurations the *producing* search
@@ -159,6 +178,7 @@ fn main() {
         if let Some(audit) = audit {
             report = report.with_rejections(audit.rejections.clone());
         }
+        report = report.with_exec(replay_winner(kernel, &ex.best.config));
         println!("\nlast exhaustive run ({} on {}):", kernel.name, dev.name);
         println!("{}", report.render());
     }

@@ -6,13 +6,17 @@
 //! the xy-neighbour exchange; as the block marches down z, the pipeline
 //! shifts and the *forward* plane `k + r` is fetched from global memory.
 //!
-//! Summation order per point matches [`stencil_grid::apply_reference`]
-//! exactly (centre; then per `m`: −x, +x, −y, +y, −z, +z), so SP results
-//! are bit-identical to the golden model.
+//! Since the StagePlan refactor this is a thin shim: the schedule above
+//! is produced by [`crate::plan::lower_forward`] and run by the single
+//! plan interpreter, which reproduces the summation order of
+//! [`stencil_grid::apply_reference`] exactly (centre; then per `m`: −x,
+//! +x, −y, +y, −z, +z), so SP results are bit-identical to the golden
+//! model.
 
-use super::buffer::SharedBuffer;
-use super::{tiles, ExecStats};
+use super::interp::interpret_plan;
+use super::ExecStats;
 use crate::config::LaunchConfig;
+use crate::plan::lower_forward;
 use stencil_grid::{Grid3, Real, StarStencil};
 
 /// Run one Jacobi step with the forward-plane method. Interior only;
@@ -23,86 +27,8 @@ pub fn execute_forward_plane<T: Real>(
     input: &Grid3<T>,
     out: &mut Grid3<T>,
 ) -> ExecStats {
-    let r = stencil.radius();
-    let (nx, ny, nz) = input.dims();
-    let mut stats = ExecStats::default();
-
-    for (x0, y0, w, h) in tiles(nx, ny, r, config) {
-        stats.blocks += 1;
-        let idx = |x: usize, y: usize| (y - y0) * w + (x - x0);
-
-        // Register pipelines: pipeline[p][d] = in(p, k - r + d), d = 0..2r.
-        let mut pipeline: Vec<Vec<T>> = vec![vec![T::ZERO; 2 * r + 1]; w * h];
-        for y in y0..y0 + h {
-            for x in x0..x0 + w {
-                for (d, slot) in pipeline[idx(x, y)].iter_mut().enumerate() {
-                    *slot = input.get(x, y, d); // planes 0..2r for k = r
-                }
-            }
-        }
-
-        let mut buf: SharedBuffer<T> = SharedBuffer::for_tile(x0, y0, w, h, r);
-
-        for k in r..nz - r {
-            stats.planes_staged += 1;
-            buf.clear();
-            buf.set_plane(k);
-            // Publish centre registers (plane k) to shared memory.
-            for y in y0..y0 + h {
-                for x in x0..x0 + w {
-                    buf.stage(x as isize, y as isize, pipeline[idx(x, y)][r]);
-                    stats.cells_staged += 1;
-                }
-            }
-            // Halo arms of plane k from global memory (no corners).
-            for m in 1..=r as isize {
-                for y in y0..y0 + h {
-                    let (xl, xr) = (x0 as isize - m, (x0 + w - 1) as isize + m);
-                    buf.stage(xl, y as isize, input.get(xl as usize, y, k));
-                    buf.stage(xr, y as isize, input.get(xr as usize, y, k));
-                    stats.cells_staged += 2;
-                }
-                for x in x0..x0 + w {
-                    let (yt, yb) = (y0 as isize - m, (y0 + h - 1) as isize + m);
-                    buf.stage(x as isize, yt, input.get(x, yt as usize, k));
-                    buf.stage(x as isize, yb, input.get(x, yb as usize, k));
-                    stats.cells_staged += 2;
-                }
-            }
-            // __syncthreads(); compute.
-            for y in y0..y0 + h {
-                for x in x0..x0 + w {
-                    let p = idx(x, y);
-                    let (xi, yi) = (x as isize, y as isize);
-                    let mut acc = stencil.c0() * buf.read(xi, yi);
-                    for m in 1..=r {
-                        let d = m as isize;
-                        let six = buf.read(xi - d, yi)
-                            + buf.read(xi + d, yi)
-                            + buf.read(xi, yi - d)
-                            + buf.read(xi, yi + d)
-                            + pipeline[p][r - m]
-                            + pipeline[p][r + m];
-                        acc += stencil.c(m) * six;
-                    }
-                    out.set(x, y, k, acc);
-                    stats.global_writes += 1;
-                }
-            }
-            // Shift pipelines; fetch the next forward plane k + r + 1.
-            if k + 1 < nz - r {
-                for y in y0..y0 + h {
-                    for x in x0..x0 + w {
-                        let p = idx(x, y);
-                        pipeline[p].rotate_left(1);
-                        let last = 2 * r;
-                        pipeline[p][last] = input.get(x, y, k + r + 1);
-                    }
-                }
-            }
-        }
-    }
-    stats
+    let plan = lower_forward(config, stencil.radius(), input.dims());
+    interpret_plan(&plan, stencil, input, out)
 }
 
 #[cfg(test)]
@@ -158,5 +84,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interpreter_counts_barriers_and_rotations() {
+        let s: StarStencil<f64> = StarStencil::laplacian7();
+        let input: Grid3<f64> = FillPattern::HashNoise.build(6, 6, 6);
+        let mut got = Grid3::new(6, 6, 6);
+        let stats = execute_forward_plane(&s, &LaunchConfig::new(4, 4, 1, 1), &input, &mut got);
+        // One block, four output planes: two barriers each, a rotation
+        // after every plane but the last.
+        assert_eq!(stats.blocks, 1);
+        assert_eq!(stats.barriers, 4 * 2);
+        assert_eq!(stats.pipeline_rotations, 3);
+        assert_eq!(stats.points_computed, 4 * 4 * 4);
+        assert_eq!(stats.redundancy(), 1.0);
     }
 }

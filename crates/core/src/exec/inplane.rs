@@ -12,15 +12,18 @@
 //! 5. shift the current partial into the queue;
 //! 6. repeat until the z-axis is traversed.
 //!
-//! The floating-point order matches
-//! [`stencil_grid::apply_reference_inplane_order`] exactly, so SP results
-//! are bit-identical to that reference (and agree with the forward
-//! reference to rounding).
+//! Since the StagePlan refactor this is a thin shim: the schedule above
+//! is produced by [`crate::plan::lower_inplane`] and run by the single
+//! plan interpreter, whose floating-point order matches
+//! [`stencil_grid::apply_reference_inplane_order`] exactly, so SP
+//! results are bit-identical to that reference (and agree with the
+//! forward reference to rounding).
 
-use super::buffer::SharedBuffer;
-use super::{tiles, ExecStats};
+use super::interp::interpret_plan;
+use super::ExecStats;
 use crate::config::LaunchConfig;
 use crate::method::Variant;
+use crate::plan::lower_inplane;
 use stencil_grid::{Grid3, Real, StarStencil};
 
 /// Run one Jacobi step with the in-plane method (any loading variant).
@@ -32,171 +35,14 @@ pub fn execute_inplane<T: Real>(
     input: &Grid3<T>,
     out: &mut Grid3<T>,
 ) -> ExecStats {
-    let r = stencil.radius();
-    let (nx, ny, nz) = input.dims();
-    let mut stats = ExecStats::default();
-
-    for (x0, y0, w, h) in tiles(nx, ny, r, config) {
-        stats.blocks += 1;
-        let idx = |x: usize, y: usize| (y - y0) * w + (x - x0);
-
-        // Trailing z-values per thread-point: zhist[p][d] = in(p, k-r+d),
-        // d = 0..r-1 (the r planes behind the staged one).
-        let mut zhist: Vec<Vec<T>> = vec![vec![T::ZERO; r]; w * h];
-        for y in y0..y0 + h {
-            for x in x0..x0 + w {
-                for (d, slot) in zhist[idx(x, y)].iter_mut().enumerate() {
-                    *slot = input.get(x, y, d); // planes 0..r-1 for k = r
-                }
-            }
-        }
-        // Output pipeline: queue[s][p] = partial for plane (k - 1 - s)
-        // at the top of the loop body; depth r + 1 with rotation, exactly
-        // like the in-plane CPU reference.
-        let mut queue: Vec<Vec<T>> = vec![vec![T::ZERO; w * h]; r + 1];
-
-        let mut buf: SharedBuffer<T> = SharedBuffer::for_tile(x0, y0, w, h, r);
-
-        for k in r..nz {
-            stats.planes_staged += 1;
-            buf.clear();
-            buf.set_plane(k);
-            stats.cells_staged += stage_plane(variant, &mut buf, input, x0, y0, w, h, r, k);
-
-            // Step 2: new partials (Eqn 3) for plane k, if it is an
-            // output plane.
-            if k < nz - r {
-                for y in y0..y0 + h {
-                    for x in x0..x0 + w {
-                        let p = idx(x, y);
-                        let (xi, yi) = (x as isize, y as isize);
-                        let mut acc = stencil.c0() * buf.read(xi, yi);
-                        for m in 1..=r {
-                            let d = m as isize;
-                            let five = buf.read(xi - d, yi)
-                                + buf.read(xi + d, yi)
-                                + buf.read(xi, yi - d)
-                                + buf.read(xi, yi + d)
-                                + zhist[p][r - m];
-                            acc += stencil.c(m) * five;
-                        }
-                        queue[0][p] = acc;
-                    }
-                }
-            }
-            // Step 3 (Eqn 5): fold c_d · in[·,·,k] into the partial for
-            // plane k − d.
-            #[allow(clippy::needless_range_loop)]
-            // d is the Eqn-(5) pipeline depth, not just an index
-            for d in 1..=r {
-                let in_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
-                if !in_range {
-                    continue;
-                }
-                let c = stencil.c(d);
-                for y in y0..y0 + h {
-                    for x in x0..x0 + w {
-                        let p = idx(x, y);
-                        let centre = buf.read(x as isize, y as isize);
-                        queue[d][p] += c * centre;
-                    }
-                }
-            }
-            // Step 4: plane k − r is complete; write it out.
-            if let Some(done_k) = k.checked_sub(r) {
-                if done_k >= r && done_k < nz - r {
-                    for y in y0..y0 + h {
-                        for x in x0..x0 + w {
-                            out.set(x, y, done_k, queue[r][idx(x, y)]);
-                            stats.global_writes += 1;
-                        }
-                    }
-                }
-            }
-            // Step 5: rotate the pipeline and advance the z-history.
-            queue.rotate_right(1);
-            for y in y0..y0 + h {
-                for x in x0..x0 + w {
-                    let p = idx(x, y);
-                    if r > 0 {
-                        zhist[p].rotate_left(1);
-                        let centre = buf.read(x as isize, y as isize);
-                        zhist[p][r - 1] = centre;
-                    }
-                }
-            }
-        }
-    }
-    stats
-}
-
-/// Stage plane `k` into the buffer per the variant's loading pattern.
-/// Returns the number of cells staged. All variants stage the interior
-/// and the four halo arms; full-slice additionally stages the `4r²`
-/// corner cells it redundantly loads (Fig 6d).
-#[allow(clippy::too_many_arguments)]
-fn stage_plane<T: Real>(
-    variant: Variant,
-    buf: &mut SharedBuffer<T>,
-    input: &Grid3<T>,
-    x0: usize,
-    y0: usize,
-    w: usize,
-    h: usize,
-    r: usize,
-    k: usize,
-) -> u64 {
-    let (nx, ny, _) = input.dims();
-    let mut staged = 0u64;
-    let mut stage = |buf: &mut SharedBuffer<T>, x: isize, y: isize| {
-        // Clip to the allocation: edge tiles have their halo arms
-        // entirely inside the grid by construction (tiles cover the
-        // interior), but full-slice corners can poke outside on edge
-        // tiles; the real kernel reads the padded allocation there and
-        // never uses the values, so skipping the stage is equivalent.
-        if x >= 0 && (x as usize) < nx && y >= 0 && (y as usize) < ny {
-            buf.stage(x, y, input.get(x as usize, y as usize, k));
-            staged += 1;
-        }
-    };
-
-    let (ix0, ix1) = (x0 as isize, (x0 + w) as isize);
-    let (iy0, iy1) = (y0 as isize, (y0 + h) as isize);
-    let ri = r as isize;
-
-    match variant {
-        Variant::Classical | Variant::Vertical | Variant::Horizontal => {
-            // Interior + four arms (order differs between these variants
-            // on the real device; the staged contents are identical).
-            for y in iy0 - ri..iy1 + ri {
-                for x in ix0..ix1 {
-                    stage(buf, x, y);
-                }
-            }
-            for y in iy0..iy1 {
-                for x in ix0 - ri..ix0 {
-                    stage(buf, x, y);
-                }
-                for x in ix1..ix1 + ri {
-                    stage(buf, x, y);
-                }
-            }
-        }
-        Variant::FullSlice => {
-            // The whole halo-framed slab, corners included.
-            for y in iy0 - ri..iy1 + ri {
-                for x in ix0 - ri..ix1 + ri {
-                    stage(buf, x, y);
-                }
-            }
-        }
-    }
-    staged
+    let plan = lower_inplane(variant, config, stencil.radius(), input.dims());
+    interpret_plan(&plan, stencil, input, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::Zone;
     use stencil_grid::{apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern};
 
     #[test]
@@ -242,6 +88,12 @@ mod tests {
         // corner-free variants.
         assert!(fs.cells_staged > hz.cells_staged);
         assert_eq!(hz.cells_staged, vt.cells_staged);
+        // The difference is exactly the corner-zone traffic.
+        assert_eq!(
+            fs.cells_staged - hz.cells_staged,
+            fs.staged_cells_by_zone[Zone::Corner.index()]
+        );
+        assert_eq!(hz.staged_cells_by_zone[Zone::Corner.index()], 0);
         // All variants compute the same values.
         let mut a = Grid3::new(16, 16, 8);
         let mut b = Grid3::new(16, 16, 8);

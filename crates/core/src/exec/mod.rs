@@ -18,16 +18,22 @@
 mod buffer;
 mod forward;
 mod inplane;
+mod interp;
 
 pub use buffer::{SharedBuffer, StageError};
 pub use forward::execute_forward_plane;
 pub use inplane::execute_inplane;
+pub use interp::{interpret_plan, interpret_plan_checked};
 
 use crate::config::LaunchConfig;
 use crate::method::Method;
 use stencil_grid::{Boundary, Grid3, Real, StarStencil};
 
-/// Counters from a functional execution (structural sanity checks).
+/// Counters from a functional execution, filled in by the plan
+/// interpreter as it runs the lowered [`crate::plan::StagePlan`]. The
+/// structural counters double as sanity checks; the traffic counters
+/// feed the temporal/multi-GPU cost accounting and surface in the
+/// auto-tuner's `TuneReport`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Thread blocks emulated.
@@ -38,6 +44,72 @@ pub struct ExecStats {
     pub cells_staged: u64,
     /// Values written back to the output grid.
     pub global_writes: u64,
+    /// `__syncthreads()` barriers executed across all blocks.
+    pub barriers: u64,
+    /// Register-pipeline rotations (z-pipeline shifts and out-queue
+    /// rotations) across all blocks.
+    pub pipeline_rotations: u64,
+    /// Staged cells split by staging zone, indexed by
+    /// [`crate::plan::Zone::index`]: interior, top, bottom, left,
+    /// right, corner.
+    pub staged_cells_by_zone: [u64; 6],
+    /// Full stencil-point evaluations (forward evaluations plus
+    /// in-plane Eqn-(3) partials; Eqn-(5) folds are not separate
+    /// points).
+    pub points_computed: u64,
+    /// Whole xy-planes moved between device shards.
+    pub halo_planes_exchanged: u64,
+    /// Cells moved between device shards.
+    pub halo_cells_exchanged: u64,
+    /// Cells gathered from working buffers into the caller's output
+    /// (non-zero only for transformed plans: temporal tiles, shards).
+    pub cells_copied_out: u64,
+}
+
+impl ExecStats {
+    /// Accumulate another run's counters into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.blocks += other.blocks;
+        self.planes_staged += other.planes_staged;
+        self.cells_staged += other.cells_staged;
+        self.global_writes += other.global_writes;
+        self.barriers += other.barriers;
+        self.pipeline_rotations += other.pipeline_rotations;
+        for (z, o) in self
+            .staged_cells_by_zone
+            .iter_mut()
+            .zip(other.staged_cells_by_zone)
+        {
+            *z += o;
+        }
+        self.points_computed += other.points_computed;
+        self.halo_planes_exchanged += other.halo_planes_exchanged;
+        self.halo_cells_exchanged += other.halo_cells_exchanged;
+        self.cells_copied_out += other.cells_copied_out;
+    }
+
+    /// Output cells that actually reached the caller's grid: the
+    /// gathered cells for transformed plans, otherwise the direct
+    /// global writes.
+    pub fn useful_writes(&self) -> u64 {
+        if self.cells_copied_out > 0 {
+            self.cells_copied_out
+        } else {
+            self.global_writes
+        }
+    }
+
+    /// Stencil evaluations per useful output cell — 1.0 for a plain
+    /// step, above 1.0 when a transform recomputes halo points.
+    /// Defined (1.0) for runs that produced no output at all, so
+    /// degenerate configurations never divide by zero.
+    pub fn redundancy(&self) -> f64 {
+        let useful = self.useful_writes();
+        if useful == 0 || self.points_computed == 0 {
+            return 1.0;
+        }
+        self.points_computed as f64 / useful as f64
+    }
 }
 
 /// Execute one Jacobi step of `stencil` over `input` with the given

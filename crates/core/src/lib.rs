@@ -37,6 +37,7 @@ pub mod kernel;
 pub mod layout;
 pub mod loadplan;
 pub mod method;
+pub mod plan;
 pub mod regions;
 pub mod resources;
 pub mod run;
@@ -44,8 +45,11 @@ pub mod simulate;
 
 pub use config::LaunchConfig;
 pub use eval::{CacheStats, EvalContext, PlanKey, MEASUREMENT_NOISE_AMPLITUDE};
-pub use exec::{execute_step, ExecStats, SharedBuffer, StageError};
+pub use exec::{
+    execute_step, interpret_plan, interpret_plan_checked, ExecStats, SharedBuffer, StageError,
+};
 pub use kernel::KernelSpec;
 pub use method::{Method, Variant};
+pub use plan::{lower_forward, lower_inplane, lower_step, PlanOp, StagePlan};
 pub use run::{RunOutcome, StencilRun};
 pub use simulate::{build_block_plan, measure_kernel, simulate_kernel, simulate_star_kernel};

@@ -226,7 +226,9 @@ pub fn build_plane_plan(
         flops,
         dependent_rounds: rounds,
         ilp: config.points_per_thread() as f64,
-        syncthreads: 2, // stage barrier + reuse barrier per plane
+        // Stage barrier + reuse barrier per plane — the same count the
+        // lowered execution plan emits and LNT-S003 proves.
+        syncthreads: crate::plan::StagePlan::BARRIERS_PER_PLANE as u64,
     }
 }
 

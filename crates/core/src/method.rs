@@ -94,6 +94,19 @@ impl Method {
     pub fn is_inplane(&self) -> bool {
         matches!(self, Method::InPlane(_))
     }
+
+    /// The method's specified register-pipeline depth in words per
+    /// point: `2r + 1` z-values forward-plane; `r` queued partials plus
+    /// `r` trailing z-values in-plane (the `+1` queue slot being staged
+    /// is the accumulator, not pipeline state). The lowered
+    /// [`crate::plan::StagePlan`] declares exactly these depths and the
+    /// static analyzer's `LNT-S004` proof asserts against them.
+    pub fn pipeline_words(&self, radius: usize) -> usize {
+        match self {
+            Method::ForwardPlane => 2 * radius + 1,
+            Method::InPlane(_) => 2 * radius,
+        }
+    }
 }
 
 impl fmt::Display for Method {

@@ -27,6 +27,7 @@ pub mod init;
 pub mod iterate;
 pub mod multigrid;
 pub mod parallel;
+pub mod pipeline;
 pub mod real;
 pub mod reference;
 pub mod stencil;
@@ -39,6 +40,7 @@ pub use init::FillPattern;
 pub use iterate::{iterate_stencil_loop, IterationStats};
 pub use multigrid::{apply_multigrid, GridSet, MultiGridKernel};
 pub use parallel::{apply_reference_par, iterate_par};
+pub use pipeline::RegisterPipeline;
 pub use real::{Precision, Real};
 pub use reference::{apply_reference, apply_reference_inplane_order};
 pub use stencil::StarStencil;

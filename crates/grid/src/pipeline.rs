@@ -1,0 +1,125 @@
+//! The per-thread register pipeline shared by every in-plane execution
+//! path.
+//!
+//! Both kernel families keep a small rotating window of per-point values
+//! in registers as the block marches down z:
+//!
+//! * the forward-plane method's `2r + 1` z-values (§III-B), shifted
+//!   towards lower depth as the sweep advances (`advance`);
+//! * the in-plane method's `r + 1` queued partial outputs and `r`
+//!   trailing z-values (§III-C, Eqns (3)–(5)), the queue rotated the
+//!   other way so the newest partial lands at depth 1 (`rotate_back`).
+//!
+//! Before this type existed the bookkeeping was open-coded four times
+//! (CPU in-plane reference, application in-plane executor, and both
+//! emulated GPU executors); [`RegisterPipeline`] is the single
+//! implementation all of them now share, and the static analyzer's
+//! pipeline-depth proof (`LNT-S004`) asserts against the same depths.
+
+use crate::Real;
+
+/// A rotating register window: `depth` slots, each holding one value per
+/// *lane* (a lane is a thread-owned grid point, or a whole plane's worth
+/// of points for the CPU references).
+#[derive(Clone, Debug)]
+pub struct RegisterPipeline<T> {
+    depth: usize,
+    lanes: usize,
+    /// `slots[d]` is the lane vector at pipeline depth `d`.
+    slots: Vec<Vec<T>>,
+}
+
+impl<T: Real> RegisterPipeline<T> {
+    /// A zero-initialised pipeline of `depth` slots × `lanes` values.
+    pub fn new(depth: usize, lanes: usize) -> Self {
+        RegisterPipeline {
+            depth,
+            lanes,
+            slots: vec![vec![T::ZERO; lanes]; depth],
+        }
+    }
+
+    /// Number of slots (words per lane the pipeline occupies).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lane vector at depth `d`.
+    pub fn slot(&self, d: usize) -> &[T] {
+        &self.slots[d]
+    }
+
+    /// Mutable lane vector at depth `d`.
+    pub fn slot_mut(&mut self, d: usize) -> &mut [T] {
+        &mut self.slots[d]
+    }
+
+    /// Read one value.
+    pub fn get(&self, d: usize, lane: usize) -> T {
+        self.slots[d][lane]
+    }
+
+    /// Write one value.
+    pub fn set(&mut self, d: usize, lane: usize, v: T) {
+        self.slots[d][lane] = v;
+    }
+
+    /// Shift towards lower depth (`slot d ← slot d + 1`); the old slot 0
+    /// wraps to the top, where the caller overwrites it with the newly
+    /// fetched plane. This is the forward-plane / z-history direction.
+    pub fn advance(&mut self) {
+        self.slots.rotate_left(1);
+    }
+
+    /// Rotate towards higher depth (`slot d + 1 ← slot d`); the old top
+    /// slot wraps to 0, where the caller deposits the next partial. This
+    /// is the in-plane output-queue direction (the Eqn-(5) shift).
+    pub fn rotate_back(&mut self) {
+        self.slots.rotate_right(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_shifts_towards_lower_depth() {
+        let mut p: RegisterPipeline<f64> = RegisterPipeline::new(3, 2);
+        for d in 0..3 {
+            p.set(d, 0, d as f64);
+        }
+        p.advance();
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(1, 0), 2.0);
+        // Old slot 0 wrapped to the top; caller overwrites it.
+        assert_eq!(p.get(2, 0), 0.0);
+        p.set(2, 0, 9.0);
+        assert_eq!(p.slot(2), &[9.0, 0.0]);
+    }
+
+    #[test]
+    fn rotate_back_shifts_towards_higher_depth() {
+        let mut p: RegisterPipeline<f32> = RegisterPipeline::new(3, 1);
+        for d in 0..3 {
+            p.set(d, 0, (d + 1) as f32);
+        }
+        p.rotate_back();
+        assert_eq!(p.get(1, 0), 1.0);
+        assert_eq!(p.get(2, 0), 2.0);
+        assert_eq!(p.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let p: RegisterPipeline<f32> = RegisterPipeline::new(5, 7);
+        assert_eq!(p.depth(), 5);
+        assert_eq!(p.lanes(), 7);
+        assert_eq!(p.slot(4).len(), 7);
+    }
+}

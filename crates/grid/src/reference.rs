@@ -13,7 +13,7 @@
 //!   difference between the two GPU kernel families. Tests pin the
 //!   emulated kernels to the matching reference bit-for-bit.
 
-use crate::{boundary::Boundary, Grid3, Real, StarStencil};
+use crate::{boundary::Boundary, Grid3, Real, RegisterPipeline, StarStencil};
 
 /// One Jacobi step: `out = stencil(input)` on the interior, boundary per
 /// policy. Direct (forward) evaluation order.
@@ -60,9 +60,10 @@ pub fn apply_reference_inplane_order<T: Real>(
         "grid too small for radius {r}"
     );
     // Pipeline of r pending planes of partial outputs, indexed by how many
-    // updates they still need. queue[d] holds partials for plane (k - d).
+    // updates they still need: depth d holds partials for plane (k - d),
+    // one lane per interior point.
     let plane_elems = (nx - 2 * r) * (ny - 2 * r);
-    let mut queue: Vec<Vec<T>> = vec![vec![T::ZERO; plane_elems]; r + 1];
+    let mut queue: RegisterPipeline<T> = RegisterPipeline::new(r + 1, plane_elems);
     let lin = |i: usize, j: usize| (j - r) * (nx - 2 * r) + (i - r);
 
     for k in r..nz {
@@ -70,14 +71,13 @@ pub fn apply_reference_inplane_order<T: Real>(
         // is an output plane), then update all queued partials with the
         // just-"loaded" plane k.
         if k < nz - r {
-            let slot = &mut queue[0];
+            let slot = queue.slot_mut(0);
             for j in r..ny - r {
                 for i in r..nx - r {
                     slot[lin(i, j)] = stencil.eval_inplane_partial(input, i, j, k);
                 }
             }
         }
-        #[allow(clippy::needless_range_loop)] // d is the Eqn-(5) pipeline depth, not just an index
         for d in 1..=r {
             // Plane (k - d) needs the c_d * in[.,.,k] term (Eqn 5 with p = d).
             let in_output_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
@@ -85,7 +85,7 @@ pub fn apply_reference_inplane_order<T: Real>(
                 continue;
             }
             let c = stencil.c(d);
-            let slot = &mut queue[d];
+            let slot = queue.slot_mut(d);
             for j in r..ny - r {
                 for i in r..nx - r {
                     slot[lin(i, j)] += c * input.get(i, j, k);
@@ -95,7 +95,7 @@ pub fn apply_reference_inplane_order<T: Real>(
         // Step 4: plane (k - r) is complete; shift it out to the output.
         if let Some(done_k) = k.checked_sub(r) {
             if done_k >= r && done_k < nz - r {
-                let slot = &queue[r];
+                let slot = queue.slot(r);
                 for j in r..ny - r {
                     for i in r..nx - r {
                         out.set(i, j, done_k, slot[lin(i, j)]);
@@ -104,7 +104,7 @@ pub fn apply_reference_inplane_order<T: Real>(
             }
         }
         // Step 5: rotate the pipeline (newest partials move to depth 1).
-        queue.rotate_right(1);
+        queue.rotate_back();
     }
     boundary.apply(input, out, r);
 }

@@ -1,4 +1,4 @@
-//! Functional multi-device emulation.
+//! Functional multi-device emulation, as a **plan transform**.
 //!
 //! Each "device" owns a z-slab of the grid plus `r` halo planes per
 //! neighbour, stored in its own allocation. A step is: compute the slab
@@ -7,8 +7,18 @@
 //! needed data it never received would read stale planes and diverge
 //! from the single-device reference, so the bit-exact comparison in the
 //! tests is also the proof that the exchange is sufficient.
+//!
+//! [`multi_gpu_stage_plan`] expresses that schedule in the
+//! [`StagePlan`] IR: per device it allocates a current/next buffer
+//! pair and scatters the slab in; per step it splices in each device's
+//! ordinary single-step lowering (retargeted at the device-local
+//! buffers and tagged with the device index), swaps, and emits one
+//! [`PlanOp::HaloExchange`] per refreshed halo plane; finally every
+//! device gathers its owned planes out. [`execute_multi_gpu`] just
+//! interprets that plan on the shared instrumented interpreter.
 
-use inplane_core::{execute_step, LaunchConfig, Method};
+use inplane_core::plan::{PlanOp, StagePlan, INPUT_BUF, OUTPUT_BUF};
+use inplane_core::{interpret_plan, lower_step, ExecStats, LaunchConfig, Method};
 use stencil_grid::{Boundary, Grid3, Real, StarStencil};
 
 /// Statistics from a multi-device run.
@@ -20,25 +30,23 @@ pub struct MultiGpuStats {
     pub planes_exchanged: u64,
     /// Bytes those planes amount to.
     pub bytes_exchanged: u64,
+    /// Full interpreter counters for the transformed plan (per-slab
+    /// staging traffic, barriers, gather volume, ...).
+    pub exec: ExecStats,
 }
 
-/// One device's slab: planes `[z0, z1)` of the global grid plus up to
-/// `r` halo planes on each side.
-struct Slab<T> {
-    /// First owned global plane.
-    z0: usize,
-    /// One past the last owned global plane.
-    z1: usize,
-    /// Halo planes available below / above the owned range.
-    halo_lo: usize,
-    halo_hi: usize,
-    /// Local allocation covering `[z0 - halo_lo, z1 + halo_hi)`.
-    local: Grid3<T>,
-}
-
-impl<T: Real> Slab<T> {
-    fn local_z(&self, gz: usize) -> usize {
-        gz + self.halo_lo - self.z0
+impl MultiGpuStats {
+    /// Interconnect overhead per useful output cell: halo cells moved
+    /// divided by cells gathered into the caller's grid. Defined (0.0)
+    /// for the degenerate single-device run — which exchanges nothing —
+    /// and for runs that gathered nothing, so no shard count can divide
+    /// by zero.
+    pub fn exchange_redundancy(&self) -> f64 {
+        let gathered = self.exec.cells_copied_out;
+        if gathered == 0 || self.exec.halo_cells_exchanged == 0 {
+            return 0.0;
+        }
+        self.exec.halo_cells_exchanged as f64 / gathered as f64
     }
 }
 
@@ -55,6 +63,161 @@ pub(crate) fn partition(nz: usize, devices: usize) -> Vec<(usize, usize)> {
         z += len;
     }
     out
+}
+
+/// One device's slab geometry: owned planes `[z0, z1)` plus up to `r`
+/// halo planes per side, and the id of its current working buffer.
+struct SlabPlan {
+    z0: usize,
+    z1: usize,
+    halo_lo: usize,
+    cur: usize,
+}
+
+impl SlabPlan {
+    /// Local buffer plane holding global plane `gz`.
+    fn local_z(&self, gz: usize) -> usize {
+        gz + self.halo_lo - self.z0
+    }
+}
+
+/// Lower a whole multi-device run (`steps` Jacobi iterations over
+/// `devices` z-slabs) to a [`StagePlan`]: the scatter / per-device
+/// sweep / halo-exchange / gather schedule described in the module
+/// docs. Pure function of the arguments.
+///
+/// # Panics
+/// Panics if a slab would be thinner than the stencil radius (too many
+/// devices for the grid) or the grid is too small for the radius.
+pub fn multi_gpu_stage_plan(
+    method: Method,
+    config: &LaunchConfig,
+    r: usize,
+    dims: (usize, usize, usize),
+    devices: usize,
+    steps: usize,
+) -> StagePlan {
+    let (nx, ny, nz) = dims;
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
+    let parts = partition(nz, devices);
+    assert!(
+        parts.iter().all(|&(a, b)| b - a >= r),
+        "slabs thinner than the radius: use fewer devices"
+    );
+
+    let mut ops = Vec::new();
+    let mut next_buf = 2;
+
+    // Scatter: per device a current/next pair covering the owned planes
+    // plus the neighbour halos, filled from the global grid.
+    let slabs: Vec<SlabPlan> = parts
+        .iter()
+        .map(|&(z0, z1)| {
+            let halo_lo = r.min(z0);
+            let halo_hi = r.min(nz - z1);
+            let depth = (z1 - z0) + halo_lo + halo_hi;
+            let (cur, nxt) = (next_buf, next_buf + 1);
+            next_buf += 2;
+            ops.push(PlanOp::Alloc {
+                buf: cur,
+                dims: (nx, ny, depth),
+            });
+            ops.push(PlanOp::Alloc {
+                buf: nxt,
+                dims: (nx, ny, depth),
+            });
+            ops.push(PlanOp::CopyBox {
+                src: INPUT_BUF,
+                dst: cur,
+                src_org: (0, 0, z0 - halo_lo),
+                dst_org: (0, 0, 0),
+                extent: (nx, ny, depth),
+            });
+            SlabPlan {
+                z0,
+                z1,
+                halo_lo,
+                cur,
+            }
+        })
+        .collect();
+
+    for _ in 0..steps {
+        // Compute: each device sweeps its local allocation with the
+        // ordinary single-step lowering. The local z-boundary policy
+        // (CopyInput over the ring of width r) freezes exactly the halo
+        // planes plus — at the global ends — the true Dirichlet ring,
+        // matching the global semantics for the owned interior planes.
+        for (d, s) in slabs.iter().enumerate() {
+            let depth = (s.z1 - s.z0) + s.halo_lo + r.min(nz - s.z1);
+            let nxt = s.cur + 1;
+            let mut step = lower_step(method, config, r, (nx, ny, depth));
+            step.retarget_buffers(|id| match id {
+                INPUT_BUF => s.cur,
+                OUTPUT_BUF => nxt,
+                other => other,
+            });
+            step.tag_device(d);
+            ops.extend(step.ops);
+            ops.push(PlanOp::ApplyBoundary {
+                input: s.cur,
+                output: nxt,
+                boundary: Boundary::CopyInput,
+            });
+            ops.push(PlanOp::SwapBufs { a: s.cur, b: nxt });
+        }
+
+        // Exchange: refresh every halo plane from its owner's freshly
+        // computed (or globally-fixed) value. Owners send their top/
+        // bottom r owned planes to the neighbour's halo region.
+        for (d, dst) in slabs.iter().enumerate() {
+            if d > 0 {
+                let src = &slabs[d - 1];
+                for gz in (dst.z0 - dst.halo_lo)..dst.z0 {
+                    ops.push(PlanOp::HaloExchange {
+                        device: d,
+                        src: src.cur,
+                        dst: dst.cur,
+                        src_plane: src.local_z(gz),
+                        dst_plane: dst.local_z(gz),
+                    });
+                }
+            }
+            if d + 1 < slabs.len() {
+                let src = &slabs[d + 1];
+                for gz in dst.z1..(dst.z1 + r.min(nz - dst.z1)) {
+                    ops.push(PlanOp::HaloExchange {
+                        device: d,
+                        src: src.cur,
+                        dst: dst.cur,
+                        src_plane: src.local_z(gz),
+                        dst_plane: dst.local_z(gz),
+                    });
+                }
+            }
+        }
+    }
+
+    // Gather the owned planes.
+    for s in &slabs {
+        ops.push(PlanOp::CopyBox {
+            src: s.cur,
+            dst: OUTPUT_BUF,
+            src_org: (0, 0, s.halo_lo),
+            dst_org: (0, 0, s.z0),
+            extent: (nx, ny, s.z1 - s.z0),
+        });
+    }
+
+    StagePlan {
+        method,
+        radius: r,
+        dims,
+        ops,
+    }
 }
 
 /// Run `steps` Jacobi iterations of `stencil` across `devices` emulated
@@ -76,125 +239,23 @@ pub fn execute_multi_gpu<T: Real>(
     steps: usize,
 ) -> (Grid3<T>, MultiGpuStats) {
     let r = stencil.radius();
-    let (nx, ny, nz) = initial.dims();
-    assert!(
-        nx > 2 * r && ny > 2 * r && nz > 2 * r,
-        "grid too small for radius {r}"
-    );
-    let parts = partition(nz, devices);
-    assert!(
-        parts.iter().all(|&(a, b)| b - a >= r),
-        "slabs thinner than the radius: use fewer devices"
-    );
-
-    // Scatter: build device-local allocations (owned planes + halos).
-    let mut slabs: Vec<Slab<T>> = parts
-        .iter()
-        .map(|&(z0, z1)| {
-            let halo_lo = r.min(z0);
-            let halo_hi = r.min(nz - z1);
-            let depth = (z1 - z0) + halo_lo + halo_hi;
-            let mut local = Grid3::new(nx, ny, depth);
-            local.fill_with(|i, j, k| initial.get(i, j, z0 - halo_lo + k));
-            Slab {
-                z0,
-                z1,
-                halo_lo,
-                halo_hi,
-                local,
-            }
-        })
-        .collect();
-
-    let mut stats = MultiGpuStats {
+    let dims = initial.dims();
+    let plan = multi_gpu_stage_plan(method, config, r, dims, devices, steps);
+    let mut out = Grid3::new(dims.0, dims.1, dims.2);
+    let exec = interpret_plan(&plan, stencil, initial, &mut out);
+    let stats = MultiGpuStats {
         devices,
-        ..Default::default()
+        planes_exchanged: exec.halo_planes_exchanged,
+        bytes_exchanged: exec.halo_cells_exchanged * T::PRECISION.bytes() as u64,
+        exec,
     };
-    let plane_bytes = (nx * ny * T::PRECISION.bytes()) as u64;
-
-    for _ in 0..steps {
-        // Compute: each device sweeps its local allocation. The local
-        // run's z-boundary policy (CopyInput over the ring of width r)
-        // freezes exactly the halo planes plus — at the global ends —
-        // the true Dirichlet ring, matching the global semantics for
-        // the owned interior planes.
-        let mut next: Vec<Grid3<T>> = Vec::with_capacity(slabs.len());
-        for s in &slabs {
-            let mut out = s.local.clone();
-            execute_step(
-                method,
-                stencil,
-                config,
-                &s.local,
-                &mut out,
-                Boundary::CopyInput,
-            );
-            next.push(out);
-        }
-        for (s, n) in slabs.iter_mut().zip(next) {
-            s.local = n;
-        }
-
-        // Exchange: refresh every halo plane from its owner's freshly
-        // computed (or globally-fixed) value. Owners send their top/
-        // bottom r owned planes to the neighbour's halo region.
-        for d in 0..slabs.len() {
-            // Receive from the lower neighbour into [z0 - halo_lo, z0).
-            if d > 0 {
-                let (lo_part, hi_part) = slabs.split_at_mut(d);
-                let src = &lo_part[d - 1];
-                let dst = &mut hi_part[0];
-                for gz in (dst.z0 - dst.halo_lo)..dst.z0 {
-                    let (sk, dk) = (src.local_z(gz), dst.local_z(gz));
-                    for j in 0..ny {
-                        for i in 0..nx {
-                            let v = src.local.get(i, j, sk);
-                            dst.local.set(i, j, dk, v);
-                        }
-                    }
-                    stats.planes_exchanged += 1;
-                    stats.bytes_exchanged += plane_bytes;
-                }
-            }
-            // Receive from the upper neighbour into [z1, z1 + halo_hi).
-            if d + 1 < slabs.len() {
-                let (lo_part, hi_part) = slabs.split_at_mut(d + 1);
-                let dst = &mut lo_part[d];
-                let src = &hi_part[0];
-                for gz in dst.z1..(dst.z1 + dst.halo_hi) {
-                    let (sk, dk) = (src.local_z(gz), dst.local_z(gz));
-                    for j in 0..ny {
-                        for i in 0..nx {
-                            let v = src.local.get(i, j, sk);
-                            dst.local.set(i, j, dk, v);
-                        }
-                    }
-                    stats.planes_exchanged += 1;
-                    stats.bytes_exchanged += plane_bytes;
-                }
-            }
-        }
-    }
-
-    // Gather the owned planes.
-    let mut out = Grid3::new(nx, ny, nz);
-    for s in &slabs {
-        for gz in s.z0..s.z1 {
-            let lk = s.local_z(gz);
-            for j in 0..ny {
-                for i in 0..nx {
-                    out.set(i, j, gz, s.local.get(i, j, lk));
-                }
-            }
-        }
-    }
     (out, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inplane_core::Variant;
+    use inplane_core::{execute_step, Variant};
     use stencil_grid::{iterate_stencil_loop, max_abs_diff, FillPattern};
 
     fn single_device<T: Real>(
@@ -243,6 +304,11 @@ mod tests {
         // 4 steps × 2 directions × r planes.
         assert_eq!(stats.planes_exchanged, 4 * 2);
         assert_eq!(stats.bytes_exchanged, 4 * 2 * 14 * 14 * 8);
+        // The interpreter's counters tell the same story.
+        assert_eq!(stats.exec.halo_planes_exchanged, 4 * 2);
+        assert_eq!(stats.exec.halo_cells_exchanged, 4 * 2 * 14 * 14);
+        assert_eq!(stats.exec.cells_copied_out, 14 * 14 * 12);
+        assert!(stats.exchange_redundancy() > 0.0);
     }
 
     #[test]
@@ -272,6 +338,22 @@ mod tests {
             execute_multi_gpu(Method::InPlane(Variant::Vertical), &s, &cfg, &initial, 1, 2);
         assert_eq!(max_abs_diff(&multi, &golden), 0.0);
         assert_eq!(stats.planes_exchanged, 0);
+    }
+
+    #[test]
+    fn degenerate_ratios_are_defined() {
+        // Regression: the single-shard run exchanges nothing — the
+        // overhead ratio must be exactly 0, not NaN from 0/0.
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let cfg = LaunchConfig::new(8, 8, 1, 1);
+        let initial: Grid3<f64> = FillPattern::HashNoise.build(8, 8, 8);
+        let (_, stats) = execute_multi_gpu(Method::ForwardPlane, &s, &cfg, &initial, 1, 1);
+        assert_eq!(stats.devices, 1);
+        assert_eq!(stats.planes_exchanged, 0);
+        assert!(stats.exchange_redundancy().is_finite());
+        assert_eq!(stats.exchange_redundancy(), 0.0);
+        // The all-zero default (no run at all) is defined too.
+        assert_eq!(MultiGpuStats::default().exchange_redundancy(), 0.0);
     }
 
     #[test]

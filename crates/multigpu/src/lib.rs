@@ -24,5 +24,5 @@
 pub mod exec;
 pub mod perf;
 
-pub use exec::{execute_multi_gpu, MultiGpuStats};
+pub use exec::{execute_multi_gpu, multi_gpu_stage_plan, MultiGpuStats};
 pub use perf::{simulate_scaling, Interconnect, ScalingPoint};

@@ -1,33 +1,42 @@
-//! Barrier/happens-before proof over the abstract per-plane schedule.
+//! Barrier/happens-before proof over the lowered per-plane schedule.
 //!
-//! Each plane of the 2.5-D sweep is abstracted into an ordered list of
-//! [`Op`]s: shared-memory *stages* (region stores into the tile, from
-//! global memory or from the register pipeline), *barriers*
-//! (`__syncthreads()`), and *reads* (the compute phase's neighbour
-//! gathers). The proof obligations (§III):
+//! Since the StagePlan refactor the analyzer no longer builds its own
+//! abstract schedule: it lowers the kernel with
+//! [`inplane_core::lower_step`] — the *same* pure lowering every
+//! execution path interprets — and extracts one representative interior
+//! block's per-plane op run ([`plan_plane_ops`]). Each plane is an
+//! ordered list of [`Op`]s: shared-memory *stages* (region stores into
+//! the tile, from global memory or from the register pipeline),
+//! *barriers* (`__syncthreads()`), and *reads* (the compute phase's
+//! neighbour gathers, the Eqn-(5) centre folds, the z-history advance).
+//! The proof obligations (§III):
 //!
 //! * every read rectangle is covered by staged rectangles (`LNT-S001`
 //!   otherwise — a read of memory nothing staged);
 //! * the covering stages are separated from the read by a barrier
 //!   (`LNT-S002` otherwise — a cross-warp race: another warp's stage is
 //!   not visible without a barrier);
-//! * the schedule issues exactly the two barriers per plane the method
-//!   is specified with — stage barrier + reuse barrier (`LNT-S003`);
+//! * the schedule issues exactly the
+//!   [`StagePlan::BARRIERS_PER_PLANE`] barriers per plane the method is
+//!   specified with — stage barrier + reuse barrier (`LNT-S003`);
 //! * the register-pipeline depth matches the method: `2r + 1` z-values
 //!   forward-plane, `r` queued partials + `r` trailing z-values in-plane
-//!   (`LNT-S004`).
+//!   (`LNT-S004`) — checked both against the resource model's register
+//!   estimate and against the depths the lowered `BeginBlock` declares.
 //!
 //! The same proof is cross-checked dynamically in the integration tests:
-//! replaying the staged regions into the emulator's `SharedBuffer` and
-//! `try_read`ing the read footprint must agree with the static verdict.
+//! replaying a deliberately tampered `StagePlan` through the instrumented
+//! plan interpreter must fail `try_read` on exactly the cells the static
+//! `LNT-S001` finding counts — static and runtime operate on one IR, so
+//! they can never drift.
 
 use crate::diag::Diagnostic;
 use crate::rect::{subtract_all, total_area, Rect};
 use gpu_sim::plan::PlanePlan;
 use inplane_core::layout::TileGeometry;
-use inplane_core::loadplan::load_regions;
+use inplane_core::plan::{ComputeKind, PipelineFeed};
 use inplane_core::resources::{regs_per_thread, vector_width, BASE_REGS};
-use inplane_core::{KernelSpec, LaunchConfig, Method};
+use inplane_core::{lower_step, KernelSpec, LaunchConfig, PlanOp, StagePlan};
 
 /// One step of the abstract per-plane schedule.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,61 +54,156 @@ pub enum Op {
 pub fn read_footprint(geom: &TileGeometry) -> Vec<Rect> {
     let (ix_s, ix_e) = geom.interior_x();
     let (iy_s, iy_e) = geom.interior_y();
-    let r = geom.r as isize;
+    footprint_rects(ix_s, ix_e, iy_s, iy_e, geom.r as isize)
+}
+
+/// Interior + four corner-free arms of `[ix0, ix1) × [iy0, iy1)`.
+fn footprint_rects(ix0: isize, ix1: isize, iy0: isize, iy1: isize, r: isize) -> Vec<Rect> {
     vec![
         Rect {
-            x0: ix_s,
-            x1: ix_e,
-            y0: iy_s,
-            y1: iy_e,
+            x0: ix0,
+            x1: ix1,
+            y0: iy0,
+            y1: iy1,
         },
         Rect {
-            x0: ix_s - r,
-            x1: ix_s,
-            y0: iy_s,
-            y1: iy_e,
+            x0: ix0 - r,
+            x1: ix0,
+            y0: iy0,
+            y1: iy1,
         },
         Rect {
-            x0: ix_e,
-            x1: ix_e + r,
-            y0: iy_s,
-            y1: iy_e,
+            x0: ix1,
+            x1: ix1 + r,
+            y0: iy0,
+            y1: iy1,
         },
         Rect {
-            x0: ix_s,
-            x1: ix_e,
-            y0: iy_s - r,
-            y1: iy_s,
+            x0: ix0,
+            x1: ix1,
+            y0: iy0 - r,
+            y1: iy0,
         },
         Rect {
-            x0: ix_s,
-            x1: ix_e,
-            y0: iy_e,
-            y1: iy_e + r,
+            x0: ix0,
+            x1: ix1,
+            y0: iy1,
+            y1: iy1 + r,
         },
     ]
 }
 
-/// Build the abstract per-plane schedule for `(kernel, geom)`: stage the
-/// variant's load regions, barrier, read the stencil footprint, barrier
-/// (the reuse barrier protecting the next plane's restaging).
-pub fn build_schedule(kernel: &KernelSpec, geom: &TileGeometry) -> Vec<Op> {
+/// Extract the abstract per-plane schedule of the block whose tile
+/// origin is `block` while it stages `plane`, straight from a lowered
+/// [`StagePlan`]. Coordinates stay in the plan's own grid frame.
+///
+/// The mapping from plan ops to proof obligations:
+///
+/// * [`PlanOp::StageRegion`] → [`Op::Stage`] (register publish or
+///   global load — either way the cells become readable);
+/// * [`PlanOp::Barrier`] → [`Op::Barrier`];
+/// * [`PlanOp::ComputePoint`] with `ForwardFull` / `InplanePartial` →
+///   reads of the star footprint (interior + four arms);
+/// * [`PlanOp::ComputePoint`] with `FoldCentre` → a read of the staged
+///   interior (Eqn-(5) folds touch only the centre values);
+/// * [`PlanOp::RotatePipeline`] fed by `StagedCentre` → a read of the
+///   staged interior (the in-plane z-history advance).
+pub fn plan_plane_ops(plan: &StagePlan, block: (usize, usize), plane: usize) -> Vec<Op> {
+    let ri = plan.radius as isize;
     let mut ops = Vec::new();
-    // Forward-plane publishes the interior from its register pipeline and
-    // loads the four arms; in-plane stages the variant's regions. Either
-    // way, the staged rectangles are exactly the method's load regions
-    // (the forward-plane interior "load" is the register publish).
-    for region in load_regions(kernel.method, geom, vector_width(kernel)) {
-        ops.push(Op::Stage(Rect::from_spans(region.x, region.y)));
+    let mut in_block = false;
+    let mut cur_plane: Option<usize> = None;
+    let mut interior = Rect {
+        x0: 0,
+        x1: 0,
+        y0: 0,
+        y1: 0,
+    };
+    let mut footprint: Vec<Rect> = Vec::new();
+    for op in &plan.ops {
+        match *op {
+            PlanOp::BeginBlock { x0, y0, w, h, .. } => {
+                in_block = (x0, y0) == block;
+                cur_plane = None;
+                if in_block {
+                    let (ix0, ix1) = (x0 as isize, (x0 + w) as isize);
+                    let (iy0, iy1) = (y0 as isize, (y0 + h) as isize);
+                    interior = Rect {
+                        x0: ix0,
+                        x1: ix1,
+                        y0: iy0,
+                        y1: iy1,
+                    };
+                    footprint = footprint_rects(ix0, ix1, iy0, iy1, ri);
+                }
+            }
+            _ if !in_block => {}
+            PlanOp::StageRegion { rect, plane: p, .. } => {
+                cur_plane = Some(p);
+                if p == plane {
+                    ops.push(Op::Stage(Rect {
+                        x0: rect.x0,
+                        x1: rect.x1,
+                        y0: rect.y0,
+                        y1: rect.y1,
+                    }));
+                }
+            }
+            _ if cur_plane != Some(plane) => {}
+            PlanOp::Barrier => ops.push(Op::Barrier),
+            PlanOp::ComputePoint { kind, .. } => match kind {
+                ComputeKind::ForwardFull | ComputeKind::InplanePartial => {
+                    ops.extend(footprint.iter().copied().map(Op::Read));
+                }
+                ComputeKind::FoldCentre { .. } => ops.push(Op::Read(interior)),
+            },
+            PlanOp::RotatePipeline {
+                feed: PipelineFeed::StagedCentre,
+                ..
+            } => ops.push(Op::Read(interior)),
+            _ => {}
+        }
     }
-    ops.push(Op::Barrier);
-    for r in read_footprint(geom) {
-        ops.push(Op::Read(r));
-    }
-    // Reuse barrier: no thread may restage the next plane while another
-    // warp still reads this one.
-    ops.push(Op::Barrier);
     ops
+}
+
+/// One representative interior block's schedule, extracted from the real
+/// lowered IR (see [`lower_plane_schedule`]).
+pub struct LoweredSchedule {
+    /// The block's per-plane op run at the representative plane.
+    pub ops: Vec<Op>,
+    /// z-pipeline depth the lowered `BeginBlock` declares.
+    pub z_depth: usize,
+    /// Out-queue depth the lowered `BeginBlock` declares.
+    pub out_depth: usize,
+}
+
+/// Lower `kernel` with [`inplane_core::lower_step`] on a synthetic
+/// 3×3-tile grid and extract the middle (fully interior) block's
+/// schedule at plane `2r` — a plane deep enough that every in-plane
+/// obligation is live (the Eqn-(3) partial, all `r` folds, and the
+/// write-back of plane `r`).
+pub fn lower_plane_schedule(kernel: &KernelSpec, config: &LaunchConfig) -> LoweredSchedule {
+    let r = kernel.radius;
+    let (tw, th) = (config.tile_x(), config.tile_y());
+    let dims = (2 * r + 3 * tw, 2 * r + 3 * th, 4 * r + 2);
+    let plan = lower_step(kernel.method, config, r, dims);
+    let ops = plan_plane_ops(&plan, (r + tw, r + th), 2 * r);
+    let (z_depth, out_depth) = plan
+        .ops
+        .iter()
+        .find_map(|op| match op {
+            PlanOp::BeginBlock {
+                z_depth, out_depth, ..
+            } => Some((*z_depth, *out_depth)),
+            _ => None,
+        })
+        .expect("a lowered plan always opens at least one block");
+    LoweredSchedule {
+        ops,
+        z_depth,
+        out_depth,
+    }
 }
 
 /// Verify the happens-before obligations on an explicit op list.
@@ -162,34 +266,37 @@ pub fn verify_ops(ops: &[Op]) -> Vec<Diagnostic> {
 
 /// The method's specified register-pipeline depth in words per point:
 /// `2r + 1` forward-plane, `2r` (queue + z-history) in-plane.
+/// Delegates to [`inplane_core::Method::pipeline_words`] — the one table
+/// the lowering, the resource model and this proof all share.
 pub fn expected_pipeline_words(kernel: &KernelSpec) -> usize {
-    match kernel.method {
-        Method::ForwardPlane => 2 * kernel.radius + 1,
-        Method::InPlane(_) => 2 * kernel.radius,
-    }
+    kernel.method.pipeline_words(kernel.radius)
 }
 
-/// Full schedule check for `(kernel, config, geom)` against the lowered
-/// `plan`: happens-before over the abstract schedule, barrier count, and
-/// pipeline depth.
+/// Full schedule check for `(kernel, config)` against the priced
+/// `plan`: happens-before over the *lowered* schedule, barrier count,
+/// and pipeline depth.
 pub fn check_schedule(
     kernel: &KernelSpec,
     config: &LaunchConfig,
-    geom: &TileGeometry,
     plan: &PlanePlan,
 ) -> Vec<Diagnostic> {
-    let ops = build_schedule(kernel, geom);
-    let mut diags = verify_ops(&ops);
+    let lowered = lower_plane_schedule(kernel, config);
+    let mut diags = verify_ops(&lowered.ops);
 
-    // S003: the proven schedule has exactly two barriers per plane, and
-    // the lowered plan must agree.
-    let barriers = ops.iter().filter(|o| matches!(o, Op::Barrier)).count() as u64;
-    if barriers != 2 || plan.syncthreads != 2 {
+    // S003: the lowered schedule must issue exactly the proven barrier
+    // count per plane, and the priced plan must declare the same.
+    let proven = StagePlan::BARRIERS_PER_PLANE;
+    let barriers = lowered
+        .ops
+        .iter()
+        .filter(|o| matches!(o, Op::Barrier))
+        .count();
+    if barriers != proven || plan.syncthreads != proven as u64 {
         diags.push(
             Diagnostic::error(
                 "LNT-S003",
                 format!(
-                    "schedule has {barriers} barriers, plan declares {} (proven count: 2)",
+                    "lowered schedule has {barriers} barriers, plan declares {} (proven count: {proven})",
                     plan.syncthreads
                 ),
             )
@@ -198,7 +305,26 @@ pub fn check_schedule(
         );
     }
 
-    // S004: re-derive the pipeline register count from the method's
+    // S004a: the depths the lowered BeginBlock declares must sum to the
+    // method's specified pipeline words (the staged slot doubles as the
+    // accumulator, hence the −1).
+    let lowered_words = lowered.z_depth + lowered.out_depth - 1;
+    if lowered_words != expected_pipeline_words(kernel) {
+        diags.push(
+            Diagnostic::error(
+                "LNT-S004",
+                format!(
+                    "lowered block declares {lowered_words} pipeline words, the {} method specifies {}",
+                    kernel.method.label(),
+                    expected_pipeline_words(kernel)
+                ),
+            )
+            .with("derived", lowered_words)
+            .with("expected", expected_pipeline_words(kernel)),
+        );
+    }
+
+    // S004b: re-derive the pipeline register count from the method's
     // specified depth and compare with the resource model's estimate.
     diags.extend(check_pipeline_depth(
         kernel,
@@ -256,7 +382,7 @@ mod tests {
     use super::*;
     use crate::diag::has_errors;
     use inplane_core::loadplan::build_plane_plan;
-    use inplane_core::Variant;
+    use inplane_core::{Method, Variant};
     use stencil_grid::Precision;
 
     fn geom(c: &LaunchConfig, r: usize) -> TileGeometry {
@@ -267,21 +393,23 @@ mod tests {
         KernelSpec::star_order(method, order, Precision::Single)
     }
 
+    const METHODS: [Method; 5] = [
+        Method::ForwardPlane,
+        Method::InPlane(Variant::Classical),
+        Method::InPlane(Variant::Vertical),
+        Method::InPlane(Variant::Horizontal),
+        Method::InPlane(Variant::FullSlice),
+    ];
+
     #[test]
     fn all_methods_prove_clean() {
-        for method in [
-            Method::ForwardPlane,
-            Method::InPlane(Variant::Classical),
-            Method::InPlane(Variant::Vertical),
-            Method::InPlane(Variant::Horizontal),
-            Method::InPlane(Variant::FullSlice),
-        ] {
+        for method in METHODS {
             for order in [2usize, 4, 8, 12] {
                 let c = LaunchConfig::new(32, 8, 1, 1);
                 let g = geom(&c, order / 2);
                 let k = spec(method, order);
                 let plan = build_plane_plan(&k, &c, &g, 32);
-                let d = check_schedule(&k, &c, &g, &plan);
+                let d = check_schedule(&k, &c, &plan);
                 assert!(
                     !has_errors(&d),
                     "{method:?} order {order}: {:?}",
@@ -294,9 +422,8 @@ mod tests {
     #[test]
     fn missing_barrier_is_s002() {
         let c = LaunchConfig::new(32, 8, 1, 1);
-        let g = geom(&c, 1);
         let k = spec(Method::InPlane(Variant::FullSlice), 2);
-        let mut ops = build_schedule(&k, &g);
+        let mut ops = lower_plane_schedule(&k, &c).ops;
         // Remove the stage barrier: reads now race with the stores.
         let first_barrier = ops.iter().position(|o| matches!(o, Op::Barrier)).unwrap();
         ops.remove(first_barrier);
@@ -311,10 +438,9 @@ mod tests {
     #[test]
     fn missing_stage_is_s001() {
         let c = LaunchConfig::new(32, 8, 1, 1);
-        let g = geom(&c, 1);
         let k = spec(Method::InPlane(Variant::Horizontal), 2);
-        let mut ops = build_schedule(&k, &g);
-        // Drop the top-halo stage (the second region).
+        let mut ops = lower_plane_schedule(&k, &c).ops;
+        // Drop the top-halo stage (the second lowered region).
         let stages: Vec<usize> = ops
             .iter()
             .enumerate()
@@ -333,8 +459,35 @@ mod tests {
         let k = spec(Method::InPlane(Variant::FullSlice), 2);
         let mut plan = build_plane_plan(&k, &c, &g, 32);
         plan.syncthreads = 3;
-        let d = check_schedule(&k, &c, &g, &plan);
+        let d = check_schedule(&k, &c, &plan);
         assert!(d.iter().any(|x| x.code == "LNT-S003"), "{d:?}");
+    }
+
+    #[test]
+    fn lowered_schedule_has_the_proven_barrier_count() {
+        for method in METHODS {
+            let c = LaunchConfig::new(16, 4, 1, 2);
+            let k = spec(method, 4);
+            let ops = lower_plane_schedule(&k, &c).ops;
+            let barriers = ops.iter().filter(|o| matches!(o, Op::Barrier)).count();
+            assert_eq!(barriers, StagePlan::BARRIERS_PER_PLANE, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn lowered_depths_match_the_methods_table() {
+        for method in METHODS {
+            for order in [2usize, 4, 8] {
+                let c = LaunchConfig::new(32, 8, 1, 1);
+                let k = spec(method, order);
+                let l = lower_plane_schedule(&k, &c);
+                assert_eq!(
+                    l.z_depth + l.out_depth - 1,
+                    expected_pipeline_words(&k),
+                    "{method:?} order {order}"
+                );
+            }
+        }
     }
 
     #[test]

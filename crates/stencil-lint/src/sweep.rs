@@ -103,7 +103,7 @@ pub fn lint_config(
             device.segment_bytes,
             device.warp_size,
         );
-        diagnostics.extend(check_schedule(kernel, config, &geom, &plan));
+        diagnostics.extend(check_schedule(kernel, config, &plan));
         diagnostics.extend(check_coverage(kernel, &geom));
         diagnostics.extend(check_coalescing(kernel, config, &geom, device));
 

@@ -1,97 +1,51 @@
-//! Dynamic cross-check of the static schedule proof: replay the abstract
-//! per-plane schedule into the emulator's `SharedBuffer` and confirm the
-//! runtime staging discipline reaches the same verdict as the static
-//! analyzer — clean schedules read every cell successfully, and a
-//! schedule the analyzer flags with `LNT-S001` fails `try_read` on
-//! exactly as many cells as the diagnostic counts.
+//! Dynamic cross-check of the static schedule proof on the *shared* IR:
+//! the analyzer and the runtime now both consume the same lowered
+//! [`StagePlan`], so a tampered plan can be judged twice — statically by
+//! `verify_ops` over the extracted per-plane schedule, and dynamically
+//! by replaying the very same plan through the instrumented interpreter
+//! (`interpret_plan_checked`). A clean plan must be clean both ways; a
+//! plan missing one staged region must fail `try_read` on *exactly* the
+//! cells the `LNT-S001` diagnostic counts, cell for cell; a plan missing
+//! a barrier is a cross-warp race (`LNT-S002`) the single-threaded
+//! interpreter cannot observe — static-only, zero runtime errors.
 
 use inplane_core::layout::TileGeometry;
-use inplane_core::{KernelSpec, LaunchConfig, Method, SharedBuffer, StageError, Variant};
-use stencil_grid::Precision;
+use inplane_core::plan::{PlanOp, Zone};
+use inplane_core::{
+    interpret_plan_checked, lower_step, KernelSpec, LaunchConfig, Method, StagePlan, Variant,
+};
+use stencil_grid::{FillPattern, Grid3, Precision, StarStencil};
 use stencil_lint::rect::Rect;
-use stencil_lint::schedule::{build_schedule, read_footprint, verify_ops, Op};
+use stencil_lint::schedule::{plan_plane_ops, read_footprint, verify_ops};
 use stencil_lint::Severity;
 
-fn geom(c: &LaunchConfig, r: usize) -> TileGeometry {
-    TileGeometry::interior(c, r, 4, 512, 128)
+const METHODS: [Method; 5] = [
+    Method::ForwardPlane,
+    Method::InPlane(Variant::Classical),
+    Method::InPlane(Variant::Vertical),
+    Method::InPlane(Variant::Horizontal),
+    Method::InPlane(Variant::FullSlice),
+];
+
+/// A single-block lowered plan on a 12³ grid: radius 2, one 8×8 tile
+/// covering the whole interior, so the block origin is `(r, r)`.
+fn single_block_plan(method: Method) -> StagePlan {
+    lower_step(method, &LaunchConfig::new(8, 8, 1, 1), 2, (12, 12, 12))
 }
 
-/// Replay `ops` into a `SharedBuffer` covering the slab: stage every
-/// `Op::Stage` rect (barriers are visibility no-ops for the
-/// single-threaded emulator), then `try_read` every cell of every
-/// `Op::Read` rect. Returns the staging failures.
-fn replay(ops: &[Op], g: &TileGeometry, plane: usize) -> Vec<StageError> {
-    let (sx_s, sx_e) = g.slab_x();
-    let (sy_s, sy_e) = g.slab_y();
-    let mut buf: SharedBuffer<f32> =
-        SharedBuffer::new(sx_s, sy_s, (sx_e - sx_s) as usize, (sy_e - sy_s) as usize);
-    buf.set_plane(plane);
-    let mut errors = Vec::new();
-    for op in ops {
-        match op {
-            Op::Stage(r) => {
-                for y in r.y0..r.y1 {
-                    for x in r.x0..r.x1 {
-                        buf.stage(x, y, 1.0);
-                    }
-                }
-            }
-            Op::Barrier => {}
-            Op::Read(r) => {
-                for y in r.y0..r.y1 {
-                    for x in r.x0..r.x1 {
-                        if let Err(e) = buf.try_read(x, y) {
-                            errors.push(e);
-                        }
-                    }
-                }
-            }
-        }
-    }
+/// Replay `plan` through the checked interpreter and return the
+/// deduplicated staging failures.
+fn replay(plan: &StagePlan) -> Vec<inplane_core::StageError> {
+    let s: StarStencil<f32> = StarStencil::from_order(4);
+    let input: Grid3<f32> = FillPattern::HashNoise.build(12, 12, 12);
+    let mut out = Grid3::new(12, 12, 12);
+    let (_stats, errors) = interpret_plan_checked(plan, &s, &input, &mut out);
     errors
 }
 
-#[test]
-fn clean_schedules_replay_without_stage_errors() {
-    for method in [
-        Method::ForwardPlane,
-        Method::InPlane(Variant::Classical),
-        Method::InPlane(Variant::Vertical),
-        Method::InPlane(Variant::Horizontal),
-        Method::InPlane(Variant::FullSlice),
-    ] {
-        for order in [2usize, 4, 8] {
-            let c = LaunchConfig::new(32, 8, 1, 1);
-            let g = geom(&c, order / 2);
-            let k = KernelSpec::star_order(method, order, Precision::Single);
-            let ops = build_schedule(&k, &g);
-            assert!(
-                verify_ops(&ops).is_empty(),
-                "{method:?} order {order}: static proof not clean"
-            );
-            let errors = replay(&ops, &g, 7);
-            assert!(
-                errors.is_empty(),
-                "{method:?} order {order}: dynamic replay failed at {:?}",
-                errors.first()
-            );
-        }
-    }
-}
-
-#[test]
-fn static_s001_matches_dynamic_stage_errors_cell_for_cell() {
-    // Drop one staged region: the static gap count and the dynamic
-    // try_read failures must name the same number of cells.
-    let c = LaunchConfig::new(32, 8, 1, 1);
-    let g = geom(&c, 2);
-    let k = KernelSpec::star_order(Method::InPlane(Variant::Horizontal), 4, Precision::Single);
-    let mut ops = build_schedule(&k, &g);
-    let first_stage = ops.iter().position(|o| matches!(o, Op::Stage(_))).unwrap();
-    ops.remove(first_stage);
-
-    let diags = verify_ops(&ops);
-    let static_cells: u64 = diags
+/// Sum the cell counts of every `LNT-S001` diagnostic over `ops`.
+fn s001_cells(ops: &[stencil_lint::schedule::Op]) -> u64 {
+    verify_ops(ops)
         .iter()
         .filter(|d| d.code == "LNT-S001")
         .map(|d| {
@@ -101,27 +55,111 @@ fn static_s001_matches_dynamic_stage_errors_cell_for_cell() {
                 .and_then(|(_, v)| v.parse::<u64>().ok())
                 .expect("S001 carries a cell count")
         })
-        .sum();
-    assert!(
-        static_cells > 0,
-        "tampered schedule must be flagged: {diags:?}"
-    );
+        .sum()
+}
+
+#[test]
+fn clean_plans_are_clean_both_statically_and_dynamically() {
+    for method in METHODS {
+        let plan = single_block_plan(method);
+        // Static: every staged plane of the block proves clean.
+        for plane in 2..12 {
+            let ops = plan_plane_ops(&plan, (2, 2), plane);
+            if ops.is_empty() {
+                continue; // forward-plane stops staging at nz - r
+            }
+            assert!(
+                verify_ops(&ops).is_empty(),
+                "{method:?} plane {plane}: static proof not clean"
+            );
+        }
+        // Dynamic: the interpreter replays the same plan without a
+        // single staging failure.
+        let errors = replay(&plan);
+        assert!(
+            errors.is_empty(),
+            "{method:?}: dynamic replay failed at {:?}",
+            errors.first()
+        );
+    }
+}
+
+#[test]
+fn tampered_stage_matches_dynamic_stage_errors_cell_for_cell() {
+    // Drop the top-halo staged region of plane 5 from the real lowered
+    // plan: the static gap count and the interpreter's try_read
+    // failures must name the same cells.
+    let mut plan = single_block_plan(Method::InPlane(Variant::Horizontal));
+    let victim = plan
+        .ops
+        .iter()
+        .position(|op| {
+            matches!(
+                op,
+                PlanOp::StageRegion {
+                    zone: Zone::Top,
+                    plane: 5,
+                    ..
+                }
+            )
+        })
+        .expect("plane 5 stages a top-halo arm");
+    plan.ops.remove(victim);
+
+    let ops = plan_plane_ops(&plan, (2, 2), 5);
+    let diags = verify_ops(&ops);
+    let static_cells = s001_cells(&ops);
+    // The whole 8×2 top arm is un-staged: 16 cells.
+    assert_eq!(static_cells, 8 * 2, "tampered plan must be flagged");
     assert!(diags.iter().all(|d| d.severity == Severity::Error));
 
-    let errors = replay(&ops, &g, 3);
+    let errors = replay(&plan);
     assert_eq!(
         errors.len() as u64,
         static_cells,
-        "static proof and emulator disagree on the unstaged cell count"
+        "static proof and interpreter disagree on the unstaged cell count"
     );
     // The StageError carries the context the lint proves things about:
-    // the plane and a named staging zone.
-    let e = &errors[0];
-    assert_eq!(e.plane, Some(3));
+    // the plane and the very zone whose stage was dropped.
+    for e in &errors {
+        assert_eq!(e.plane, Some(5));
+        assert_eq!(e.zone, Zone::Top.label());
+        assert!(
+            e.to_string()
+                .starts_with("read of un-staged shared-buffer cell"),
+            "{e}"
+        );
+    }
+}
+
+#[test]
+fn tampered_barrier_is_a_race_only_the_static_proof_sees() {
+    // Drop the stage barrier of plane 5: statically a cross-warp race
+    // (LNT-S002, not S001 — everything is staged); dynamically
+    // invisible, because the interpreter is single-threaded and
+    // sequentially consistent.
+    let mut plan = single_block_plan(Method::InPlane(Variant::Vertical));
+    let compute_at_5 = plan
+        .ops
+        .iter()
+        .position(|op| matches!(op, PlanOp::ComputePoint { plane: 5, .. }))
+        .expect("plane 5 computes a partial");
     assert!(
-        e.to_string()
-            .starts_with("read of un-staged shared-buffer cell"),
-        "{e}"
+        matches!(plan.ops[compute_at_5 - 1], PlanOp::Barrier),
+        "lowering always fences the compute phase"
+    );
+    plan.ops.remove(compute_at_5 - 1);
+
+    let ops = plan_plane_ops(&plan, (2, 2), 5);
+    let diags = verify_ops(&ops);
+    assert!(diags.iter().any(|d| d.code == "LNT-S002"), "{diags:?}");
+    assert!(!diags.iter().any(|d| d.code == "LNT-S001"), "{diags:?}");
+
+    let errors = replay(&plan);
+    assert!(
+        errors.is_empty(),
+        "a barrier race cannot fail the sequential replay: {:?}",
+        errors.first()
     );
 }
 
@@ -130,11 +168,30 @@ fn read_footprint_cells_are_exactly_the_staged_reads() {
     // The read footprint never touches the corners, so a full-slice
     // stage of the whole slab over-stages exactly the 4r^2 corner cells.
     let c = LaunchConfig::new(32, 4, 1, 2);
-    let g = geom(&c, 3);
+    let g = TileGeometry::interior(&c, 3, 4, 512, 128);
     let (sx_s, sx_e) = g.slab_x();
     let (sy_s, sy_e) = g.slab_y();
     let slab_cells = ((sx_e - sx_s) * (sy_e - sy_s)) as u64;
     let fp = read_footprint(&g);
     let read_cells: u64 = fp.iter().map(Rect::area).sum();
     assert_eq!(slab_cells - read_cells, 4 * 9, "4r^2 corners for r = 3");
+}
+
+#[test]
+fn extracted_schedule_stages_exactly_the_lowered_regions() {
+    // The extraction is a projection of the lowered IR, not a
+    // re-derivation: the staged rect areas at one plane must equal the
+    // full slab the full-slice variant stages.
+    let k = KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+    let plan = single_block_plan(k.method);
+    let ops = plan_plane_ops(&plan, (2, 2), 5);
+    let staged: u64 = ops
+        .iter()
+        .filter_map(|o| match o {
+            stencil_lint::schedule::Op::Stage(r) => Some(r.area()),
+            _ => None,
+        })
+        .sum();
+    // Full slab: (8 + 2r)² with r = 2.
+    assert_eq!(staged, 12 * 12);
 }

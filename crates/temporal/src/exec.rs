@@ -1,4 +1,4 @@
-//! Functional overlapped temporal tiling.
+//! Functional overlapped temporal tiling, as a **plan transform**.
 //!
 //! The grid is covered by xy-tiles. For a temporal depth `T`, each tile
 //! is widened by a halo of `r·T` on every side, copied into a private
@@ -8,8 +8,18 @@
 //! the GPU formulation runs them as thread blocks, and the redundant
 //! shell recomputation is the price paid for touching global memory
 //! once per `T` steps.
+//!
+//! [`temporal_stage_plan`] expresses that schedule in the
+//! [`StagePlan`] IR: per tile it allocates two working buffers, scatters
+//! the halo-expanded window in with a [`PlanOp::CopyBox`], splices in
+//! `T` retargeted copies of the forward-plane step lowering (each
+//! followed by a boundary ring copy and a buffer swap), and gathers the
+//! exact interior back out. [`execute_temporal`] just interprets that
+//! plan — the same instrumented interpreter every other path runs on.
 
-use stencil_grid::{apply_reference, Boundary, Grid3, Real, StarStencil};
+use inplane_core::plan::{PlanOp, StagePlan, INPUT_BUF, OUTPUT_BUF};
+use inplane_core::{interpret_plan, lower_forward, ExecStats, LaunchConfig};
+use stencil_grid::{Boundary, Grid3, Real, StarStencil};
 
 /// Statistics from a temporal-tiling pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,16 +30,131 @@ pub struct TemporalStats {
     pub points_computed: u64,
     /// Useful (written-back) points.
     pub points_written: u64,
+    /// Full interpreter counters for the transformed plan (staging
+    /// traffic, barriers, pipeline rotations, gather volume, ...).
+    pub exec: ExecStats,
 }
 
 impl TemporalStats {
-    /// Redundant-work factor: computed / written (≥ 1).
+    /// Redundant-work factor: computed / written (≥ 1). Defined (1.0)
+    /// for degenerate runs that wrote nothing, so a 1-tile/1-step
+    /// configuration can never divide by zero.
     pub fn redundancy(&self) -> f64 {
         if self.points_written == 0 {
             1.0
         } else {
             self.points_computed as f64 / self.points_written as f64
         }
+    }
+}
+
+/// Lower a whole temporal-tiling pass over `dims` to a [`StagePlan`]:
+/// the per-tile scatter / `T`-step local iteration / gather schedule
+/// described in the module docs. Pure function of the arguments.
+///
+/// # Panics
+/// Panics if `t_steps == 0` or the grid is too small for `r`.
+pub fn temporal_stage_plan(
+    r: usize,
+    dims: (usize, usize, usize),
+    tile_x: usize,
+    tile_y: usize,
+    t_steps: usize,
+) -> StagePlan {
+    assert!(t_steps >= 1, "temporal depth must be at least 1");
+    let (nx, ny, nz) = dims;
+    assert!(
+        nx > 2 * r && ny > 2 * r && nz > 2 * r,
+        "grid too small for radius {r}"
+    );
+    let halo = r * t_steps;
+
+    // The boundary ring is invariant under the global iteration; copy it
+    // up front so tiles only need to produce the interior.
+    let mut ops = vec![PlanOp::ApplyBoundary {
+        input: INPUT_BUF,
+        output: OUTPUT_BUF,
+        boundary: Boundary::CopyInput,
+    }];
+    let mut next_buf = 2;
+
+    let mut y0 = r;
+    while y0 < ny - r {
+        let th = tile_y.min(ny - r - y0);
+        let mut x0 = r;
+        while x0 < nx - r {
+            let tw = tile_x.min(nx - r - x0);
+
+            // Halo-expanded window, clipped to the allocation.
+            let wx0 = x0.saturating_sub(halo);
+            let wy0 = y0.saturating_sub(halo);
+            let wx1 = (x0 + tw + halo).min(nx);
+            let wy1 = (y0 + th + halo).min(ny);
+            let (ww, wh) = (wx1 - wx0, wy1 - wy0);
+
+            // Two private working buffers covering the window over all z.
+            let (a, b) = (next_buf, next_buf + 1);
+            next_buf += 2;
+            ops.push(PlanOp::Alloc {
+                buf: a,
+                dims: (ww, wh, nz),
+            });
+            ops.push(PlanOp::Alloc {
+                buf: b,
+                dims: (ww, wh, nz),
+            });
+            ops.push(PlanOp::CopyBox {
+                src: INPUT_BUF,
+                dst: a,
+                src_org: (wx0, wy0, 0),
+                dst_org: (0, 0, 0),
+                extent: (ww, wh, nz),
+            });
+
+            // Advance T steps locally: each step is the ordinary
+            // forward-plane lowering of the window, retargeted at the
+            // working buffers. The window's outer shell becomes stale by
+            // r per step, but points within distance (T - s)·r of the
+            // tile stay exact at step s — in particular the tile
+            // interior after T steps. Where the window edge coincides
+            // with the true grid boundary the ring is genuinely
+            // Dirichlet, matching the global semantics.
+            let cfg = LaunchConfig::new(ww - 2 * r, wh - 2 * r, 1, 1);
+            for _ in 0..t_steps {
+                let mut step = lower_forward(&cfg, r, (ww, wh, nz));
+                step.retarget_buffers(|id| match id {
+                    INPUT_BUF => a,
+                    OUTPUT_BUF => b,
+                    other => other,
+                });
+                ops.extend(step.ops);
+                ops.push(PlanOp::ApplyBoundary {
+                    input: a,
+                    output: b,
+                    boundary: Boundary::CopyInput,
+                });
+                ops.push(PlanOp::SwapBufs { a, b });
+            }
+
+            // Gather the exact interior tile.
+            ops.push(PlanOp::CopyBox {
+                src: a,
+                dst: OUTPUT_BUF,
+                src_org: (x0 - wx0, y0 - wy0, r),
+                dst_org: (x0, y0, r),
+                extent: (tw, th, nz - 2 * r),
+            });
+
+            x0 += tile_x;
+        }
+        y0 += tile_y;
+    }
+
+    StagePlan {
+        method: inplane_core::Method::ForwardPlane,
+        radius: r,
+        dims,
+        ops,
     }
 }
 
@@ -61,74 +186,27 @@ pub fn execute_temporal<T: Real>(
     tile_y: usize,
     t_steps: usize,
 ) -> TemporalStats {
-    assert!(t_steps >= 1, "temporal depth must be at least 1");
     assert_eq!(input.dims(), out.dims());
-    let r = stencil.radius();
-    let (nx, ny, nz) = input.dims();
-    assert!(
-        nx > 2 * r && ny > 2 * r && nz > 2 * r,
-        "grid too small for radius {r}"
-    );
-    let halo = r * t_steps;
-    let mut stats = TemporalStats::default();
-
-    // The boundary ring is invariant under the global iteration; copy it
-    // up front so tiles only need to produce the interior.
-    stencil_grid::boundary::copy_boundary_ring(input, out, r);
-
-    let mut y0 = r;
-    while y0 < ny - r {
-        let th = tile_y.min(ny - r - y0);
-        let mut x0 = r;
-        while x0 < nx - r {
-            let tw = tile_x.min(nx - r - x0);
-            stats.tiles += 1;
-
-            // Halo-expanded window, clipped to the allocation.
-            let wx0 = x0.saturating_sub(halo);
-            let wy0 = y0.saturating_sub(halo);
-            let wx1 = (x0 + tw + halo).min(nx);
-            let wy1 = (y0 + th + halo).min(ny);
-            let (ww, wh) = (wx1 - wx0, wy1 - wy0);
-
-            // Private working grids covering the window over all z.
-            let mut a: Grid3<T> = Grid3::new(ww, wh, nz);
-            a.fill_with(|i, j, k| input.get(wx0 + i, wy0 + j, k));
-            let mut b = a.clone();
-
-            // Advance T steps locally. The window's outer shell becomes
-            // stale by r per step, but points within distance
-            // (T - s)·r of the tile stay exact at step s — in
-            // particular the tile interior after T steps. Where the
-            // window edge coincides with the true grid boundary the ring
-            // is genuinely Dirichlet, matching the global semantics.
-            for _ in 0..t_steps {
-                apply_reference(stencil, &a, &mut b, Boundary::CopyInput);
-                std::mem::swap(&mut a, &mut b);
-                stats.points_computed += ((ww - 2 * r) * (wh - 2 * r) * (nz - 2 * r)) as u64;
-            }
-
-            // Write back the exact interior tile.
-            for k in r..nz - r {
-                for j in y0..y0 + th {
-                    for i in x0..x0 + tw {
-                        out.set(i, j, k, a.get(i - wx0, j - wy0, k));
-                    }
-                }
-            }
-            stats.points_written += (tw * th * (nz - 2 * r)) as u64;
-
-            x0 += tile_x;
-        }
-        y0 += tile_y;
+    let plan = temporal_stage_plan(stencil.radius(), input.dims(), tile_x, tile_y, t_steps);
+    let tiles = plan
+        .ops
+        .iter()
+        .filter(|op| matches!(op, PlanOp::Alloc { .. }))
+        .count()
+        / 2;
+    let exec = interpret_plan(&plan, stencil, input, out);
+    TemporalStats {
+        tiles,
+        points_computed: exec.points_computed,
+        points_written: exec.cells_copied_out,
+        exec,
     }
-    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_grid::{iterate_stencil_loop, max_abs_diff, FillPattern};
+    use stencil_grid::{apply_reference, iterate_stencil_loop, max_abs_diff, FillPattern};
 
     fn golden<T: Real>(stencil: &StarStencil<T>, input: &Grid3<T>, steps: usize) -> Grid3<T> {
         let (g, _) = iterate_stencil_loop(input.clone(), stencil.radius(), steps, |i, o| {
@@ -222,6 +300,40 @@ mod tests {
                 assert_eq!(v, input.get(i, j, k), "ring moved at ({i},{j},{k})");
             }
         }
+    }
+
+    #[test]
+    fn exec_stats_agree_with_the_legacy_counters() {
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let input: Grid3<f64> = FillPattern::HashNoise.build(16, 16, 8);
+        let mut out = Grid3::new(16, 16, 8);
+        let stats = execute_temporal(&s, &input, &mut out, 4, 4, 2);
+        // One working window per tile: 14×14 interior over 4×4 tiles.
+        assert_eq!(stats.tiles, 4 * 4);
+        assert_eq!(stats.points_computed, stats.exec.points_computed);
+        assert_eq!(stats.points_written, stats.exec.cells_copied_out);
+        // Every tile gathers its exact interior: the useful points are
+        // the global interior, written exactly once.
+        assert_eq!(stats.points_written, 14 * 14 * 6);
+        assert!(stats.exec.barriers > 0);
+        assert!(stats.exec.cells_staged > 0);
+        assert!(stats.exec.redundancy() > 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_tile_single_step_redundancy_is_defined() {
+        // Regression: a tile covering the whole interior at T = 1 does
+        // no redundant work — the ratio must be exactly 1, not NaN/inf.
+        let s: StarStencil<f64> = StarStencil::diffusion(1);
+        let input: Grid3<f64> = FillPattern::HashNoise.build(10, 10, 6);
+        let mut out = Grid3::new(10, 10, 6);
+        let stats = execute_temporal(&s, &input, &mut out, 64, 64, 1);
+        assert_eq!(stats.tiles, 1);
+        assert!(stats.redundancy().is_finite());
+        assert_eq!(stats.redundancy(), 1.0);
+        // And the all-zero default (nothing ran at all) is defined too.
+        assert_eq!(TemporalStats::default().redundancy(), 1.0);
+        assert_eq!(ExecStats::default().redundancy(), 1.0);
     }
 
     #[test]

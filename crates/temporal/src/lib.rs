@@ -27,5 +27,5 @@
 pub mod exec;
 pub mod perf;
 
-pub use exec::execute_temporal;
+pub use exec::{execute_temporal, temporal_stage_plan, TemporalStats};
 pub use perf::{simulate_temporal, temporal_plan, TemporalConfig};
