@@ -55,6 +55,15 @@ pub struct TuneReport {
     /// configuration through the plan interpreter (`None` when the
     /// winner was not replayed).
     pub exec: Option<ExecStats>,
+    /// Per-code `LNT-D…` histogram from a bounded whole-plan dataflow
+    /// audit of the space (`None` when no audit ran) — what
+    /// [`crate::space::ParameterSpace::dataflow_audit`] collected.
+    pub dataflow: Option<Vec<(String, u64)>>,
+    /// Counters the static traffic oracle predicted for the winning
+    /// configuration's plan (`None` when no prediction was attached).
+    /// When [`Self::exec`] is also present the two must agree exactly;
+    /// rendering surfaces any drift.
+    pub predicted: Option<ExecStats>,
 }
 
 /// Nearest-rank quantile over an ascending-sorted non-empty slice.
@@ -108,6 +117,8 @@ pub fn summarize(
         store: None,
         rejections: None,
         exec: None,
+        dataflow: None,
+        predicted: None,
     }
 }
 
@@ -146,6 +157,29 @@ impl TuneReport {
         self
     }
 
+    /// Attach a bounded dataflow audit's `LNT-D…` histogram (builder
+    /// style).
+    pub fn with_dataflow(mut self, histogram: Vec<(String, u64)>) -> Self {
+        self.dataflow = Some(histogram);
+        self
+    }
+
+    /// Attach the static traffic oracle's predicted counters for the
+    /// winning configuration's plan (builder style).
+    pub fn with_traffic(mut self, predicted: ExecStats) -> Self {
+        self.predicted = Some(predicted);
+        self
+    }
+
+    /// True when both a prediction and a replay are attached and they
+    /// agree exactly; `None` when either side is missing.
+    pub fn oracle_match(&self) -> Option<bool> {
+        match (&self.predicted, &self.exec) {
+            (Some(p), Some(e)) => Some(p == e),
+            _ => None,
+        }
+    }
+
     /// Multi-line human-readable rendering.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -182,6 +216,24 @@ impl TuneReport {
             out.push_str(&format!("\nspace rejections ({total} coded reasons):"));
             for (code, n) in rej {
                 out.push_str(&format!("\n  {code}  x{n}"));
+            }
+        }
+        if let Some(df) = &self.dataflow {
+            let total: u64 = df.iter().map(|(_, n)| n).sum();
+            out.push_str(&format!("\ndataflow audit ({total} findings):"));
+            for (code, n) in df {
+                out.push_str(&format!("\n  {code}  x{n}"));
+            }
+        }
+        if let Some(p) = self.predicted {
+            out.push_str(&format!(
+                "\ntraffic oracle: {} cells staged, {} writes, {} rotations predicted",
+                p.cells_staged, p.global_writes, p.pipeline_rotations,
+            ));
+            match self.oracle_match() {
+                Some(true) => out.push_str(" — matches the replay exactly"),
+                Some(false) => out.push_str(" — DISAGREES with the replay"),
+                None => {}
             }
         }
         if let Some(e) = self.exec {
@@ -235,6 +287,27 @@ impl TuneReport {
                 .map(|(code, n)| format!("\"{code}\":{n}"))
                 .collect();
             s.push_str(&format!(",\"rejections\":{{{}}}", items.join(",")));
+        }
+        if let Some(df) = &self.dataflow {
+            let items: Vec<String> = df
+                .iter()
+                .map(|(code, n)| format!("\"{code}\":{n}"))
+                .collect();
+            s.push_str(&format!(",\"dataflow\":{{{}}}", items.join(",")));
+        }
+        if let Some(p) = self.predicted {
+            s.push_str(&format!(
+                ",\"predicted\":{{\"cells_staged\":{},\"global_writes\":{},\
+                 \"barriers\":{},\"pipeline_rotations\":{},\"points_computed\":{}}}",
+                p.cells_staged,
+                p.global_writes,
+                p.barriers,
+                p.pipeline_rotations,
+                p.points_computed,
+            ));
+            if let Some(matches) = self.oracle_match() {
+                s.push_str(&format!(",\"oracle_match\":{matches}"));
+            }
         }
         if let Some(e) = self.exec {
             let zones: Vec<String> = e.staged_cells_by_zone.iter().map(u64::to_string).collect();
@@ -387,6 +460,60 @@ mod tests {
         let plain = summarize(&dev, &k, dims, &out);
         assert!(!plain.render().contains("winner replay"));
         assert!(!plain.to_json().contains("\"exec\""));
+    }
+
+    #[test]
+    fn dataflow_and_oracle_surface_in_render_and_json() {
+        let (dev, k, dims, out) = run();
+        let plan = inplane_core::lower_step(
+            Method::InPlane(Variant::FullSlice),
+            &inplane_core::LaunchConfig::new(4, 4, 1, 1),
+            2,
+            (12, 12, 10),
+        );
+        let predicted = stencil_lint::predict_stats(&plan);
+        let dynamic = {
+            use stencil_grid::{FillPattern, Grid3, StarStencil};
+            let s: StarStencil<f32> = StarStencil::diffusion(2);
+            let input: Grid3<f32> = FillPattern::HashNoise.build(12, 12, 10);
+            let mut o = Grid3::new(12, 12, 10);
+            inplane_core::interpret_plan(&plan, &s, &input, &mut o)
+        };
+        let hist = vec![("LNT-D103".to_string(), 4u64)];
+        let rep = summarize(&dev, &k, dims, &out)
+            .with_dataflow(hist)
+            .with_traffic(predicted)
+            .with_exec(dynamic);
+        assert_eq!(rep.oracle_match(), Some(true));
+        let rendered = rep.render();
+        assert!(rendered.contains("dataflow audit"), "{rendered}");
+        assert!(rendered.contains("LNT-D103"), "{rendered}");
+        assert!(
+            rendered.contains("matches the replay exactly"),
+            "{rendered}"
+        );
+        let json = rep.to_json();
+        for key in ["\"dataflow\":", "\"predicted\":", "\"oracle_match\":true"] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        // A doctored prediction is called out, not silently accepted.
+        let mut wrong = predicted;
+        wrong.cells_staged += 1;
+        let drifted = summarize(&dev, &k, dims, &out)
+            .with_traffic(wrong)
+            .with_exec(dynamic);
+        assert_eq!(drifted.oracle_match(), Some(false));
+        assert!(
+            drifted.render().contains("DISAGREES"),
+            "{}",
+            drifted.render()
+        );
+        assert!(drifted.to_json().contains("\"oracle_match\":false"));
+        // Without attachments the sections are absent.
+        let plain = summarize(&dev, &k, dims, &out);
+        assert_eq!(plain.oracle_match(), None);
+        assert!(!plain.render().contains("dataflow audit"));
+        assert!(!plain.to_json().contains("\"predicted\""));
     }
 
     #[test]

@@ -1,31 +1,45 @@
 //! Static-analysis sweep over the full tuning grid: every launch
 //! configuration of every method is checked by `stencil-lint`'s
 //! analyzers (feasibility, schedule, coverage, coalescing, generated
-//! source), and the process exits non-zero if any *feasible*
-//! configuration produces an error-severity diagnostic or any infeasible
-//! configuration lacks a coded rejection reason.
+//! source and the whole-plan dataflow proof), and the process exits
+//! non-zero if any *feasible* configuration produces an error-severity
+//! diagnostic or any infeasible configuration lacks a coded rejection
+//! reason.
+//!
+//! With `--json` the output is a single machine-readable document:
+//! `schema_version`, one sweep report per (device, kernel, method), and
+//! a per-method `oracle` section pairing the whole-plan dataflow
+//! histogram with the static traffic oracle's predictions for a
+//! representative plan.
 //!
 //! ```sh
 //! cargo run --release --bin lint -- --device gtx580 --kernel laplacian --json
 //! ```
 
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::{KernelSpec, Method, Variant};
-use stencil_apps::{Hyperthermia, Laplacian3d, Poisson};
-use stencil_grid::MultiGridKernel;
+use inplane_core::{lower_step, KernelSpec, LaunchConfig, Method, Variant};
+use stencil_apps::{Hyperthermia, Laplacian3d, Poisson, Upstream};
+use stencil_grid::{MultiGridKernel, Precision};
 use stencil_lint::sweep::{enumerate_configs, enumerate_configs_quick, lint_configs, SweepReport};
+use stencil_lint::{analyze_plan, predict_traffic};
+
+/// Version of the `--json` document layout; the golden-schema test in
+/// `tests/lint_json.rs` pins it.
+const SCHEMA_VERSION: u32 = 1;
 
 struct Args {
     devices: Vec<DeviceSpec>,
     kernels: Vec<&'static str>,
+    precision: Precision,
     json: bool,
     quick: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lint [--device gtx580|gtx680|c2070|all] [--kernel laplacian|poisson|hyperthermia|all]\n\
-         \x20           [--json] [--quick]\n\
+        "usage: lint [--device gtx580|gtx680|c2070|all]\n\
+         \x20           [--kernel laplacian|poisson|hyperthermia|upstream|all]\n\
+         \x20           [--precision sp|dp] [--json] [--quick]\n\
          Sweeps the full (TX, TY, RX, RY) tuning grid for every method variant and\n\
          reports coded diagnostics. Exits non-zero when a feasible configuration\n\
          carries an error-severity diagnostic or a rejection is unexplained."
@@ -37,6 +51,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         devices: vec![DeviceSpec::gtx580()],
         kernels: vec!["laplacian"],
+        precision: Precision::Single,
         json: false,
         quick: false,
     };
@@ -58,7 +73,15 @@ fn parse_args() -> Args {
                     "laplacian" => vec!["laplacian"],
                     "poisson" => vec!["poisson"],
                     "hyperthermia" => vec!["hyperthermia"],
-                    "all" => vec!["laplacian", "poisson", "hyperthermia"],
+                    "upstream" => vec!["upstream"],
+                    "all" => vec!["laplacian", "poisson", "hyperthermia", "upstream"],
+                    _ => usage(),
+                }
+            }
+            "--precision" => {
+                args.precision = match val().as_str() {
+                    "sp" => Precision::Single,
+                    "dp" => Precision::Double,
                     _ => usage(),
                 }
             }
@@ -71,9 +94,9 @@ fn parse_args() -> Args {
     args
 }
 
-/// Kernel specs for one named application: the forward-plane baseline
-/// plus every in-plane variant.
-fn specs_for(kernel: &str) -> Vec<KernelSpec> {
+/// Kernel specs for one named application at one precision: the
+/// forward-plane baseline plus every in-plane variant.
+fn specs_for(kernel: &str, precision: Precision) -> Vec<KernelSpec> {
     let methods = [
         Method::ForwardPlane,
         Method::InPlane(Variant::Classical),
@@ -83,21 +106,56 @@ fn specs_for(kernel: &str) -> Vec<KernelSpec> {
     ];
     methods
         .iter()
-        .map(|&m| match kernel {
-            "laplacian" => {
-                KernelSpec::from_app(m, &Laplacian3d::default() as &dyn MultiGridKernel<f32>)
-            }
-            "poisson" => KernelSpec::from_app(m, &Poisson::default() as &dyn MultiGridKernel<f32>),
-            "hyperthermia" => KernelSpec::from_app(m, &Hyperthermia as &dyn MultiGridKernel<f32>),
-            _ => unreachable!("parse_args validated the kernel name"),
+        .map(|&m| match precision {
+            Precision::Single => app_spec::<f32>(kernel, m),
+            Precision::Double => app_spec::<f64>(kernel, m),
         })
         .collect()
+}
+
+fn app_spec<T: stencil_grid::Real>(kernel: &str, method: Method) -> KernelSpec {
+    match kernel {
+        "laplacian" => {
+            KernelSpec::from_app(method, &Laplacian3d::default() as &dyn MultiGridKernel<T>)
+        }
+        "poisson" => KernelSpec::from_app(method, &Poisson::default() as &dyn MultiGridKernel<T>),
+        "hyperthermia" => KernelSpec::from_app(method, &Hyperthermia as &dyn MultiGridKernel<T>),
+        "upstream" => KernelSpec::from_app(method, &Upstream::default() as &dyn MultiGridKernel<T>),
+        _ => unreachable!("parse_args validated the kernel name"),
+    }
+}
+
+/// One JSON entry pairing the whole-plan dataflow histogram with the
+/// static traffic oracle's predictions on a representative plan: a few
+/// tiles of a warp-aligned configuration, enough planes for prologue,
+/// steady state and drain.
+fn oracle_json(device: &DeviceSpec, spec: &KernelSpec, precision: Precision) -> String {
+    let r = spec.radius;
+    let config = LaunchConfig::new(device.warp_size / 2, 2, 1, 1);
+    let dims = (
+        2 * r + 2 * config.tile_x(),
+        2 * r + 2 * config.tile_y(),
+        4 * r + 2,
+    );
+    let plan = lower_step(spec.method, &config, r, dims);
+    let report = analyze_plan(&plan);
+    let traffic = predict_traffic(&plan, precision);
+    format!(
+        "{{\"device\":\"{}\",\"kernel\":\"{}\",\"method\":\"{}\",\
+         \"dataflow\":{},\"traffic\":{}}}",
+        device.name,
+        spec.name,
+        spec.method.label(),
+        report.to_json(),
+        traffic.to_json(),
+    )
 }
 
 fn main() {
     let args = parse_args();
     let dims = GridDims::paper();
     let mut reports: Vec<SweepReport> = Vec::new();
+    let mut oracles: Vec<String> = Vec::new();
 
     for device in &args.devices {
         let configs = if args.quick {
@@ -106,9 +164,12 @@ fn main() {
             enumerate_configs(device)
         };
         for kernel_name in &args.kernels {
-            for spec in specs_for(kernel_name) {
+            for spec in specs_for(kernel_name, args.precision) {
                 let results = lint_configs(device, &spec, &dims, &configs);
                 reports.push(SweepReport::from_results(device, &spec, &results));
+                if args.json {
+                    oracles.push(oracle_json(device, &spec, args.precision));
+                }
             }
         }
     }
@@ -117,8 +178,11 @@ fn main() {
     if args.json {
         let items: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
         println!(
-            "{{\"reports\":[{}],\"failed\":{failed},\"clean\":{}}}",
+            "{{\"schema_version\":{SCHEMA_VERSION},\"precision\":\"{}\",\
+             \"reports\":[{}],\"oracle\":[{}],\"failed\":{failed},\"clean\":{}}}",
+            args.precision.label(),
             items.join(","),
+            oracles.join(","),
             failed == 0
         );
     } else {

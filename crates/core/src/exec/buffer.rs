@@ -19,6 +19,10 @@ use stencil_grid::Real;
 /// emulator's runtime verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StageError {
+    /// The stable `stencil-lint` diagnostic code the failure corresponds
+    /// to: [`StageError::UNSTAGED_READ`] for reads of un-staged cells,
+    /// [`StageError::EMPTY_PLAN`] for plans with no compute schedule.
+    pub code: &'static str,
     /// Grid x-coordinate of the offending read.
     pub x: isize,
     /// Grid y-coordinate of the offending read.
@@ -31,8 +35,21 @@ pub struct StageError {
     pub zone: &'static str,
 }
 
+impl StageError {
+    /// Code of a read from an un-staged shared-buffer cell — the
+    /// runtime counterpart of the static `LNT-S001` schedule proof.
+    pub const UNSTAGED_READ: &'static str = "LNT-S001";
+    /// Code of a checked run over a plan whose census reports zero
+    /// compute points — the runtime counterpart of the static `LNT-D005`
+    /// output-coverage proof.
+    pub const EMPTY_PLAN: &'static str = "LNT-D005";
+}
+
 impl fmt::Display for StageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.code == Self::EMPTY_PLAN {
+            return write!(f, "plan computes zero points (empty compute schedule)");
+        }
         write!(
             f,
             "read of un-staged shared-buffer cell ({},{}) in the {}",
@@ -143,6 +160,7 @@ impl<T: Real> SharedBuffer<T> {
             Ok(self.data[i])
         } else {
             Err(StageError {
+                code: StageError::UNSTAGED_READ,
                 x,
                 y,
                 plane: self.plane,
@@ -217,6 +235,7 @@ mod tests {
         assert_eq!((err.x, err.y), (6, 6));
         assert_eq!(err.plane, Some(17));
         assert_eq!(err.zone, "corner halo");
+        assert_eq!(err.code, StageError::UNSTAGED_READ);
         assert_eq!(
             err.to_string(),
             "read of un-staged shared-buffer cell (6,6) in the corner halo while staging plane 17"
@@ -241,6 +260,21 @@ mod tests {
         assert_eq!(err.zone, "interior");
         assert_eq!(err.plane, None);
         assert!(err.to_string().contains("before any plane was staged"));
+    }
+
+    #[test]
+    fn empty_plan_error_renders_its_own_message() {
+        let err = StageError {
+            code: StageError::EMPTY_PLAN,
+            x: 0,
+            y: 0,
+            plane: None,
+            zone: "interior",
+        };
+        assert_eq!(
+            err.to_string(),
+            "plan computes zero points (empty compute schedule)"
+        );
     }
 
     #[test]

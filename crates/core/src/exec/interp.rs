@@ -127,6 +127,20 @@ fn run<T: Real>(
     let mut errors: Vec<StageError> = Vec::new();
     let mut block: Option<Block<T>> = None;
 
+    // A plan with no compute schedule would otherwise "succeed" while
+    // producing nothing: in checked mode that is a coded error, not a
+    // silent no-op (the unchecked mode keeps its fail-fast contract of
+    // never reporting errors).
+    if checked && plan.census().computes == 0 {
+        errors.push(StageError {
+            code: StageError::EMPTY_PLAN,
+            x: 0,
+            y: 0,
+            plane: None,
+            zone: "interior",
+        });
+    }
+
     // One shared-buffer read, in the block's checked or panicking mode.
     let read = |blk: &Block<T>, x: isize, y: isize, errs: &mut Vec<StageError>| -> T {
         if checked {
@@ -424,4 +438,46 @@ fn run<T: Real>(
         BufSlot::Input(_) => unreachable!("output slot is always owned"),
     }
     (stats, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LaunchConfig;
+    use crate::method::Method;
+    use crate::plan::lower_step;
+    use stencil_grid::FillPattern;
+
+    /// Regression for the empty-plan edge: a checked run over a plan
+    /// whose census reports zero compute points must return a coded
+    /// [`StageError`], not silently succeed.
+    #[test]
+    fn checked_interpreter_rejects_empty_plans() {
+        let s: StarStencil<f32> = StarStencil::from_order(2);
+        let input: Grid3<f32> = FillPattern::HashNoise.build(8, 8, 8);
+        let mut out = Grid3::new(8, 8, 8);
+
+        let empty = StagePlan {
+            method: Method::ForwardPlane,
+            radius: 1,
+            dims: (8, 8, 8),
+            ops: Vec::new(),
+        };
+        assert_eq!(empty.census().computes, 0);
+        let (stats, errors) = interpret_plan_checked(&empty, &s, &input, &mut out);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].code, StageError::EMPTY_PLAN);
+        assert!(errors[0].to_string().contains("zero points"));
+        assert_eq!(stats.points_computed, 0);
+
+        // A real lowered plan stays error-free in checked mode.
+        let plan = lower_step(
+            Method::ForwardPlane,
+            &LaunchConfig::new(4, 4, 1, 1),
+            1,
+            (8, 8, 8),
+        );
+        let (_, errors) = interpret_plan_checked(&plan, &s, &input, &mut out);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
 }

@@ -126,6 +126,26 @@ impl PlanRect {
             y1: self.y1 + dy,
         }
     }
+
+    /// The rectangle clipped to an `nx × ny` grid plane (possibly
+    /// degenerate). This is exactly the interpreter's per-cell skip for
+    /// regions that poke outside the allocation (full-slice corners on
+    /// edge tiles), expressed as rectangle arithmetic.
+    pub fn clipped(&self, nx: usize, ny: usize) -> Self {
+        PlanRect {
+            x0: self.x0.max(0),
+            x1: self.x1.min(nx as isize),
+            y0: self.y0.max(0),
+            y1: self.y1.min(ny as isize),
+        }
+    }
+
+    /// Cell count after clipping to an `nx × ny` grid plane — the cells
+    /// the interpreter actually stages for this rectangle, so static
+    /// traffic accounting can match [`crate::ExecStats`] exactly.
+    pub fn clipped_area(&self, nx: usize, ny: usize) -> u64 {
+        self.clipped(nx, ny).area()
+    }
 }
 
 /// Where a staged region's values come from.
@@ -384,6 +404,22 @@ impl StagePlan {
                 *d = device;
             }
         }
+    }
+
+    /// The dimensions of every buffer the plan's op stream allocates,
+    /// indexed by [`BufId`]: slots 0/1 are the caller's grids at
+    /// [`StagePlan::dims`], and each [`PlanOp::Alloc`] appends its own
+    /// extent in order. Static analyses seed their buffer state from
+    /// this table and replay [`PlanOp::SwapBufs`] on their own copy, so
+    /// clipping matches the interpreter cell for cell.
+    pub fn buffer_dims(&self) -> Vec<(usize, usize, usize)> {
+        let mut dims = vec![self.dims, self.dims];
+        for op in &self.ops {
+            if let PlanOp::Alloc { dims: d, .. } = op {
+                dims.push(*d);
+            }
+        }
+        dims
     }
 
     /// Count the plan's ops.
@@ -696,6 +732,41 @@ mod tests {
                 assert_eq!(z + q - 1, method.pipeline_words(r), "{method} r={r}");
             }
         }
+    }
+
+    #[test]
+    fn clipped_area_matches_per_cell_counting() {
+        let r = PlanRect::new(-2, 5, 3, 9);
+        let (nx, ny) = (4usize, 7usize);
+        let mut cells = 0u64;
+        for y in r.y0..r.y1 {
+            for x in r.x0..r.x1 {
+                if x >= 0 && (x as usize) < nx && y >= 0 && (y as usize) < ny {
+                    cells += 1;
+                }
+            }
+        }
+        assert_eq!(r.clipped_area(nx, ny), cells);
+        // An in-bounds rectangle is unchanged by clipping.
+        let inb = PlanRect::new(1, 5, 2, 6);
+        assert_eq!(inb.clipped_area(8, 8), inb.area());
+        // Fully outside: degenerate, zero cells.
+        assert_eq!(PlanRect::new(-4, -1, 0, 3).clipped_area(8, 8), 0);
+    }
+
+    #[test]
+    fn buffer_dims_lists_caller_grids_then_allocs() {
+        let mut plan = lower_forward(&LaunchConfig::new(4, 4, 1, 1), 1, (6, 6, 6));
+        assert_eq!(plan.buffer_dims(), vec![(6, 6, 6), (6, 6, 6)]);
+        plan.ops.insert(
+            0,
+            PlanOp::Alloc {
+                buf: 2,
+                dims: (3, 4, 5),
+            },
+        );
+        assert_eq!(plan.buffer_dims()[2], (3, 4, 5));
+        assert_eq!(plan.buffer_dims().len(), 3);
     }
 
     #[test]

@@ -128,6 +128,67 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         Severity::Info,
         "full-slice stages the 4r^2 redundant corner cells (documented policy)",
     ),
+    // Whole-plan dataflow (buffer lifetimes over the StagePlan IR).
+    (
+        "LNT-D001",
+        Severity::Error,
+        "compute reads shared-tile cells never staged in the current plane's schedule",
+    ),
+    (
+        "LNT-D002",
+        Severity::Error,
+        "read of a buffer region never written (uninitialized buffer read)",
+    ),
+    (
+        "LNT-D003",
+        Severity::Error,
+        "invalid buffer reference (unallocated id, out-of-order alloc, or write to the read-only input)",
+    ),
+    (
+        "LNT-D004",
+        Severity::Error,
+        "stale halo plane: a sweep reads an exchange-destination plane last written by a boundary copy",
+    ),
+    (
+        "LNT-D005",
+        Severity::Error,
+        "output interior cells never written by the plan (empty or gapped compute schedule)",
+    ),
+    (
+        "LNT-D006",
+        Severity::Error,
+        "block-level op outside any block or outside the block's halo window",
+    ),
+    (
+        "LNT-D007",
+        Severity::Error,
+        "schedule-shape violation: rotation counts, publish alignment or write-back ordering deviate from the method",
+    ),
+    (
+        "LNT-D101",
+        Severity::Warning,
+        "dead store: cells written to a working buffer and never read",
+    ),
+    (
+        "LNT-D102",
+        Severity::Warning,
+        "dead halo exchange: exchanged planes never read before overwrite or plan end",
+    ),
+    (
+        "LNT-D103",
+        Severity::Warning,
+        "dead staging: non-corner cells staged but never read before restage or block end",
+    ),
+    (
+        "LNT-D104",
+        Severity::Warning,
+        "redundant re-staging: cells staged more than once within one plane's schedule",
+    ),
+    (
+        "LNT-D901",
+        Severity::Info,
+        "full-slice corner cells staged but never read (documented policy, cf. LNT-C901)",
+    ),
     // Memory behaviour.
     (
         "LNT-M101",

@@ -22,6 +22,16 @@
 //!   column-major side-halo collapse with the measured-vs-ideal ratio
 //!   (`LNT-M…`).
 //!
+//! Two whole-plan passes go beyond the single abstract schedule:
+//!
+//! * [`dataflow`] — abstract-interprets an entire lowered
+//!   [`inplane_core::plan::StagePlan`] with a per-`(buffer, plane)`
+//!   region lattice: buffer-lifetime proofs, cross-device
+//!   happens-before consistency and schedule-shape checks (`LNT-D…`);
+//! * [`traffic`] — a static traffic oracle predicting the instrumented
+//!   interpreter's `ExecStats` exactly from the op stream, plus byte
+//!   and coalesced-transaction figures per word width.
+//!
 //! On top of the plan-level passes, [`codegen_text`] lints generated
 //! CUDA/OpenCL source (barrier count, `#define` consistency, halo index
 //! bounds, declared shared-memory bytes — `LNT-T…`), and [`sweep`] runs
@@ -33,15 +43,18 @@
 pub mod coalescing;
 pub mod codegen_text;
 pub mod coverage;
+pub mod dataflow;
 pub mod diag;
 pub mod feasibility;
 pub mod rect;
 pub mod schedule;
 pub mod sweep;
+pub mod traffic;
 
 pub use coalescing::check_coalescing;
 pub use codegen_text::{lint_cuda, lint_cuda_source, lint_opencl_source};
 pub use coverage::check_coverage;
+pub use dataflow::{analyze_plan, DataflowReport};
 pub use diag::{
     catalog_severity, describe, has_errors, json_string, Diagnostic, Severity, CATALOG,
 };
@@ -49,3 +62,4 @@ pub use feasibility::{explain_feasibility, is_feasible};
 pub use rect::Rect;
 pub use schedule::check_schedule;
 pub use sweep::{enumerate_configs, lint_config, lint_space, ConfigLint, SweepReport};
+pub use traffic::{predict_stats, predict_traffic, TrafficOracle};

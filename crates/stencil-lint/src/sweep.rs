@@ -4,9 +4,10 @@
 //! Two contracts make the sweep useful as a CI gate:
 //!
 //! * a **feasible** configuration must produce *zero* error-severity
-//!   diagnostics across all passes (schedule, coverage, coalescing and
-//!   generated-source text) — an error there means the plan or the
-//!   emitter is wrong, not the configuration;
+//!   diagnostics across all passes (schedule, coverage, coalescing,
+//!   generated-source text and the whole-plan dataflow proof) — an
+//!   error there means the plan or the emitter is wrong, not the
+//!   configuration;
 //! * an **infeasible** configuration must carry at least one coded
 //!   rejection reason (`LNT-R…`) — a silent rejection would mean the
 //!   explained analyzer has drifted from the boolean predicate.
@@ -16,11 +17,13 @@
 use crate::coalescing::check_coalescing;
 use crate::codegen_text::{lint_cuda, lint_opencl_source};
 use crate::coverage::check_coverage;
+use crate::dataflow::analyze_plan;
 use crate::diag::{has_errors, json_string, Diagnostic, Severity};
 use crate::feasibility::explain_feasibility;
 use crate::schedule::check_schedule;
 use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::loadplan::plan_for_device;
+use inplane_core::plan::lower_step;
 use inplane_core::resources::vector_width;
 use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
 use rayon::prelude::*;
@@ -84,8 +87,9 @@ fn codegen_applicable(kernel: &KernelSpec, config: &LaunchConfig) -> bool {
 /// Run every applicable analysis pass on one configuration.
 ///
 /// Feasibility always runs. The plan-level passes (schedule, coverage,
-/// coalescing) and the generated-source text lints run only on feasible
-/// configurations — an infeasible point has no valid plan to analyse.
+/// coalescing), the generated-source text lints and the whole-plan
+/// dataflow proof run only on feasible configurations — an infeasible
+/// point has no valid plan to analyse.
 pub fn lint_config(
     device: &DeviceSpec,
     kernel: &KernelSpec,
@@ -118,6 +122,19 @@ pub fn lint_config(
                 diagnostics.extend(lint_opencl_source(&src, kernel, config, Some(device)));
             }
         }
+
+        // Whole-plan dataflow proof on a synthetic lowered plan: a few
+        // tiles in each direction and enough planes to exercise prologue,
+        // steady state and drain. The pass is rect-algebra over ~9 blocks,
+        // so its cost is independent of the real grid size.
+        let r = kernel.radius;
+        let synth = (
+            2 * r + 3 * config.tile_x(),
+            2 * r + 3 * config.tile_y(),
+            4 * r + 2,
+        );
+        let plan = lower_step(kernel.method, config, r, synth);
+        diagnostics.extend(analyze_plan(&plan).diagnostics);
     }
 
     ConfigLint {
@@ -367,6 +384,37 @@ mod tests {
                 "the grid has infeasible points"
             );
         }
+    }
+
+    #[test]
+    fn dataflow_warnings_reach_the_sweep() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let cfg = LaunchConfig::new(64, 4, 1, 2);
+
+        // In-plane plans carry the documented drain-phase dead-arm
+        // warning; it must surface through lint_config as LNT-D103.
+        let inp = lint_config(
+            &dev,
+            &kernel(Method::InPlane(Variant::Classical), 4),
+            &dims,
+            &cfg,
+        );
+        assert!(inp.feasible && !inp.has_errors(), "{:?}", inp.diagnostics);
+        assert!(
+            inp.diagnostics.iter().any(|d| d.code == "LNT-D103"),
+            "{:?}",
+            inp.diagnostics
+        );
+
+        // Forward plans analyse completely clean — no D-family findings.
+        let fwd = lint_config(&dev, &kernel(Method::ForwardPlane, 4), &dims, &cfg);
+        assert!(fwd.feasible && !fwd.has_errors(), "{:?}", fwd.diagnostics);
+        assert!(
+            !fwd.diagnostics.iter().any(|d| d.code.starts_with("LNT-D")),
+            "{:?}",
+            fwd.diagnostics
+        );
     }
 
     #[test]

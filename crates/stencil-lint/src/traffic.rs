@@ -1,0 +1,342 @@
+//! The static traffic oracle: interpreter counters predicted from the
+//! plan alone.
+//!
+//! [`predict_stats`] walks a lowered [`StagePlan`]'s op stream with no
+//! grid data at all — just the buffer-dims table and the block tile
+//! geometry — and reproduces every [`ExecStats`] counter the
+//! instrumented interpreter would report, cell for cell: staging is
+//! clipped with [`inplane_core::plan::PlanRect::clipped_area`] exactly where the
+//! interpreter skips out-of-grid cells, `planes_staged` follows the
+//! same per-block restage trigger, halo volumes use the source
+//! buffer's *current* dims (swaps replayed). The
+//! `static_dynamic_traffic` differential suite asserts exact equality
+//! over the full method × precision × config matrix, which turns the
+//! IR into a verified performance-model artifact: the paper's traffic
+//! terms (Eqns 6–14) can be evaluated on the plan without running it.
+//!
+//! [`predict_traffic`] adds the byte- and transaction-level figures a
+//! word width implies: global-load cells split from register-publish
+//! staging, per-row coalesced transaction counts over
+//! [`COALESCE_SEGMENT_BYTES`] segments, and byte volumes for stores,
+//! halo moves and gathers.
+
+use inplane_core::plan::{PipelineFeed, PipelineKind, PlanOp, StagePlan, StageSource, OUTPUT_BUF};
+use inplane_core::ExecStats;
+use stencil_grid::Precision;
+
+/// Memory-segment size assumed by the coalesced-transaction count: the
+/// 128-byte global-memory transaction of the paper's target devices.
+pub const COALESCE_SEGMENT_BYTES: u64 = 128;
+
+/// Byte/transaction figures derived from the predicted counters for
+/// one word width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficOracle {
+    /// The predicted interpreter counters (see [`predict_stats`]).
+    pub stats: ExecStats,
+    /// Word width the byte figures use.
+    pub word_bytes: u64,
+    /// Cells loaded from global memory by blocks: `Global`-source
+    /// staging plus pipeline preloads and `GlobalPlane` rotation feeds
+    /// (register publishes excluded — they cost no global traffic).
+    pub global_load_cells: u64,
+    /// Coalesced transactions those loads take, row by row, against
+    /// [`COALESCE_SEGMENT_BYTES`] segments of the row-major layout.
+    pub load_transactions: u64,
+    /// All staged cells (both sources) in bytes.
+    pub staged_bytes: u64,
+    /// Write-back traffic in bytes.
+    pub store_bytes: u64,
+    /// Interconnect halo traffic in bytes.
+    pub halo_bytes: u64,
+    /// Gather (copy-out) traffic in bytes.
+    pub gather_bytes: u64,
+}
+
+impl TrafficOracle {
+    /// Redundant-work factor implied by the predicted counters
+    /// (identical to [`ExecStats::redundancy`] on the dynamic side).
+    pub fn redundancy(&self) -> f64 {
+        self.stats.redundancy()
+    }
+
+    /// JSON object rendering (hand-rolled; the workspace is std-only).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let zones: Vec<String> = s
+            .staged_cells_by_zone
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        format!(
+            "{{\"word_bytes\":{},\"blocks\":{},\"planes_staged\":{},\"cells_staged\":{},\
+             \"staged_cells_by_zone\":[{}],\"global_writes\":{},\"barriers\":{},\
+             \"pipeline_rotations\":{},\"points_computed\":{},\"halo_planes_exchanged\":{},\
+             \"halo_cells_exchanged\":{},\"cells_copied_out\":{},\"global_load_cells\":{},\
+             \"load_transactions\":{},\"staged_bytes\":{},\"store_bytes\":{},\
+             \"halo_bytes\":{},\"gather_bytes\":{},\"redundancy\":{}}}",
+            self.word_bytes,
+            s.blocks,
+            s.planes_staged,
+            s.cells_staged,
+            zones.join(","),
+            s.global_writes,
+            s.barriers,
+            s.pipeline_rotations,
+            s.points_computed,
+            s.halo_planes_exchanged,
+            s.halo_cells_exchanged,
+            s.cells_copied_out,
+            self.global_load_cells,
+            self.load_transactions,
+            self.staged_bytes,
+            self.store_bytes,
+            self.halo_bytes,
+            self.gather_bytes,
+            self.redundancy(),
+        )
+    }
+}
+
+/// Per-block geometry the walk needs.
+struct BlockGeom {
+    input: usize,
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+    cur_plane: Option<usize>,
+}
+
+/// Transactions one row of `len` cells takes, starting at linear cell
+/// index `base` of a row-major buffer, with `b`-byte words.
+fn row_transactions(base: u64, len: u64, b: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let lo = base * b;
+    let hi = (base + len - 1) * b + (b - 1);
+    hi / COALESCE_SEGMENT_BYTES - lo / COALESCE_SEGMENT_BYTES + 1
+}
+
+/// One pass over the op stream computing both the counter mirror and
+/// the byte/transaction extras.
+fn simulate(plan: &StagePlan, word_bytes: u64) -> TrafficOracle {
+    let mut dims: Vec<(usize, usize, usize)> = vec![plan.dims, plan.dims];
+    let mut stats = ExecStats::default();
+    let mut block: Option<BlockGeom> = None;
+    let mut global_load_cells = 0u64;
+    let mut load_transactions = 0u64;
+
+    // A rectangular load of `rect` rows on `plane` of buffer `buf`.
+    let load_rect = |dims: &[(usize, usize, usize)],
+                     buf: usize,
+                     plane: usize,
+                     x0: u64,
+                     x1: u64,
+                     y0: u64,
+                     y1: u64,
+                     cells: &mut u64,
+                     txns: &mut u64| {
+        let (nx, ny, _) = dims[buf];
+        for y in y0..y1 {
+            let base = (plane as u64 * ny as u64 + y) * nx as u64 + x0;
+            let len = x1 - x0;
+            *cells += len;
+            *txns += row_transactions(base, len, word_bytes);
+        }
+    };
+
+    for op in &plan.ops {
+        match *op {
+            PlanOp::Alloc { dims: d, .. } => dims.push(d),
+            PlanOp::CopyBox { dst, extent, .. } => {
+                if dst == OUTPUT_BUF {
+                    stats.cells_copied_out += (extent.0 * extent.1 * extent.2) as u64;
+                }
+            }
+            PlanOp::BeginBlock {
+                input,
+                x0,
+                y0,
+                w,
+                h,
+                z_depth,
+                ..
+            } => {
+                stats.blocks += 1;
+                for p in 0..z_depth {
+                    load_rect(
+                        &dims,
+                        input,
+                        p,
+                        x0 as u64,
+                        (x0 + w) as u64,
+                        y0 as u64,
+                        (y0 + h) as u64,
+                        &mut global_load_cells,
+                        &mut load_transactions,
+                    );
+                }
+                block = Some(BlockGeom {
+                    input,
+                    x0,
+                    y0,
+                    w,
+                    h,
+                    cur_plane: None,
+                });
+            }
+            PlanOp::StageRegion {
+                zone,
+                rect,
+                plane,
+                source,
+            } => {
+                let blk = block.as_mut().expect("StageRegion outside a block");
+                if blk.cur_plane != Some(plane) {
+                    blk.cur_plane = Some(plane);
+                    stats.planes_staged += 1;
+                }
+                let (nx, ny, _) = dims[blk.input];
+                let cells = rect.clipped_area(nx, ny);
+                stats.cells_staged += cells;
+                stats.staged_cells_by_zone[zone.index()] += cells;
+                if source == StageSource::Global {
+                    let c = rect.clipped(nx, ny);
+                    if c.area() > 0 {
+                        load_rect(
+                            &dims,
+                            blk.input,
+                            plane,
+                            c.x0 as u64,
+                            c.x1 as u64,
+                            c.y0 as u64,
+                            c.y1 as u64,
+                            &mut global_load_cells,
+                            &mut load_transactions,
+                        );
+                    }
+                }
+            }
+            PlanOp::Barrier => stats.barriers += 1,
+            PlanOp::ComputePoint { kind, .. } => {
+                let blk = block.as_ref().expect("ComputePoint outside a block");
+                if !matches!(kind, inplane_core::plan::ComputeKind::FoldCentre { .. }) {
+                    stats.points_computed += (blk.w * blk.h) as u64;
+                }
+            }
+            PlanOp::RotatePipeline { pipeline, feed } => {
+                stats.pipeline_rotations += 1;
+                if let (PipelineKind::ZValues, PipelineFeed::GlobalPlane(kp)) = (pipeline, feed) {
+                    let blk = block.as_ref().expect("RotatePipeline outside a block");
+                    load_rect(
+                        &dims,
+                        blk.input,
+                        kp,
+                        blk.x0 as u64,
+                        (blk.x0 + blk.w) as u64,
+                        blk.y0 as u64,
+                        (blk.y0 + blk.h) as u64,
+                        &mut global_load_cells,
+                        &mut load_transactions,
+                    );
+                }
+            }
+            PlanOp::WriteBack { .. } => {
+                let blk = block.as_ref().expect("WriteBack outside a block");
+                stats.global_writes += (blk.w * blk.h) as u64;
+            }
+            PlanOp::ApplyBoundary { .. } => {}
+            PlanOp::SwapBufs { a, b } => dims.swap(a, b),
+            PlanOp::HaloExchange { src, .. } => {
+                let (nx, ny, _) = dims[src];
+                stats.halo_planes_exchanged += 1;
+                stats.halo_cells_exchanged += (nx * ny) as u64;
+            }
+        }
+    }
+
+    TrafficOracle {
+        word_bytes,
+        global_load_cells,
+        load_transactions,
+        staged_bytes: stats.cells_staged * word_bytes,
+        store_bytes: stats.global_writes * word_bytes,
+        halo_bytes: stats.halo_cells_exchanged * word_bytes,
+        gather_bytes: stats.cells_copied_out * word_bytes,
+        stats,
+    }
+}
+
+/// Predict the instrumented interpreter's [`ExecStats`] for `plan`
+/// without running it. The `static_dynamic_traffic` suite asserts
+/// exact equality (zero tolerance) against [`inplane_core`]'s
+/// interpreter across every method, precision and configuration.
+pub fn predict_stats(plan: &StagePlan) -> ExecStats {
+    simulate(plan, Precision::Single.bytes() as u64).stats
+}
+
+/// Predict the full traffic picture — counters plus bytes and
+/// coalesced transactions — for `plan` at `precision`.
+pub fn predict_traffic(plan: &StagePlan, precision: Precision) -> TrafficOracle {
+    simulate(plan, precision.bytes() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inplane_core::plan::lower_step;
+    use inplane_core::{interpret_plan, LaunchConfig, Method, Variant};
+    use stencil_grid::{FillPattern, Grid3, StarStencil};
+
+    #[test]
+    fn row_transactions_count_touched_segments() {
+        // 32 f32 words aligned on a segment: one transaction.
+        assert_eq!(row_transactions(0, 32, 4), 1);
+        // Misaligned by one word: spills into a second segment.
+        assert_eq!(row_transactions(1, 32, 4), 2);
+        // f64 halves the words per segment.
+        assert_eq!(row_transactions(0, 32, 8), 2);
+        assert_eq!(row_transactions(0, 0, 4), 0);
+        // Single cell: always one transaction.
+        assert_eq!(row_transactions(1023, 1, 8), 1);
+    }
+
+    #[test]
+    fn oracle_matches_the_interpreter_on_a_single_step() {
+        for method in [
+            Method::ForwardPlane,
+            Method::InPlane(Variant::FullSlice),
+            Method::InPlane(Variant::Horizontal),
+        ] {
+            let plan = lower_step(method, &LaunchConfig::new(4, 4, 1, 1), 2, (12, 12, 10));
+            let s: StarStencil<f32> = StarStencil::from_order(4);
+            let input: Grid3<f32> = FillPattern::HashNoise.build(12, 12, 10);
+            let mut out = Grid3::new(12, 12, 10);
+            let dynamic = interpret_plan(&plan, &s, &input, &mut out);
+            assert_eq!(predict_stats(&plan), dynamic, "{method}");
+        }
+    }
+
+    #[test]
+    fn byte_figures_scale_with_precision() {
+        let plan = lower_step(
+            Method::InPlane(Variant::Vertical),
+            &LaunchConfig::new(4, 4, 1, 1),
+            1,
+            (10, 10, 8),
+        );
+        let sp = predict_traffic(&plan, Precision::Single);
+        let dp = predict_traffic(&plan, Precision::Double);
+        assert_eq!(sp.stats, dp.stats, "counters are word-width independent");
+        assert_eq!(dp.staged_bytes, 2 * sp.staged_bytes);
+        assert_eq!(dp.store_bytes, 2 * sp.store_bytes);
+        assert!(dp.load_transactions >= sp.load_transactions);
+        assert!(sp.global_load_cells > 0);
+        assert!(sp.load_transactions > 0);
+        let j = dp.to_json();
+        assert!(j.contains("\"word_bytes\":8"));
+        assert!(j.contains("\"load_transactions\":"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Tamper property: the dataflow engine is a *semantic* checker, not a
+//! syntax diff. For a randomly mutated lowered plan (one op dropped,
+//! duplicated in place, or swapped with its neighbour) one of two things
+//! must hold:
+//!
+//! * the whole-plan dataflow pass emits at least one **error**-severity
+//!   diagnostic — the tamper broke the schedule and the static proof
+//!   caught it (the tampered plan is then *not* interpreted: a broken
+//!   schedule may legitimately abort the interpreter); or
+//! * the tampered plan is semantically harmless — interpreting it under
+//!   the checked interpreter raises no staging violation and produces
+//!   **bit-identical** output to the untampered plan.
+//!
+//! A tamper that silently changes the answer is exactly the kind of
+//! lowering bug the engine exists to refuse.
+
+use proptest::prelude::*;
+use stencil_lint::analyze_plan;
+
+use inplane_core::{
+    interpret_plan_checked, lower_step, LaunchConfig, Method, PlanOp, StagePlan, Variant,
+};
+use stencil_grid::{FillPattern, Grid3, StarStencil};
+
+const METHODS: [Method; 5] = [
+    Method::ForwardPlane,
+    Method::InPlane(Variant::Classical),
+    Method::InPlane(Variant::Vertical),
+    Method::InPlane(Variant::Horizontal),
+    Method::InPlane(Variant::FullSlice),
+];
+
+#[derive(Clone, Copy, Debug)]
+enum Tamper {
+    Drop,
+    Duplicate,
+    SwapWithNext,
+}
+
+fn tampered(plan: &StagePlan, kind: Tamper, at: usize) -> Option<StagePlan> {
+    let mut ops: Vec<PlanOp> = plan.ops.clone();
+    match kind {
+        Tamper::Drop => {
+            ops.remove(at);
+        }
+        Tamper::Duplicate => {
+            let op = ops[at];
+            ops.insert(at, op);
+        }
+        Tamper::SwapWithNext => {
+            if at + 1 >= ops.len() {
+                return None;
+            }
+            ops.swap(at, at + 1);
+        }
+    }
+    let mut out = plan.clone();
+    out.ops = ops;
+    Some(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tampered_plans_are_flagged_or_harmless(
+        method_idx in 0usize..5,
+        radius in 1usize..3,
+        tx in prop::sample::select(vec![4usize, 8]),
+        ty in 2usize..5,
+        kind_idx in 0usize..3,
+        at_seed in 0usize..10_000,
+    ) {
+        let method = METHODS[method_idx];
+        let config = LaunchConfig::new(tx, ty, 1, 1);
+        let dims = (
+            2 * radius + 2 * config.tile_x(),
+            2 * radius + 2 * config.tile_y(),
+            4 * radius + 2,
+        );
+        let plan = lower_step(method, &config, radius, dims);
+        prop_assert!(!plan.ops.is_empty());
+        let at = at_seed % plan.ops.len();
+        let kind = [Tamper::Drop, Tamper::Duplicate, Tamper::SwapWithNext][kind_idx];
+        let Some(bad) = tampered(&plan, kind, at) else {
+            return Ok(());
+        };
+
+        let report = analyze_plan(&bad);
+        if report.errors() > 0 {
+            // Flagged statically; a broken schedule need not interpret.
+            return Ok(());
+        }
+
+        // No static error: the tamper must be observably harmless.
+        let stencil: StarStencil<f64> = StarStencil::diffusion(radius);
+        let input: Grid3<f64> = FillPattern::HashNoise.build(dims.0, dims.1, dims.2);
+        let mut good_out: Grid3<f64> = Grid3::new(dims.0, dims.1, dims.2);
+        let mut bad_out: Grid3<f64> = Grid3::new(dims.0, dims.1, dims.2);
+        let (_, good_errs) = interpret_plan_checked(&plan, &stencil, &input, &mut good_out);
+        let (_, bad_errs) = interpret_plan_checked(&bad, &stencil, &input, &mut bad_out);
+        prop_assert!(good_errs.is_empty(), "untampered plan must be valid");
+        prop_assert!(
+            bad_errs.is_empty(),
+            "{kind:?} of op {at} ({:?}) raised staging violations the \
+             dataflow pass missed: {:?}",
+            plan.ops[at],
+            bad_errs
+        );
+        prop_assert!(
+            good_out.raw() == bad_out.raw(),
+            "{kind:?} of op {at} ({:?}) silently changed the output with \
+             no dataflow error; diagnostics: {:?}",
+            plan.ops[at],
+            report.diagnostics
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Diagnostic-registry integrity: the [`stencil_lint::CATALOG`] is the
+//! single source of truth for every coded finding, and three invariants
+//! keep it honest:
+//!
+//! * codes are unique and follow the `LNT-<family><nnn>` grammar with
+//!   contiguous severity bands — `001–099` error, `101–199` warning,
+//!   `901+` info — so a code's severity is recoverable from its number;
+//! * every code the analyzers (and the core interpreter's coded
+//!   [`StageError`]s) actually emit exists in the catalog;
+//! * every catalog code is documented in the README's diagnostic table.
+//!
+//! [`StageError`]: inplane_core::StageError
+
+use std::collections::BTreeSet;
+use stencil_lint::{Severity, CATALOG};
+
+/// Severity band implied by a code's numeric suffix.
+fn band(code: &str) -> Option<Severity> {
+    let digits: String = code
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    let n: u32 = digits.chars().rev().collect::<String>().parse().ok()?;
+    match n {
+        1..=99 => Some(Severity::Error),
+        101..=199 => Some(Severity::Warning),
+        901.. => Some(Severity::Info),
+        _ => None,
+    }
+}
+
+#[test]
+fn codes_are_unique_and_well_formed() {
+    let mut seen = BTreeSet::new();
+    for (code, severity, summary) in CATALOG {
+        assert!(seen.insert(*code), "duplicate catalog code {code}");
+        assert!(
+            code.starts_with("LNT-"),
+            "{code} does not use the LNT- prefix"
+        );
+        let family = code.as_bytes()[4] as char;
+        assert!(
+            matches!(family, 'R' | 'S' | 'C' | 'D' | 'M' | 'T'),
+            "{code} uses unknown family {family}"
+        );
+        assert!(
+            code[5..].chars().all(|c| c.is_ascii_digit()) && code[5..].len() == 3,
+            "{code} suffix is not three digits"
+        );
+        assert!(!summary.is_empty(), "{code} has no summary");
+        assert_eq!(
+            band(code),
+            Some(*severity),
+            "{code} severity {severity:?} violates the numeric banding"
+        );
+    }
+}
+
+#[test]
+fn every_emitted_code_is_registered() {
+    // Scan every source file that constructs diagnostics (the lint
+    // crate's analyzers plus the core interpreter's coded StageErrors)
+    // for LNT- literals and demand each is a catalog entry.
+    let sources = [
+        include_str!("../src/coalescing.rs"),
+        include_str!("../src/codegen_text.rs"),
+        include_str!("../src/coverage.rs"),
+        include_str!("../src/dataflow.rs"),
+        include_str!("../src/diag.rs"),
+        include_str!("../src/feasibility.rs"),
+        include_str!("../src/schedule.rs"),
+        include_str!("../src/sweep.rs"),
+        include_str!("../src/traffic.rs"),
+        include_str!("../../core/src/exec/buffer.rs"),
+        include_str!("../../core/src/exec/interp.rs"),
+    ];
+    let registered: BTreeSet<&str> = CATALOG.iter().map(|(c, _, _)| *c).collect();
+    let mut used = BTreeSet::new();
+    for src in sources {
+        for (i, _) in src.match_indices("LNT-") {
+            let code: String = src[i..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            // Skip prose ("LNT-R…" ellipses) and deliberately bogus
+            // codes in negative tests ("LNT-XXXX"): a real code is a
+            // family letter followed by exactly three digits.
+            let well_formed = code.len() == 8
+                && matches!(code.as_bytes()[4], b'R' | b'S' | b'C' | b'D' | b'M' | b'T')
+                && code[5..].chars().all(|c| c.is_ascii_digit());
+            if well_formed {
+                used.insert(code);
+            }
+        }
+    }
+    for code in &used {
+        assert!(
+            registered.contains(code.as_str()),
+            "source emits {code} but the catalog does not define it"
+        );
+    }
+    // The scan itself must be seeing real emissions, not nothing.
+    assert!(used.len() >= 25, "source scan only found {used:?}");
+}
+
+#[test]
+fn readme_documents_every_catalog_code() {
+    let readme = include_str!("../../../README.md");
+    for (code, severity, _) in CATALOG {
+        let row = readme
+            .lines()
+            .find(|l| l.starts_with('|') && l.contains(&format!("`{code}`")))
+            .unwrap_or_else(|| panic!("README table is missing {code}"));
+        let want = match severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        };
+        assert!(
+            row.contains(want),
+            "README row for {code} does not say {want}: {row}"
+        );
+    }
+}
