@@ -17,8 +17,11 @@ pub mod temporal_cmp;
 use std::sync::{Arc, OnceLock};
 
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::{EvalContext, KernelSpec};
-use stencil_autotune::{exhaustive_tune_with, ParameterSpace, TuneSample};
+use inplane_core::{EvalContext, KernelSpec, RoutineDiag};
+use stencil_autotune::{
+    exhaustive_tune_selected, exhaustive_tune_with, ParameterSpace, RoutineChoice, RoutineSelector,
+    TuneSample,
+};
 use stencil_tunestore::{JsonlDiskStore, TuneRequest, TuneService, TunerSpec};
 
 use crate::opts::TUNE_STORE_ENV;
@@ -138,6 +141,48 @@ pub fn tune_best_with(
     exhaustive_tune_with(ctx, device, kernel, dims, &space, seed).best
 }
 
+/// [`tune_best`] with oracle-first routine selection: the
+/// [`RoutineSelector`] ranks every routine that supports the problem by
+/// predicted global traffic, the winner's kernel respec is tuned, and
+/// both the choice (with its full ranking) and the tuned best come
+/// back. Errors are the selector's coded rejection — no routine can run
+/// the problem at the probe configuration.
+pub fn tune_best_auto(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: GridDims,
+    register_blocking: bool,
+    quick: bool,
+    seed: u64,
+) -> Result<(RoutineChoice, TuneSample), RoutineDiag> {
+    let space = space_for(device, kernel, &dims, register_blocking, quick);
+    let selector = RoutineSelector::auto();
+    if let Some(svc) = global_service() {
+        let (choice, resp) = svc.resolve_selected(
+            &TuneRequest {
+                device: device.clone(),
+                kernel: kernel.clone(),
+                dims,
+                space,
+                tuner: TunerSpec::Exhaustive,
+                seed,
+            },
+            &selector,
+        )?;
+        return Ok((choice, resp.best));
+    }
+    let (choice, outcome) = exhaustive_tune_selected(
+        EvalContext::global(),
+        &selector,
+        device,
+        kernel,
+        dims,
+        &space,
+        seed,
+    )?;
+    Ok((choice, outcome.best))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +197,33 @@ mod tests {
         let s = space_for(&dev, &k, &dims, false, true);
         assert!(!s.is_empty());
         assert!(s.configs().iter().all(|c| c.rx == 1 && c.ry == 1));
+    }
+
+    #[test]
+    fn auto_selection_sweeps_gtx580_laplacian() {
+        // The CI `routines` job's end-to-end check: oracle-first `Auto`
+        // selection over the order-2 star (the 7-point Laplacian) on
+        // the paper's GTX 580 setup, then a full quick-space tune of
+        // the winner.
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let k = KernelSpec::star_order(Method::ForwardPlane, 2, Precision::Single);
+        let (choice, best) = tune_best_auto(&dev, &k, dims, true, true, 7)
+            .expect("every routine fits the paper grid");
+        assert!(best.mpoints > 0.0);
+        assert_eq!(
+            choice.ranking.len(),
+            inplane_core::registry().len(),
+            "every registered routine must be oracle-ranked: {:?}",
+            choice.ranking
+        );
+        for w in choice.ranking.windows(2) {
+            assert!(w[0].global_bytes <= w[1].global_bytes);
+        }
+        // Deterministic: same probe, same ranking, same winner.
+        let (again, best2) = tune_best_auto(&dev, &k, dims, true, true, 7).unwrap();
+        assert_eq!(choice, again);
+        assert_eq!(best.config, best2.config);
     }
 
     #[test]

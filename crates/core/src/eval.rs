@@ -37,7 +37,6 @@ use rayon::prelude::*;
 
 use crate::config::LaunchConfig;
 use crate::kernel::KernelSpec;
-use crate::method::Method;
 use crate::simulate::build_block_plan;
 
 /// Amplitude of the simulated run-to-run measurement jitter (±2%, the
@@ -58,13 +57,6 @@ fn fold_bytes(h: &mut u64, bytes: &[u8]) {
 
 fn fold_word(h: &mut u64, w: u64) {
     fold_bytes(h, &w.to_le_bytes());
-}
-
-fn method_code(method: Method) -> u64 {
-    match method {
-        Method::ForwardPlane => 0,
-        Method::InPlane(v) => 1 + v as u64,
-    }
 }
 
 /// Hashable identity of one lowering: everything [`build_block_plan`]
@@ -117,7 +109,9 @@ impl PlanKey {
         fold_word(&mut h, device_id);
         fold_bytes(&mut h, kernel.name.as_bytes());
         for w in [
-            method_code(kernel.method),
+            // The registry's stable routine id (ids 0–4 reproduce the
+            // pre-registry method codes, so cached hashes are stable).
+            kernel.method.routine().id(),
             kernel.radius as u64,
             kernel.elem_bytes as u64,
             kernel.flops_per_point as u64,
@@ -433,7 +427,7 @@ impl EvalContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::method::Variant;
+    use crate::method::{Method, Variant};
     use crate::simulate::simulate_kernel;
     use stencil_grid::Precision;
 

@@ -151,10 +151,11 @@ pub fn execute_step<T: Real>(
         nx > 2 * r && ny > 2 * r && nz > 2 * r,
         "grid {nx}x{ny}x{nz} too small for radius {r}"
     );
-    let stats = match method {
-        Method::ForwardPlane => execute_forward_plane(stencil, config, input, out),
-        Method::InPlane(variant) => execute_inplane(variant, stencil, config, input, out),
-    };
+    // Routine-agnostic: lower through the registry, run the single
+    // interpreter (the per-method executors are shims over the same
+    // path).
+    let plan = crate::plan::lower_step(method, config, r, input.dims());
+    let stats = interpret_plan(&plan, stencil, input, out);
     boundary.apply(input, out, r);
     stats
 }

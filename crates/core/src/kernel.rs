@@ -75,9 +75,10 @@ impl KernelSpec {
     /// Spec for an application (multi-grid) kernel under `method`.
     pub fn from_app<T: Real>(method: Method, app: &dyn MultiGridKernel<T>) -> Self {
         let streamed = app.num_streamed_inputs();
-        let flops = match method {
-            Method::ForwardPlane => app.flops_per_point(),
-            Method::InPlane(_) => app.flops_per_point_inplane(),
+        let flops = if method.is_inplane() {
+            app.flops_per_point_inplane()
+        } else {
+            app.flops_per_point()
         };
         KernelSpec {
             name: format!("{} {}", app.name(), method.label()),
@@ -106,17 +107,14 @@ impl KernelSpec {
     }
 
     /// The same spec under a different method (used for baselining).
+    /// The flops adjustment strips this routine's pipeline overhead and
+    /// adds the target routine's, so
+    /// `spec.with_method(m1).with_method(m0)` restores the original
+    /// flops count exactly for every routine pair.
     pub fn with_method(&self, method: Method) -> Self {
         let mut s = self.clone();
-        // Recompute in-plane flop overhead relative to the forward count.
-        let forward_flops = match self.method {
-            Method::ForwardPlane => self.flops_per_point,
-            Method::InPlane(_) => self.flops_per_point - self.radius,
-        };
-        s.flops_per_point = match method {
-            Method::ForwardPlane => forward_flops,
-            Method::InPlane(_) => forward_flops + self.radius,
-        };
+        let base_flops = self.flops_per_point - self.method.routine().flops_overhead(self.radius);
+        s.flops_per_point = base_flops + method.routine().flops_overhead(self.radius);
         s.method = method;
         s.name = s.name.replace(&self.method.label(), &method.label());
         s
@@ -159,6 +157,38 @@ mod tests {
     #[should_panic]
     fn odd_order_rejected() {
         KernelSpec::star_order(Method::ForwardPlane, 5, Precision::Single);
+    }
+
+    #[test]
+    fn with_method_round_trips_for_every_routine_pair() {
+        // Satellite property: with_method(m1).with_method(m0) restores
+        // the original spec's flops for every registry routine pair,
+        // every order, both precisions — including app-style specs
+        // whose flops are not the star formula.
+        for precision in [Precision::Single, Precision::Double] {
+            for order in [2usize, 4, 8, 12] {
+                for a in crate::routine::registry() {
+                    for b in crate::routine::registry() {
+                        let spec = KernelSpec::star_order(a.method(), order, precision);
+                        let rt = spec.with_method(b.method()).with_method(a.method());
+                        assert_eq!(
+                            rt.flops_per_point,
+                            spec.flops_per_point,
+                            "{} -> {} -> {} ({order}, {precision:?})",
+                            a.label(),
+                            b.label(),
+                            a.label()
+                        );
+                        assert_eq!(rt.method, spec.method);
+                        // App-style spec: flops decoupled from 7r+1.
+                        let mut app = spec.clone();
+                        app.flops_per_point = 97 + a.flops_overhead(spec.radius);
+                        let rt = app.with_method(b.method()).with_method(a.method());
+                        assert_eq!(rt.flops_per_point, app.flops_per_point);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

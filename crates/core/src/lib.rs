@@ -40,6 +40,7 @@ pub mod method;
 pub mod plan;
 pub mod regions;
 pub mod resources;
+pub mod routine;
 pub mod run;
 pub mod simulate;
 
@@ -51,5 +52,9 @@ pub use exec::{
 pub use kernel::KernelSpec;
 pub use method::{Method, Variant};
 pub use plan::{lower_forward, lower_inplane, lower_step, PlanOp, StagePlan};
+pub use routine::{
+    lower_blueprint, registry, routine_by_id, routine_by_label, Blueprint, ComputeShape,
+    LoadPattern, ProblemSpec, Routine, RoutineDiag, ScheduleSkeleton, ZFeed,
+};
 pub use run::{RunOutcome, StencilRun};
 pub use simulate::{build_block_plan, measure_kernel, simulate_kernel, simulate_star_kernel};

@@ -23,20 +23,22 @@
 use crate::config::LaunchConfig;
 use crate::kernel::KernelSpec;
 use crate::layout::TileGeometry;
-use crate::method::{Method, Variant};
+use crate::method::Method;
 use crate::regions::{Assignment, Region};
 use crate::resources::{block_resources, vector_width};
+use crate::routine::LoadPattern;
 use gpu_sim::plan::PlanePlan;
 use gpu_sim::WarpLoad;
 
-/// The load regions (in program order) for ONE streamed input grid.
+/// The load regions (in program order) for ONE streamed input grid,
+/// dispatched on the routine's [`LoadPattern`].
 pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Vec<Region> {
     let (ix_s, ix_e) = geom.interior_x();
     let (iy_s, iy_e) = geom.interior_y();
     let (sx_s, sx_e) = geom.slab_x();
     let (sy_s, sy_e) = geom.slab_y();
-    match method {
-        Method::ForwardPlane | Method::InPlane(Variant::Classical) => vec![
+    match method.routine().load_pattern() {
+        LoadPattern::ScalarRegions => vec![
             // Interior first, then the four halos (Fig 4) — all scalar.
             Region {
                 x: (ix_s, ix_e),
@@ -69,7 +71,7 @@ pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Ve
                 assignment: Assignment::PerRow,
             },
         ],
-        Method::InPlane(Variant::Vertical) => {
+        LoadPattern::VerticalSlab => {
             // Merged slab: interior plus top/bottom halos, vectorised
             // (only the centre needs alignment, §III-C2).
             let mut regions = vec![Region {
@@ -98,7 +100,7 @@ pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Ve
             }
             regions
         }
-        Method::InPlane(Variant::Horizontal) => vec![
+        LoadPattern::HorizontalRows => vec![
             // Full-width rows: interior plus side halos, vectorised.
             Region {
                 x: (sx_s, sx_e),
@@ -120,7 +122,7 @@ pub fn load_regions(method: Method, geom: &TileGeometry, vec_width: usize) -> Ve
                 assignment: Assignment::Packed,
             },
         ],
-        Method::InPlane(Variant::FullSlice) => vec![
+        LoadPattern::FullSliceSweep => vec![
             // One uniform region: the whole halo-framed slab, corners and
             // all, warp-packed vector loads.
             Region {
@@ -226,9 +228,14 @@ pub fn build_plane_plan(
         flops,
         dependent_rounds: rounds,
         ilp: config.points_per_thread() as f64,
-        // Stage barrier + reuse barrier per plane — the same count the
-        // lowered execution plan emits and LNT-S003 proves.
-        syncthreads: crate::plan::StagePlan::BARRIERS_PER_PLANE as u64,
+        // Barriers per plane from the routine's schedule skeleton (2
+        // stage + reuse; 1 for double-buffered staging) — the same
+        // count the lowered execution plan emits and LNT-S003 proves.
+        syncthreads: kernel
+            .method
+            .routine()
+            .skeleton(kernel.radius)
+            .barriers_per_plane as u64,
     }
 }
 
@@ -251,7 +258,7 @@ pub fn plan_for_device(
     // The stock SDK baseline works on the raw (unpadded) allocation, so
     // its tiles sit misaligned by the boundary-ring width; the in-plane
     // implementation pads the grid for alignment (§III-C2).
-    if matches!(kernel.method, Method::ForwardPlane) {
+    if kernel.method.routine().unaligned_layout() {
         geom = geom.unaligned_baseline();
     }
     let plan = build_plane_plan(kernel, config, &geom, warp_size);
@@ -262,6 +269,7 @@ pub fn plan_for_device(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::method::Variant;
     use gpu_sim::MemCounters;
     use stencil_grid::Precision;
 

@@ -22,6 +22,12 @@ pub enum Variant {
     /// one uniform region — corners included (`4r²` redundant elements,
     /// independent of block size) — with warp-aligned vector loads.
     FullSlice,
+    /// Full-slice loading into *two* rotated shared-memory staging
+    /// buffers (the `sync_buffer_cyclic` shape): the next plane stages
+    /// while the current plane computes, dropping the per-plane reuse
+    /// barrier at the cost of doubling the staging footprint. Not in
+    /// the paper; shipped via the open routine registry.
+    DoubleBuffered,
 }
 
 impl Variant {
@@ -30,13 +36,15 @@ impl Variant {
         [Variant::Vertical, Variant::Horizontal, Variant::FullSlice]
     }
 
-    /// All four variants.
-    pub fn all() -> [Variant; 4] {
+    /// All five variants (the paper's four plus the registry's
+    /// double-buffered extension), in stable routine-id order.
+    pub fn all() -> [Variant; 5] {
         [
             Variant::Classical,
             Variant::Vertical,
             Variant::Horizontal,
             Variant::FullSlice,
+            Variant::DoubleBuffered,
         ]
     }
 
@@ -47,6 +55,7 @@ impl Variant {
             Variant::Vertical => "vertical",
             Variant::Horizontal => "horizontal",
             Variant::FullSlice => "full-slice",
+            Variant::DoubleBuffered => "double-buffered",
         }
     }
 }
@@ -72,6 +81,17 @@ pub enum Method {
     InPlane(Variant),
 }
 
+/// The stable routine-registry code of a method: 0 forward-plane,
+/// `1 + variant` in-plane. These values predate the registry (they were
+/// the hand-maintained `method_code` folds in `PlanKey` and `TuneKey`)
+/// and are frozen — [`crate::routine::Routine::id`] reproduces them.
+pub(crate) fn method_code(method: Method) -> u64 {
+    match method {
+        Method::ForwardPlane => 0,
+        Method::InPlane(v) => 1 + v as u64,
+    }
+}
+
 impl Method {
     /// Short label for tables ("nvstencil", "in-plane/full-slice", ...).
     pub fn label(&self) -> String {
@@ -79,6 +99,13 @@ impl Method {
             Method::ForwardPlane => "nvstencil".to_string(),
             Method::InPlane(v) => format!("in-plane/{}", v.label()),
         }
+    }
+
+    /// The registered [`crate::routine::Routine`] this method tags —
+    /// the one sanctioned `Method` dispatch in the workspace: every
+    /// other layer goes through the routine's blueprint/skeleton.
+    pub fn routine(&self) -> &'static dyn crate::routine::Routine {
+        crate::routine::routine_for(*self)
     }
 
     /// Flops per grid point for a radius-`r` star stencil under this
@@ -123,7 +150,7 @@ mod tests {
     fn evaluated_excludes_classical() {
         assert!(!Variant::evaluated().contains(&Variant::Classical));
         assert_eq!(Variant::evaluated().len(), 3);
-        assert_eq!(Variant::all().len(), 4);
+        assert_eq!(Variant::all().len(), 5);
     }
 
     #[test]

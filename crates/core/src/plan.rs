@@ -23,7 +23,6 @@
 //!   temporal blocking and multi-GPU sharding are expressed in.
 
 use crate::config::LaunchConfig;
-use crate::exec::tiles;
 use crate::method::{Method, Variant};
 use stencil_grid::Boundary;
 
@@ -449,189 +448,39 @@ impl StagePlan {
 /// in-plane keeps `r` trailing z-values and `r + 1` queued partials.
 /// The pipeline *state* words (`z_depth + out_depth − 1`, the staged
 /// slot being the accumulator) equal [`Method::pipeline_words`].
+/// Read off the routine's schedule skeleton.
 pub fn pipeline_depths(method: Method, r: usize) -> (usize, usize) {
-    match method {
-        Method::ForwardPlane => (2 * r + 1, 1),
-        Method::InPlane(_) => (r, r + 1),
-    }
+    let sk = method.routine().skeleton(r);
+    (sk.z_depth, sk.out_depth)
 }
 
 /// Lower one forward-plane (*nvstencil*) Jacobi step to a [`StagePlan`]
 /// over `INPUT_BUF` → `OUTPUT_BUF`. Pure function of the arguments;
-/// interior only (the caller owns the boundary policy).
+/// interior only (the caller owns the boundary policy). Compat wrapper
+/// over the forward-plane routine's blueprint lowering.
 pub fn lower_forward(config: &LaunchConfig, r: usize, dims: (usize, usize, usize)) -> StagePlan {
-    let (nx, ny, nz) = dims;
-    let (z_depth, out_depth) = pipeline_depths(Method::ForwardPlane, r);
-    let mut ops = Vec::new();
-    for (x0, y0, w, h) in tiles(nx, ny, r, config) {
-        ops.push(PlanOp::BeginBlock {
-            device: 0,
-            input: INPUT_BUF,
-            output: OUTPUT_BUF,
-            x0,
-            y0,
-            w,
-            h,
-            z_depth,
-            out_depth,
-        });
-        let (ix0, ix1) = (x0 as isize, (x0 + w) as isize);
-        let (iy0, iy1) = (y0 as isize, (y0 + h) as isize);
-        let ri = r as isize;
-        for k in r..nz - r {
-            // Publish centre registers, load the four arms (no corners).
-            ops.push(PlanOp::StageRegion {
-                zone: Zone::Interior,
-                rect: PlanRect::new(ix0, ix1, iy0, iy1),
-                plane: k,
-                source: StageSource::PipelineCentre,
-            });
-            for (zone, rect) in halo_arms(ix0, ix1, iy0, iy1, ri) {
-                ops.push(PlanOp::StageRegion {
-                    zone,
-                    rect,
-                    plane: k,
-                    source: StageSource::Global,
-                });
-            }
-            ops.push(PlanOp::Barrier);
-            ops.push(PlanOp::ComputePoint {
-                plane: k,
-                slot: 0,
-                kind: ComputeKind::ForwardFull,
-            });
-            ops.push(PlanOp::WriteBack { plane: k, slot: 0 });
-            // Reuse barrier: the next plane's restage must not race
-            // with this plane's reads.
-            ops.push(PlanOp::Barrier);
-            if k + 1 < nz - r {
-                ops.push(PlanOp::RotatePipeline {
-                    pipeline: PipelineKind::ZValues,
-                    feed: PipelineFeed::GlobalPlane(k + r + 1),
-                });
-            }
-        }
-    }
-    StagePlan {
-        method: Method::ForwardPlane,
-        radius: r,
-        dims,
-        ops,
-    }
+    let routine = Method::ForwardPlane.routine();
+    routine.lower(&routine.blueprint(config, r, dims))
 }
 
 /// Lower one in-plane Jacobi step (any loading variant) to a
 /// [`StagePlan`] over `INPUT_BUF` → `OUTPUT_BUF`. Pure function of the
-/// arguments; interior only.
+/// arguments; interior only. Compat wrapper over the variant routine's
+/// blueprint lowering.
 pub fn lower_inplane(
     variant: Variant,
     config: &LaunchConfig,
     r: usize,
     dims: (usize, usize, usize),
 ) -> StagePlan {
-    let (nx, ny, nz) = dims;
-    let (z_depth, out_depth) = pipeline_depths(Method::InPlane(variant), r);
-    let mut ops = Vec::new();
-    for (x0, y0, w, h) in tiles(nx, ny, r, config) {
-        ops.push(PlanOp::BeginBlock {
-            device: 0,
-            input: INPUT_BUF,
-            output: OUTPUT_BUF,
-            x0,
-            y0,
-            w,
-            h,
-            z_depth,
-            out_depth,
-        });
-        let (ix0, ix1) = (x0 as isize, (x0 + w) as isize);
-        let (iy0, iy1) = (y0 as isize, (y0 + h) as isize);
-        let ri = r as isize;
-        for k in r..nz {
-            // Step 1: stage plane k per the variant's pattern.
-            ops.push(PlanOp::StageRegion {
-                zone: Zone::Interior,
-                rect: PlanRect::new(ix0, ix1, iy0, iy1),
-                plane: k,
-                source: StageSource::Global,
-            });
-            for (zone, rect) in halo_arms(ix0, ix1, iy0, iy1, ri) {
-                ops.push(PlanOp::StageRegion {
-                    zone,
-                    rect,
-                    plane: k,
-                    source: StageSource::Global,
-                });
-            }
-            if variant == Variant::FullSlice {
-                // Fig 6(d): the corners too (4r² redundant cells).
-                for rect in [
-                    PlanRect::new(ix0 - ri, ix0, iy0 - ri, iy0),
-                    PlanRect::new(ix1, ix1 + ri, iy0 - ri, iy0),
-                    PlanRect::new(ix0 - ri, ix0, iy1, iy1 + ri),
-                    PlanRect::new(ix1, ix1 + ri, iy1, iy1 + ri),
-                ] {
-                    ops.push(PlanOp::StageRegion {
-                        zone: Zone::Corner,
-                        rect,
-                        plane: k,
-                        source: StageSource::Global,
-                    });
-                }
-            }
-            ops.push(PlanOp::Barrier);
-            // Step 2: the Eqn-(3) partial, if k is an output plane.
-            if k < nz - r {
-                ops.push(PlanOp::ComputePoint {
-                    plane: k,
-                    slot: 0,
-                    kind: ComputeKind::InplanePartial,
-                });
-            }
-            // Step 3: Eqn-(5) folds into the queued planes in range.
-            for d in 1..=r {
-                let in_range = matches!(k.checked_sub(d), Some(kd) if kd >= r && kd < nz - r);
-                if in_range {
-                    ops.push(PlanOp::ComputePoint {
-                        plane: k,
-                        slot: d,
-                        kind: ComputeKind::FoldCentre { depth: d },
-                    });
-                }
-            }
-            // Step 4: plane k − r is complete.
-            if let Some(done_k) = k.checked_sub(r) {
-                if done_k >= r && done_k < nz - r {
-                    ops.push(PlanOp::WriteBack {
-                        plane: done_k,
-                        slot: r,
-                    });
-                }
-            }
-            ops.push(PlanOp::Barrier);
-            // Step 5: rotate the queue; advance the z-history with the
-            // staged centre (still visible — the reuse barrier only
-            // fences the *next* restage).
-            ops.push(PlanOp::RotatePipeline {
-                pipeline: PipelineKind::OutQueue,
-                feed: PipelineFeed::None,
-            });
-            ops.push(PlanOp::RotatePipeline {
-                pipeline: PipelineKind::ZValues,
-                feed: PipelineFeed::StagedCentre,
-            });
-        }
-    }
-    StagePlan {
-        method: Method::InPlane(variant),
-        radius: r,
-        dims,
-        ops,
-    }
+    let routine = Method::InPlane(variant).routine();
+    routine.lower(&routine.blueprint(config, r, dims))
 }
 
 /// Lower one Jacobi step of `method` — the dispatcher every execution
-/// path (single-step, temporal, multi-GPU) builds on.
+/// path (single-step, temporal, multi-GPU) builds on. Goes through the
+/// routine registry: `method.routine()` resolves the blueprint and
+/// lowers it.
 pub fn lower_step(
     method: Method,
     config: &LaunchConfig,
@@ -643,15 +492,19 @@ pub fn lower_step(
         nx > 2 * r && ny > 2 * r && nz > 2 * r,
         "grid {nx}x{ny}x{nz} too small for radius {r}"
     );
-    match method {
-        Method::ForwardPlane => lower_forward(config, r, dims),
-        Method::InPlane(variant) => lower_inplane(variant, config, r, dims),
-    }
+    let routine = method.routine();
+    routine.lower(&routine.blueprint(config, r, dims))
 }
 
 /// The four corner-free halo arms of a tile `[ix0, ix1) × [iy0, iy1)`
 /// with radius `ri`, zone-labelled.
-fn halo_arms(ix0: isize, ix1: isize, iy0: isize, iy1: isize, ri: isize) -> [(Zone, PlanRect); 4] {
+pub(crate) fn halo_arms(
+    ix0: isize,
+    ix1: isize,
+    iy0: isize,
+    iy1: isize,
+    ri: isize,
+) -> [(Zone, PlanRect); 4] {
     [
         (Zone::Top, PlanRect::new(ix0, ix1, iy0 - ri, iy0)),
         (Zone::Bottom, PlanRect::new(ix0, ix1, iy1, iy1 + ri)),

@@ -20,7 +20,6 @@
 
 use crate::config::LaunchConfig;
 use crate::kernel::KernelSpec;
-use crate::method::Method;
 use gpu_sim::occupancy::BlockResources;
 use stencil_grid::Precision;
 
@@ -30,12 +29,10 @@ pub const BASE_REGS: usize = 14;
 /// Registers per thread for `kernel` at `config`.
 pub fn regs_per_thread(kernel: &KernelSpec, config: &LaunchConfig) -> usize {
     let r = kernel.radius;
-    let words_per_point = match kernel.method {
-        // 2r+1 plane values resident per point (§III-B).
-        Method::ForwardPlane => 2 * r + 1,
-        // r queued partial outputs + r trailing z-values (§III-C).
-        Method::InPlane(_) => 2 * r,
-    };
+    // The routine's pipeline state: 2r+1 plane values resident per
+    // point forward (§III-B); r queued partial outputs + r trailing
+    // z-values in-plane (§III-C).
+    let words_per_point = kernel.method.routine().pipeline_words(r);
     let regs_per_word = kernel.elem_bytes / 4;
     let pipeline = words_per_point * config.points_per_thread() * regs_per_word;
     // Scalar stencil coefficients (c0..cr) are declared in constant
@@ -60,24 +57,27 @@ pub fn regs_per_thread(kernel: &KernelSpec, config: &LaunchConfig) -> usize {
 }
 
 /// Shared-memory bytes per block: the staged plane with its halo frame,
-/// one buffer per streamed input grid.
+/// one buffer per streamed input grid — times the routine's staging
+/// buffer count (the double-buffered routine rotates a pair).
 pub fn smem_bytes(kernel: &KernelSpec, config: &LaunchConfig) -> usize {
     let r = kernel.radius;
     let slab = (config.tile_x() + 2 * r) * (config.tile_y() + 2 * r);
-    slab * kernel.elem_bytes * kernel.streamed_inputs.max(1)
+    slab * kernel.elem_bytes
+        * kernel.streamed_inputs.max(1)
+        * kernel.method.routine().staging_buffers()
 }
 
 /// Hardware vector-load width (elements per lane) this kernel uses:
-/// 4-wide `float4` / 2-wide `double2` for the in-plane variants that
-/// vectorise (§III-C2); the SDK baseline loads scalar.
+/// 4-wide `float4` / 2-wide `double2` for the routines that vectorise
+/// (§III-C2); the SDK baseline and the classical variant load scalar.
 pub fn vector_width(kernel: &KernelSpec) -> usize {
-    match kernel.method {
-        Method::ForwardPlane => 1,
-        Method::InPlane(crate::Variant::Classical) => 1,
-        Method::InPlane(_) => match kernel.precision() {
+    if kernel.method.routine().vectorised() {
+        match kernel.precision() {
             Precision::Single => 4,
             Precision::Double => 2,
-        },
+        }
+    } else {
+        1
     }
 }
 
@@ -93,7 +93,7 @@ pub fn block_resources(kernel: &KernelSpec, config: &LaunchConfig) -> BlockResou
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::method::Variant;
+    use crate::method::{Method, Variant};
     use stencil_grid::StarStencil;
 
     fn star(method: Method, order: usize) -> KernelSpec {

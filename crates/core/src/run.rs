@@ -132,15 +132,14 @@ impl<T: Real> StencilRun<T> {
             );
         });
 
-        let (golden, _) =
-            iterate_stencil_loop(initial, r, self.steps, |inp, out| match self.method {
-                Method::ForwardPlane => {
-                    apply_reference(&self.stencil, inp, out, Boundary::CopyInput)
-                }
-                Method::InPlane(_) => {
-                    apply_reference_inplane_order(&self.stencil, inp, out, Boundary::CopyInput)
-                }
-            });
+        let inplane_order = self.method.routine().inplane_reference_order();
+        let (golden, _) = iterate_stencil_loop(initial, r, self.steps, |inp, out| {
+            if inplane_order {
+                apply_reference_inplane_order(&self.stencil, inp, out, Boundary::CopyInput)
+            } else {
+                apply_reference(&self.stencil, inp, out, Boundary::CopyInput)
+            }
+        });
         let verification = verify_close(
             &result,
             &golden,

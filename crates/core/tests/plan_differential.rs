@@ -5,22 +5,23 @@
 //! the §III-B / §III-C floating-point summation orders term for term, so
 //! `max_abs_diff` is exactly `0.0` — not merely small.
 //!
-//! Sweep: 5 methods × {f32, f64} × 3 launch configs × 2 grid shapes
-//! (one cubic, one with awkward prime-ish extents that force clipped
-//! edge tiles).
+//! Sweep: all 6 registered routines × {f32, f64} × 3 launch configs ×
+//! 2 grid shapes (one cubic, one with awkward prime-ish extents that
+//! force clipped edge tiles).
 
-use inplane_core::{interpret_plan, lower_step, LaunchConfig, Method, StagePlan, Variant};
+use inplane_core::{interpret_plan, lower_step, LaunchConfig, Method, Variant};
 use stencil_grid::{
     apply_reference, apply_reference_inplane_order, max_abs_diff, Boundary, FillPattern, Grid3,
     Real, StarStencil,
 };
 
-const METHODS: [Method; 5] = [
+const METHODS: [Method; 6] = [
     Method::ForwardPlane,
     Method::InPlane(Variant::Classical),
     Method::InPlane(Variant::Vertical),
     Method::InPlane(Variant::Horizontal),
     Method::InPlane(Variant::FullSlice),
+    Method::InPlane(Variant::DoubleBuffered),
 ];
 
 const CONFIGS: [(usize, usize, usize, usize); 3] = [(4, 4, 1, 1), (8, 2, 1, 3), (16, 2, 2, 1)];
@@ -33,11 +34,10 @@ const ORDER: usize = 4; // radius 2
 fn golden<T: Real>(method: Method, s: &StarStencil<T>, input: &Grid3<T>) -> Grid3<T> {
     let (nx, ny, nz) = input.dims();
     let mut g = Grid3::new(nx, ny, nz);
-    match method {
-        Method::ForwardPlane => apply_reference(s, input, &mut g, Boundary::LeaveOutput),
-        Method::InPlane(_) => {
-            apply_reference_inplane_order(s, input, &mut g, Boundary::LeaveOutput)
-        }
+    if method.routine().inplane_reference_order() {
+        apply_reference_inplane_order(s, input, &mut g, Boundary::LeaveOutput)
+    } else {
+        apply_reference(s, input, &mut g, Boundary::LeaveOutput)
     }
     g
 }
@@ -88,20 +88,16 @@ fn check_one<T: Real>(
         (nx - 2 * r) * (ny - 2 * r) * (nz - 2 * r),
         "every interior point is written exactly once"
     );
+    // Barrier accounting straight off the routine's skeleton: blocks ×
+    // staged planes × barriers-per-plane (2 stage+reuse, 1 for the
+    // double-buffered routine).
+    let sk = method.routine().skeleton(s.radius());
+    let planes_staged = nz as usize - s.radius() - sk.sweep_tail;
     assert_eq!(
         census.barriers,
-        census.blocks
-            * planes_staged_per_block(method, nz as usize, s.radius()) as u64
-            * StagePlan::BARRIERS_PER_PLANE as u64,
-        "two barriers per staged plane"
+        census.blocks * planes_staged as u64 * sk.barriers_per_plane as u64,
+        "skeleton barrier count per staged plane"
     );
-}
-
-fn planes_staged_per_block(method: Method, nz: usize, r: usize) -> usize {
-    match method {
-        Method::ForwardPlane => nz - 2 * r,
-        Method::InPlane(_) => nz - r,
-    }
 }
 
 #[test]

@@ -13,13 +13,13 @@ use stencil_grid::{
 };
 
 fn arb_method() -> impl Strategy<Value = Method> {
-    prop::sample::select(vec![
-        Method::ForwardPlane,
-        Method::InPlane(Variant::Classical),
-        Method::InPlane(Variant::Vertical),
-        Method::InPlane(Variant::Horizontal),
-        Method::InPlane(Variant::FullSlice),
-    ])
+    // Every registered routine, the double-buffered one included.
+    prop::sample::select(
+        inplane_core::registry()
+            .iter()
+            .map(|rt| rt.method())
+            .collect::<Vec<_>>(),
+    )
 }
 
 proptest! {
@@ -46,16 +46,10 @@ proptest! {
         let mut got = Grid3::new(n, n, n);
         execute_step(method, &stencil, &config, &input, &mut got, Boundary::CopyInput);
         let mut golden = Grid3::new(n, n, n);
-        match method {
-            Method::ForwardPlane => {
-                apply_reference(&stencil, &input, &mut golden, Boundary::CopyInput)
-            }
-            Method::InPlane(_) => apply_reference_inplane_order(
-                &stencil,
-                &input,
-                &mut golden,
-                Boundary::CopyInput,
-            ),
+        if method.routine().inplane_reference_order() {
+            apply_reference_inplane_order(&stencil, &input, &mut golden, Boundary::CopyInput)
+        } else {
+            apply_reference(&stencil, &input, &mut golden, Boundary::CopyInput)
         }
         prop_assert!(max_abs_diff(&got, &golden) < 1e-13, "{method} diverged");
     }

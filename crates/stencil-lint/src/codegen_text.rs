@@ -3,8 +3,11 @@
 //! The plan-level passes prove properties of the *abstract* schedule;
 //! this pass re-checks the ones that must survive into the emitted text:
 //!
-//! * `LNT-T001` — exactly two barriers per plane (`__syncthreads()` in
-//!   CUDA, `barrier(CLK_LOCAL_MEM_FENCE)` in OpenCL);
+//! * `LNT-T001` — exactly the routine's proven barrier count per plane
+//!   (`__syncthreads()` in CUDA, `barrier(CLK_LOCAL_MEM_FENCE)` in
+//!   OpenCL): two for the single-buffer routines, one for the
+//!   double-buffered routine whose staging pair absorbs the reuse
+//!   barrier;
 //! * `LNT-T002` — balanced braces (a malformed emitter never compiles);
 //! * `LNT-T003` — the `#define` constants agree with the launch
 //!   configuration, radius and vector width the kernel was generated
@@ -186,18 +189,21 @@ fn lint_source(
     device: Option<&DeviceSpec>,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    let routine = spec.method.routine();
 
-    // T001: exactly two barriers per plane.
+    // T001: exactly the routine's proven barrier count per plane.
+    let want_barriers = routine.skeleton(spec.radius).barriers_per_plane;
     let barriers = count_occurrences(source, barrier_token);
-    if barriers != 2 {
+    if barriers != want_barriers {
         diags.push(
             Diagnostic::error(
                 "LNT-T001",
                 format!(
-                    "source issues {barriers} `{barrier_token}` barriers, the schedule proves 2"
+                    "source issues {barriers} `{barrier_token}` barriers, the schedule proves {want_barriers}"
                 ),
             )
-            .with("barriers", barriers),
+            .with("barriers", barriers)
+            .with("want", want_barriers),
         );
     }
 
@@ -284,7 +290,7 @@ fn lint_source(
         }
     }
     if let (Some(smem_w), Some(smem_h), Some(dev)) = (smem_w, smem_h, device) {
-        let bytes = smem_w * smem_h * spec.elem_bytes as i64;
+        let bytes = smem_w * smem_h * spec.elem_bytes as i64 * routine.staging_buffers() as i64;
         if bytes > dev.smem_per_sm as i64 {
             diags.push(
                 Diagnostic::warning(
@@ -341,7 +347,8 @@ pub fn lint_cuda(
         .get("SMEM_H")
         .and_then(|e| eval_expr(e, &defines, 0));
     if let (Some(w), Some(h)) = (smem_w, smem_h) {
-        let formula = w * h * spec.elem_bytes as i64;
+        let formula =
+            w * h * spec.elem_bytes as i64 * spec.method.routine().staging_buffers() as i64;
         if formula != kernel.smem_bytes as i64 {
             diags.push(
                 Diagnostic::error(
@@ -390,13 +397,8 @@ mod tests {
     #[test]
     fn generated_cuda_kernels_lint_clean() {
         let dev = DeviceSpec::gtx580();
-        for method in [
-            Method::ForwardPlane,
-            Method::InPlane(Variant::Classical),
-            Method::InPlane(Variant::Vertical),
-            Method::InPlane(Variant::Horizontal),
-            Method::InPlane(Variant::FullSlice),
-        ] {
+        for routine in inplane_core::registry() {
+            let method = routine.method();
             for p in [Precision::Single, Precision::Double] {
                 for order in [2usize, 8] {
                     let s = spec(method, order, p);
@@ -437,6 +439,24 @@ mod tests {
         let c = LaunchConfig::new(32, 4, 1, 2);
         let k = generate_kernel(&s, &c);
         let tampered = k.source.replacen("__syncthreads();", "", 1);
+        let d = lint_cuda_source(&tampered, &s, &c, None);
+        assert!(d.iter().any(|x| x.code == "LNT-T001"), "{d:?}");
+    }
+
+    #[test]
+    fn double_buffered_extra_barrier_is_t001() {
+        // The db schedule proves ONE barrier per plane; a stray reuse
+        // barrier (the single-buffer habit) must be flagged too.
+        let s = spec(
+            Method::InPlane(Variant::DoubleBuffered),
+            4,
+            Precision::Single,
+        );
+        let c = LaunchConfig::new(32, 4, 1, 2);
+        let k = generate_kernel(&s, &c);
+        let tampered =
+            k.source
+                .replacen("__syncthreads();", "__syncthreads();\n__syncthreads();", 1);
         let d = lint_cuda_source(&tampered, &s, &c, None);
         assert!(d.iter().any(|x| x.code == "LNT-T001"), "{d:?}");
     }

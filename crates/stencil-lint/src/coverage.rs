@@ -27,7 +27,7 @@ use crate::rect::{subtract_all, total_area, Rect};
 use inplane_core::layout::TileGeometry;
 use inplane_core::loadplan::load_regions;
 use inplane_core::resources::vector_width;
-use inplane_core::{KernelSpec, Method, Variant};
+use inplane_core::{KernelSpec, Method};
 
 /// The four `r × r` corner rectangles of the halo frame.
 fn corner_rects(geom: &TileGeometry) -> [Rect; 4] {
@@ -63,10 +63,11 @@ fn corner_rects(geom: &TileGeometry) -> [Rect; 4] {
     ]
 }
 
-/// True when the method's variant stages the slab corners (full-slice
-/// only).
+/// True when the method's routine stages the slab corners (the
+/// full-slice sweep routines).
 fn stages_corners(method: Method) -> bool {
-    matches!(method, Method::InPlane(Variant::FullSlice))
+    // The skeleton's corner policy is radius-independent; probe at r=1.
+    method.routine().skeleton(1).stages_corners
 }
 
 /// Prove the load regions of `kernel` tile the halo-framed slab of
@@ -204,6 +205,7 @@ mod tests {
     use super::*;
     use crate::diag::has_errors;
     use inplane_core::LaunchConfig;
+    use inplane_core::Variant;
     use stencil_grid::Precision;
 
     fn geom(c: &LaunchConfig, r: usize) -> TileGeometry {
@@ -216,13 +218,10 @@ mod tests {
 
     #[test]
     fn all_methods_tile_exactly() {
-        let methods = [
-            Method::ForwardPlane,
-            Method::InPlane(Variant::Classical),
-            Method::InPlane(Variant::Vertical),
-            Method::InPlane(Variant::Horizontal),
-            Method::InPlane(Variant::FullSlice),
-        ];
+        let methods: Vec<Method> = inplane_core::registry()
+            .iter()
+            .map(|rt| rt.method())
+            .collect();
         for method in methods {
             for order in [2usize, 4, 8, 12] {
                 for c in [

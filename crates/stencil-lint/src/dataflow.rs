@@ -31,10 +31,10 @@
 use crate::diag::Diagnostic;
 use crate::rect::{subtract_all, total_area, Rect};
 use inplane_core::plan::{
-    pipeline_depths, ComputeKind, PipelineFeed, PipelineKind, PlanOp, PlanRect, StagePlan,
-    StageSource, Zone, INPUT_BUF, OUTPUT_BUF,
+    ComputeKind, PipelineFeed, PipelineKind, PlanOp, PlanRect, StagePlan, StageSource, Zone,
+    INPUT_BUF, OUTPUT_BUF,
 };
-use inplane_core::Method;
+use inplane_core::{ComputeShape, ScheduleSkeleton, ZFeed};
 use std::collections::HashSet;
 use stencil_grid::Boundary;
 
@@ -299,7 +299,9 @@ fn rect_of(r: &PlanRect) -> Rect {
 
 /// The dataflow abstract interpreter.
 struct Flow {
-    method: Method,
+    /// The plan's routine schedule skeleton — the structural contract
+    /// every shape check (`LNT-D007`) is proven against.
+    sk: ScheduleSkeleton,
     r: usize,
     bufs: Vec<BufState>,
     halo_dst: HashSet<(usize, usize)>,
@@ -495,41 +497,40 @@ impl Flow {
                 }
             }
         }
-        // Schedule shape.
+        // Schedule shape, proven against the routine's skeleton.
         let depth = blk.depth;
         let r = self.r;
-        let (lo, hi) = match self.method {
-            Method::ForwardPlane => (r, depth.saturating_sub(r)),
-            Method::InPlane(_) => (r, depth),
-        };
+        let (lo, hi) = (r, depth.saturating_sub(self.sk.sweep_tail));
         let planes: Vec<usize> = blk.sections.iter().map(|s| s.plane).collect();
         let expected: Vec<usize> = (lo..hi).collect();
         if planes != expected {
             self.emit("LNT-D007", 1, || {
                 Diagnostic::error(
                     "LNT-D007",
-                    "staged-plane sequence deviates from the method's sweep",
+                    "staged-plane sequence deviates from the routine's sweep",
                 )
                 .with("expected", format!("{lo}..{hi}"))
                 .with("got", format!("{planes:?}"))
             });
         }
         let n = blk.sections.len();
+        let want_q = self.sk.q_rotations;
         for (i, s) in blk.sections.iter().enumerate() {
             let mut problems: Vec<String> = Vec::new();
-            if s.barriers != StagePlan::BARRIERS_PER_PLANE {
+            if s.barriers != self.sk.barriers_per_plane {
                 problems.push(format!(
                     "{} barriers (want {})",
-                    s.barriers,
-                    StagePlan::BARRIERS_PER_PLANE
+                    s.barriers, self.sk.barriers_per_plane
                 ));
             }
-            match self.method {
-                Method::ForwardPlane => {
+            match self.sk.compute {
+                ComputeShape::Direct => {
+                    // The prefetch feed is guarded at the sweep's end:
+                    // the last section has no plane left to fetch.
                     let want_z = usize::from(i + 1 < n);
-                    if s.z_rots != want_z || s.q_rots != 0 {
+                    if s.z_rots != want_z || s.q_rots != want_q {
                         problems.push(format!(
-                            "rotations z={} q={} (want z={want_z} q=0)",
+                            "rotations z={} q={} (want z={want_z} q={want_q})",
                             s.z_rots, s.q_rots
                         ));
                     }
@@ -546,10 +547,10 @@ impl Flow {
                         ));
                     }
                 }
-                Method::InPlane(_) => {
-                    if s.z_rots != 1 || s.q_rots != 1 {
+                ComputeShape::Pipelined => {
+                    if s.z_rots != 1 || s.q_rots != want_q {
                         problems.push(format!(
-                            "rotations z={} q={} (want z=1 q=1)",
+                            "rotations z={} q={} (want z=1 q={want_q})",
                             s.z_rots, s.q_rots
                         ));
                     }
@@ -672,12 +673,12 @@ impl Flow {
                     });
                     return;
                 }
-                let want = pipeline_depths(self.method, self.r);
+                let want = (self.sk.z_depth, self.sk.out_depth);
                 if (z_depth, out_depth) != want {
                     self.emit("LNT-D007", 1, || {
                         Diagnostic::error(
                             "LNT-D007",
-                            "pipeline depths deviate from the method's specification",
+                            "pipeline depths deviate from the routine's skeleton",
                         )
                         .with("got", format!("z={z_depth} q={out_depth}"))
                         .with("want", format!("z={} q={}", want.0, want.1))
@@ -771,7 +772,7 @@ impl Flow {
                     }
                     StageSource::PipelineCentre => {
                         let blk = self.block.as_ref().expect("block still open");
-                        let aligned = self.method == Method::ForwardPlane
+                        let aligned = self.sk.interior_source == StageSource::PipelineCentre
                             && plane >= self.r
                             && blk.z_rots_total == plane - self.r;
                         if !aligned {
@@ -845,9 +846,9 @@ impl Flow {
                             s.z_rots += 1;
                         }
                         blk.z_rots_total += 1;
-                        match (self.method, feed) {
-                            (Method::ForwardPlane, PipelineFeed::GlobalPlane(kp)) => {
-                                let want = cur.map(|k| k + self.r + 1);
+                        match (self.sk.z_feed, feed) {
+                            (ZFeed::PrefetchLead { lead }, PipelineFeed::GlobalPlane(kp)) => {
+                                let want = cur.map(|k| k + lead);
                                 if Some(kp) != want || kp >= depth {
                                     self.emit("LNT-D007", 1, || {
                                         Diagnostic::error(
@@ -862,14 +863,14 @@ impl Flow {
                                     self.buffer_read(input, kp, tile, true);
                                 }
                             }
-                            (Method::InPlane(_), PipelineFeed::StagedCentre) => {
+                            (ZFeed::StagedCentre, PipelineFeed::StagedCentre) => {
                                 self.tile_read(&[tile], "z-history advance");
                             }
                             _ => {
                                 self.emit("LNT-D007", 1, || {
                                     Diagnostic::error(
                                         "LNT-D007",
-                                        "z-rotation feed disagrees with the method",
+                                        "z-rotation feed disagrees with the routine's z-feed",
                                     )
                                     .with("feed", format!("{feed:?}"))
                                 });
@@ -1135,7 +1136,7 @@ pub fn analyze_plan(plan: &StagePlan) -> DataflowReport {
         }
     }
     let mut flow = Flow {
-        method: plan.method,
+        sk: plan.method.routine().skeleton(plan.radius),
         r: plan.radius,
         bufs: vec![
             BufState::new(plan.dims, false),

@@ -81,6 +81,16 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         "register estimate exceeds the per-thread hardware cap",
     ),
     (
+        "LNT-R007",
+        Severity::Error,
+        "routine rejects the problem: grid too small for the stencil radius",
+    ),
+    (
+        "LNT-R008",
+        Severity::Error,
+        "double-buffered staging pair exceeds the per-SM shared-memory capacity",
+    ),
+    (
         "LNT-R101",
         Severity::Warning,
         "thread block smaller than one warp (excluded from the paper's enumeration)",
@@ -99,7 +109,7 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
     (
         "LNT-S003",
         Severity::Error,
-        "per-plane barrier count differs from the proven two-barrier schedule",
+        "per-plane barrier count differs from the routine's proven schedule",
     ),
     (
         "LNT-S004",

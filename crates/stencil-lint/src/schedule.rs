@@ -16,9 +16,10 @@
 //! * the covering stages are separated from the read by a barrier
 //!   (`LNT-S002` otherwise — a cross-warp race: another warp's stage is
 //!   not visible without a barrier);
-//! * the schedule issues exactly the
-//!   [`StagePlan::BARRIERS_PER_PLANE`] barriers per plane the method is
-//!   specified with — stage barrier + reuse barrier (`LNT-S003`);
+//! * the schedule issues exactly the routine skeleton's
+//!   `barriers_per_plane` — stage barrier + reuse barrier for the
+//!   single-buffer routines, stage barrier only for the double-buffered
+//!   routine (`LNT-S003`);
 //! * the register-pipeline depth matches the method: `2r + 1` z-values
 //!   forward-plane, `r` queued partials + `r` trailing z-values in-plane
 //!   (`LNT-S004`) — checked both against the resource model's register
@@ -283,9 +284,14 @@ pub fn check_schedule(
     let lowered = lower_plane_schedule(kernel, config);
     let mut diags = verify_ops(&lowered.ops);
 
-    // S003: the lowered schedule must issue exactly the proven barrier
-    // count per plane, and the priced plan must declare the same.
-    let proven = StagePlan::BARRIERS_PER_PLANE;
+    // S003: the lowered schedule must issue exactly the routine's
+    // proven barrier count per plane, and the priced plan must declare
+    // the same.
+    let proven = kernel
+        .method
+        .routine()
+        .skeleton(kernel.radius)
+        .barriers_per_plane;
     let barriers = lowered
         .ops
         .iter()
@@ -393,12 +399,13 @@ mod tests {
         KernelSpec::star_order(method, order, Precision::Single)
     }
 
-    const METHODS: [Method; 5] = [
+    const METHODS: [Method; 6] = [
         Method::ForwardPlane,
         Method::InPlane(Variant::Classical),
         Method::InPlane(Variant::Vertical),
         Method::InPlane(Variant::Horizontal),
         Method::InPlane(Variant::FullSlice),
+        Method::InPlane(Variant::DoubleBuffered),
     ];
 
     #[test]
@@ -468,10 +475,26 @@ mod tests {
         for method in METHODS {
             let c = LaunchConfig::new(16, 4, 1, 2);
             let k = spec(method, 4);
+            let proven = method.routine().skeleton(k.radius).barriers_per_plane;
             let ops = lower_plane_schedule(&k, &c).ops;
             let barriers = ops.iter().filter(|o| matches!(o, Op::Barrier)).count();
-            assert_eq!(barriers, StagePlan::BARRIERS_PER_PLANE, "{method:?}");
+            assert_eq!(barriers, proven, "{method:?}");
         }
+        // The legacy five prove two; the double-buffered routine one.
+        assert_eq!(
+            Method::ForwardPlane
+                .routine()
+                .skeleton(2)
+                .barriers_per_plane,
+            StagePlan::BARRIERS_PER_PLANE
+        );
+        assert_eq!(
+            Method::InPlane(Variant::DoubleBuffered)
+                .routine()
+                .skeleton(2)
+                .barriers_per_plane,
+            1
+        );
     }
 
     #[test]

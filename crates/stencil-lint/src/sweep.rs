@@ -25,7 +25,7 @@ use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::loadplan::plan_for_device;
 use inplane_core::plan::lower_step;
 use inplane_core::resources::vector_width;
-use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
+use inplane_core::{KernelSpec, LaunchConfig};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use stencil_codegen::{generate_kernel, generate_opencl_kernel};
@@ -114,10 +114,7 @@ pub fn lint_config(
         if codegen_applicable(kernel, config) {
             let generated = generate_kernel(kernel, config);
             diagnostics.extend(lint_cuda(&generated, kernel, config, Some(device)));
-            if matches!(
-                kernel.method,
-                Method::ForwardPlane | Method::InPlane(Variant::FullSlice)
-            ) {
+            if kernel.method.routine().opencl_supported() {
                 let src = generate_opencl_kernel(kernel, config);
                 diagnostics.extend(lint_opencl_source(&src, kernel, config, Some(device)));
             }
@@ -329,6 +326,7 @@ pub fn lint_space(device: &DeviceSpec, kernel: &KernelSpec, dims: &GridDims) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inplane_core::{Method, Variant};
     use stencil_grid::Precision;
 
     fn kernel(method: Method, order: usize) -> KernelSpec {
@@ -365,13 +363,8 @@ mod tests {
     fn quick_sweep_is_clean_for_every_method() {
         let dev = DeviceSpec::gtx580();
         let dims = GridDims::paper();
-        for method in [
-            Method::ForwardPlane,
-            Method::InPlane(Variant::Classical),
-            Method::InPlane(Variant::Vertical),
-            Method::InPlane(Variant::Horizontal),
-            Method::InPlane(Variant::FullSlice),
-        ] {
+        for routine in inplane_core::registry() {
+            let method = routine.method();
             let k = kernel(method, 4);
             let configs = enumerate_configs_quick(&dev);
             let results = lint_configs(&dev, &k, &dims, &configs);

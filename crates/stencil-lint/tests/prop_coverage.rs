@@ -16,12 +16,13 @@ use inplane_core::loadplan::load_regions;
 use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
 use stencil_grid::Precision;
 
-const METHODS: [Method; 5] = [
+const METHODS: [Method; 6] = [
     Method::ForwardPlane,
     Method::InPlane(Variant::Classical),
     Method::InPlane(Variant::Vertical),
     Method::InPlane(Variant::Horizontal),
     Method::InPlane(Variant::FullSlice),
+    Method::InPlane(Variant::DoubleBuffered),
 ];
 
 proptest! {
@@ -35,7 +36,7 @@ proptest! {
         ty in 1usize..7,
         rx in 1usize..5,
         ry in 1usize..5,
-        method_idx in 0usize..5,
+        method_idx in 0usize..6,
         vw in prop::sample::select(vec![1usize, 2, 4]),
     ) {
         let method = METHODS[method_idx];
@@ -47,7 +48,7 @@ proptest! {
         let (sy_s, sy_e) = geom.slab_y();
         let (ix_s, ix_e) = geom.interior_x();
         let (iy_s, iy_e) = geom.interior_y();
-        let stages_corners = matches!(method, Method::InPlane(Variant::FullSlice));
+        let stages_corners = method.routine().skeleton(radius).stages_corners;
 
         for y in sy_s..sy_e {
             for x in sx_s..sx_e {
@@ -77,7 +78,7 @@ proptest! {
         ty in 1usize..7,
         rx in 1usize..5,
         ry in 1usize..5,
-        method_idx in 0usize..5,
+        method_idx in 0usize..6,
     ) {
         let method = METHODS[method_idx];
         let order = 2 * radius;

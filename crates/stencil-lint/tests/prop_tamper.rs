@@ -22,12 +22,13 @@ use inplane_core::{
 };
 use stencil_grid::{FillPattern, Grid3, StarStencil};
 
-const METHODS: [Method; 5] = [
+const METHODS: [Method; 6] = [
     Method::ForwardPlane,
     Method::InPlane(Variant::Classical),
     Method::InPlane(Variant::Vertical),
     Method::InPlane(Variant::Horizontal),
     Method::InPlane(Variant::FullSlice),
+    Method::InPlane(Variant::DoubleBuffered),
 ];
 
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +65,7 @@ proptest! {
 
     #[test]
     fn tampered_plans_are_flagged_or_harmless(
-        method_idx in 0usize..5,
+        method_idx in 0usize..6,
         radius in 1usize..3,
         tx in prop::sample::select(vec![4usize, 8]),
         ty in 2usize..5,

@@ -14,12 +14,13 @@ use stencil_lint::{analyze_plan, predict_stats, predict_traffic};
 use stencil_multigpu::multi_gpu_stage_plan;
 use stencil_temporal::temporal_stage_plan;
 
-const METHODS: [Method; 5] = [
+const METHODS: [Method; 6] = [
     Method::ForwardPlane,
     Method::InPlane(Variant::Classical),
     Method::InPlane(Variant::Vertical),
     Method::InPlane(Variant::Horizontal),
     Method::InPlane(Variant::FullSlice),
+    Method::InPlane(Variant::DoubleBuffered),
 ];
 
 fn grid<T: Real>(dims: (usize, usize, usize)) -> Grid3<T> {

@@ -16,7 +16,7 @@
 //! matches the recomputed one).
 
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::{KernelSpec, LaunchConfig, Method, Variant};
+use inplane_core::{KernelSpec, LaunchConfig, Method};
 use stencil_autotune::{AnnealOptions, ParameterSpace};
 
 /// Version of the key layout and record schema. Bump whenever a hashed
@@ -121,23 +121,18 @@ impl TunerKind {
     }
 }
 
-/// Parse a [`Method`] back from its `label()` rendering.
+/// Parse a [`Method`] back from its `label()` rendering by consulting
+/// the routine registry — new routines are parseable the day they are
+/// registered, with no table to maintain here.
 pub fn method_from_label(label: &str) -> Option<Method> {
-    match label {
-        "nvstencil" => Some(Method::ForwardPlane),
-        "in-plane/classical" => Some(Method::InPlane(Variant::Classical)),
-        "in-plane/vertical" => Some(Method::InPlane(Variant::Vertical)),
-        "in-plane/horizontal" => Some(Method::InPlane(Variant::Horizontal)),
-        "in-plane/full-slice" => Some(Method::InPlane(Variant::FullSlice)),
-        _ => None,
-    }
+    inplane_core::routine_by_label(label).map(|rt| rt.method())
 }
 
+/// The stable routine id is the hashed method word. Ids are pinned by
+/// the registry (and by the `legacy_tune_key_hashes_are_pinned` test),
+/// so persisted keys survive the Routine migration byte-for-byte.
 fn method_code(method: Method) -> u64 {
-    match method {
-        Method::ForwardPlane => 0,
-        Method::InPlane(v) => 1 + v as u64,
-    }
+    method.routine().id()
 }
 
 /// Order-sensitive fingerprint of a search space's configurations.
@@ -408,10 +403,40 @@ mod tests {
             Method::InPlane(Variant::Vertical),
             Method::InPlane(Variant::Horizontal),
             Method::InPlane(Variant::FullSlice),
+            Method::InPlane(Variant::DoubleBuffered),
         ] {
             assert_eq!(method_from_label(&m.label()), Some(m));
         }
         assert_eq!(method_from_label("warp-drive"), None);
+    }
+
+    /// The Routine migration must not invalidate persisted tunes: the
+    /// hashed method word is now the registry id, and these literals
+    /// were captured from the pre-migration `match`-based `method_code`.
+    /// If any of them drifts, every stored record for that method would
+    /// silently miss on lookup.
+    #[test]
+    fn legacy_tune_key_hashes_are_pinned() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let space = ParameterSpace::from_configs(vec![LaunchConfig::new(64, 4, 1, 2)]);
+        let pinned: [(Method, u64); 5] = [
+            (Method::ForwardPlane, 0x456f_e7ca_a144_71f9),
+            (Method::InPlane(Variant::Classical), 0x22b4_76e6_cdb6_1528),
+            (Method::InPlane(Variant::Vertical), 0xf901_f135_62e6_20c8),
+            (Method::InPlane(Variant::Horizontal), 0x596d_081d_1a4f_4f17),
+            (Method::InPlane(Variant::FullSlice), 0xcbad_48b1_efa6_6c6e),
+        ];
+        for (m, want) in pinned {
+            let k = KernelSpec::star_order(m, 4, Precision::Single);
+            let key = TuneKey::new(&dev, &k, dims, &space, TunerKind::Exhaustive, 42);
+            assert_eq!(
+                key.stable_hash(),
+                want,
+                "{} no longer hashes to its pre-Routine value",
+                m.label()
+            );
+        }
     }
 
     #[test]
