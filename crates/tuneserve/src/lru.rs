@@ -1,0 +1,225 @@
+//! [`HotKeyLru`]: a bounded least-recently-used response cache keyed
+//! by [`TuneKey`](stencil_tunestore::TuneKey) hash.
+//!
+//! Under Zipfian traffic a handful of hot keys dominate; serving them
+//! from a small in-memory map ahead of the JSONL tier turns the common
+//! case into one mutex acquisition and a `HashMap` probe — no shard
+//! RwLock, no store counters, no record→response repacking. The cache
+//! is strictly bounded: inserting into a full cache evicts the least
+//! recently *touched* entry (gets refresh recency), and every hit,
+//! miss, insert and eviction is counted.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use stencil_tunestore::TuneResponse;
+
+/// Counter snapshot of a [`HotKeyLru`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a disabled cache).
+    pub misses: u64,
+    /// Responses inserted.
+    pub inserts: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: u64,
+}
+
+struct Entry {
+    response: TuneResponse,
+    /// The recency tick of this entry's newest queue slot; older queue
+    /// slots for the same key are stale and skipped at eviction time.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// Recency queue of `(key_hash, tick)` — lazily invalidated, so a
+    /// re-touched key leaves a stale slot behind instead of an O(n)
+    /// removal.
+    order: VecDeque<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, hash: u64) -> u64 {
+        self.tick += 1;
+        self.order.push_back((hash, self.tick));
+        self.tick
+    }
+
+    fn evict_one(&mut self) -> bool {
+        while let Some((hash, tick)) = self.order.pop_front() {
+            let live = self.map.get(&hash).is_some_and(|entry| entry.tick == tick);
+            if live {
+                self.map.remove(&hash);
+                self.evictions += 1;
+                return true;
+            }
+            // A stale slot: the key was re-touched (or already
+            // evicted) since this slot was queued. Drop and continue.
+        }
+        false
+    }
+
+    /// Bound the lazily-invalidated queue: once stale slots outnumber
+    /// live entries by a wide margin, sweep them out in one pass.
+    fn sweep_if_bloated(&mut self, capacity: usize) {
+        if self.order.len() > 4 * capacity + 16 {
+            let map = std::mem::take(&mut self.map);
+            self.order
+                .retain(|(h, t)| map.get(h).is_some_and(|e| e.tick == *t));
+            self.map = map;
+        }
+    }
+}
+
+/// Bounded hot-key response cache; see the [module docs](self).
+pub struct HotKeyLru {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl HotKeyLru {
+    /// A cache holding at most `capacity` responses. Zero disables the
+    /// cache entirely: every get is a miss, every put a no-op.
+    pub fn new(capacity: usize) -> Self {
+        HotKeyLru {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cached response for `hash`, refreshing its recency.
+    pub fn get(&self, hash: u64) -> Option<TuneResponse> {
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        if inner.map.contains_key(&hash) {
+            let tick = inner.touch(hash);
+            let entry = inner.map.get_mut(&hash).expect("checked above");
+            entry.tick = tick;
+            let response = entry.response.clone();
+            inner.hits += 1;
+            inner.sweep_if_bloated(self.capacity);
+            Some(response)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Cache `response` under `hash`, evicting the least recently
+    /// touched entry when full.
+    pub fn put(&self, hash: u64, response: TuneResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("lru poisoned");
+        let tick = inner.touch(hash);
+        let fresh = inner.map.insert(hash, Entry { response, tick }).is_none();
+        if fresh {
+            inner.inserts += 1;
+            while inner.map.len() > self.capacity {
+                assert!(inner.evict_one(), "a full cache always has a live entry");
+            }
+        }
+        inner.sweep_if_bloated(self.capacity);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LruStats {
+        let inner = self.inner.lock().expect("lru poisoned");
+        LruStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            evictions: inner.evictions,
+            len: inner.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inplane_core::LaunchConfig;
+    use stencil_autotune::{Provenance, TuneSample};
+
+    fn response(tag: u64) -> TuneResponse {
+        let best = TuneSample {
+            config: LaunchConfig::new(32, 4, 1, 1),
+            mpoints: tag as f64,
+        };
+        TuneResponse {
+            best,
+            evaluated: tag,
+            samples: vec![best],
+            provenance: Provenance::Computed,
+            key_hash: tag,
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_touched() {
+        let lru = HotKeyLru::new(2);
+        lru.put(1, response(1));
+        lru.put(2, response(2));
+        assert!(lru.get(1).is_some(), "refreshes key 1");
+        lru.put(3, response(3)); // evicts 2, the stalest
+        assert!(lru.get(2).is_none());
+        assert!(lru.get(1).is_some());
+        assert!(lru.get(3).is_some());
+        let s = lru.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+        assert_eq!(s.inserts, 3);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let lru = HotKeyLru::new(2);
+        lru.put(1, response(1));
+        lru.put(2, response(2));
+        lru.put(1, response(10)); // overwrite, not an insert
+        let s = lru.stats();
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.len, 2);
+        assert_eq!(lru.get(1).unwrap().evaluated, 10);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let lru = HotKeyLru::new(0);
+        lru.put(1, response(1));
+        assert!(lru.get(1).is_none());
+        let s = lru.stats();
+        assert_eq!((s.inserts, s.hits, s.misses, s.len), (0, 0, 1, 0));
+    }
+
+    #[test]
+    fn stale_queue_slots_are_swept() {
+        let lru = HotKeyLru::new(2);
+        lru.put(1, response(1));
+        lru.put(2, response(2));
+        for _ in 0..100 {
+            lru.get(1);
+            lru.get(2);
+        }
+        // The lazy queue stays bounded relative to capacity.
+        let inner = lru.inner.lock().unwrap();
+        assert!(inner.order.len() <= 4 * lru.capacity + 16 + 1);
+    }
+}

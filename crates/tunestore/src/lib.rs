@@ -61,6 +61,6 @@ pub mod util;
 
 pub use key::{method_from_label, space_fingerprint, TuneKey, TunerKind, SCHEMA_VERSION};
 pub use record::{RecordError, TuneRecord};
-pub use service::{ServiceStats, TuneRequest, TuneResponse, TuneService, TunerSpec};
+pub use service::{ResolveTrace, ServiceStats, TuneRequest, TuneResponse, TuneService, TunerSpec};
 pub use store::{JsonlDiskStore, MemStore, StoreStats, TuneStore};
 pub use util::atomic_write;

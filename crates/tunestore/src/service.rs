@@ -78,6 +78,20 @@ pub struct TuneRequest {
     pub seed: u64,
 }
 
+impl TuneRequest {
+    /// The stable [`TuneKey`] identifying this request.
+    pub fn key(&self) -> TuneKey {
+        TuneKey::new(
+            &self.device,
+            &self.kernel,
+            self.dims,
+            &self.space,
+            self.tuner.kind(),
+            self.seed,
+        )
+    }
+}
+
 /// One resolved request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TuneResponse {
@@ -104,6 +118,22 @@ impl TuneResponse {
             provenance: self.provenance,
         }
     }
+}
+
+/// Which path inside the service produced one response — richer than
+/// [`Provenance`] (a condvar waiter shares its *leader's* provenance,
+/// so provenance alone cannot tell "I computed" from "I shared").
+/// Serving layers (crates/tuneserve) use the trace to attribute work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolveTrace {
+    /// Served verbatim from the backing store.
+    Store,
+    /// This request led the single-flight: it ran the search and
+    /// persisted the record.
+    Led,
+    /// This request blocked on — and shared — another leader's
+    /// in-flight computation.
+    Shared,
 }
 
 /// Counter snapshot of a [`TuneService`].
@@ -207,6 +237,16 @@ impl TuneService {
     /// single-flight guard so a waiter can never block on a leader that
     /// died validating.
     pub fn resolve(&self, req: &TuneRequest) -> TuneResponse {
+        self.resolve_traced(req).0
+    }
+
+    /// [`Self::resolve`], also reporting *which path* served the
+    /// request (store hit, single-flight leader, or condvar sharer) —
+    /// the serving layer attributes latency and compute by the trace.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::resolve`].
+    pub fn resolve_traced(&self, req: &TuneRequest) -> (TuneResponse, ResolveTrace) {
         assert!(
             !req.space.is_empty(),
             "cannot tune over an empty parameter space"
@@ -214,29 +254,11 @@ impl TuneService {
         if let TunerSpec::ModelBased { beta_percent } = req.tuner {
             assert!(beta_percent > 0.0, "beta must be positive");
         }
-        let key = TuneKey::new(
-            &req.device,
-            &req.kernel,
-            req.dims,
-            &req.space,
-            req.tuner.kind(),
-            req.seed,
-        );
+        let key = req.key();
         let hash = key.stable_hash();
 
-        if let Some(rec) = self.store.get(&key) {
-            self.served_from_store.fetch_add(1, Ordering::Relaxed);
-            let best = TuneSample {
-                config: rec.best,
-                mpoints: rec.mpoints,
-            };
-            return TuneResponse {
-                best,
-                evaluated: rec.evaluated,
-                samples: vec![best],
-                provenance: Provenance::Store,
-                key_hash: hash,
-            };
+        if let Some(resp) = self.lookup_store(&key) {
+            return (resp, ResolveTrace::Store);
         }
 
         // Single-flight: first miss per key leads, the rest wait.
@@ -251,12 +273,7 @@ impl TuneService {
             }
         };
         if let Some(flight) = flight {
-            let mut slot = flight.slot.lock().expect("tune service poisoned");
-            while slot.is_none() {
-                slot = flight.ready.wait(slot).expect("tune service poisoned");
-            }
-            self.shared.fetch_add(1, Ordering::Relaxed);
-            return slot.clone().expect("leader published a response");
+            return (self.share(&flight), ResolveTrace::Shared);
         }
 
         let response = self.compute(&key, req);
@@ -276,13 +293,95 @@ impl TuneService {
             .expect("leader owns the flight");
         *flight.slot.lock().expect("tune service poisoned") = Some(response.clone());
         flight.ready.notify_all();
-        response
+        (response, ResolveTrace::Led)
+    }
+
+    /// The store-hit fast path alone: an exact [`TuneKey`] hit is
+    /// repackaged as a response (counted `served_from_store`), a miss
+    /// returns `None` *without* entering the single-flight guard. The
+    /// serving layer calls this before deciding whether a request must
+    /// pass admission control.
+    pub fn try_resolve_cached(&self, req: &TuneRequest) -> Option<TuneResponse> {
+        self.lookup_store(&req.key())
+    }
+
+    fn lookup_store(&self, key: &TuneKey) -> Option<TuneResponse> {
+        let rec = self.store.get(key)?;
+        self.served_from_store.fetch_add(1, Ordering::Relaxed);
+        let best = TuneSample {
+            config: rec.best,
+            mpoints: rec.mpoints,
+        };
+        Some(TuneResponse {
+            best,
+            evaluated: rec.evaluated,
+            samples: vec![best],
+            provenance: Provenance::Store,
+            key_hash: key.stable_hash(),
+        })
+    }
+
+    /// If a leader is already computing the key hashed to `hash`, wait
+    /// for it and share its response (counted `shared`); otherwise
+    /// return `None` immediately. Blocks only for the remainder of an
+    /// *already running* computation — never starts one — which is why
+    /// the serving layer may call it before admission control.
+    pub fn wait_if_inflight(&self, hash: u64) -> Option<TuneResponse> {
+        let flight = self
+            .inflight
+            .lock()
+            .expect("tune service poisoned")
+            .get(&hash)
+            .cloned()?;
+        Some(self.share(&flight))
+    }
+
+    fn share(&self, flight: &Flight) -> TuneResponse {
+        let mut slot = flight.slot.lock().expect("tune service poisoned");
+        while slot.is_none() {
+            slot = flight.ready.wait(slot).expect("tune service poisoned");
+        }
+        self.shared.fetch_add(1, Ordering::Relaxed);
+        slot.clone().expect("leader published a response")
     }
 
     /// Resolve a batch over the rayon worker pool. Output order matches
-    /// `requests`; duplicate requests inside the batch single-flight.
+    /// `requests`. Identical keys *within* the batch are deduplicated
+    /// before fan-out: one occurrence resolves, the rest are served its
+    /// response (counted `shared`) without touching the single-flight
+    /// guard at all.
     pub fn resolve_batch(&self, requests: &[TuneRequest]) -> Vec<TuneResponse> {
-        requests.par_iter().map(|req| self.resolve(req)).collect()
+        // Map each slot to the first slot carrying the same key.
+        let hashes: Vec<u64> = requests.iter().map(|r| r.key().stable_hash()).collect();
+        let mut first_slot: HashMap<u64, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let canonical: Vec<usize> = hashes
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                *first_slot.entry(*h).or_insert_with(|| {
+                    unique.push(i);
+                    i
+                })
+            })
+            .collect();
+        let resolved: Vec<(usize, TuneResponse)> = unique
+            .par_iter()
+            .map(|&i| (i, self.resolve(&requests[i])))
+            .collect();
+        let by_slot: HashMap<usize, TuneResponse> = resolved.into_iter().collect();
+        canonical
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if i != c {
+                    // An in-batch duplicate: it shares the canonical
+                    // occurrence's work exactly like a condvar waiter.
+                    self.shared.fetch_add(1, Ordering::Relaxed);
+                }
+                by_slot[&c].clone()
+            })
+            .collect()
     }
 
     /// Run `selector` first, then resolve the request with its kernel
