@@ -6,11 +6,17 @@
 //! diagnostic or any infeasible configuration lacks a coded rejection
 //! reason.
 //!
+//! With `--verify-kernels` each feasible, codegen-applicable
+//! configuration additionally has its emitted CUDA (and, where
+//! supported, OpenCL) source parsed and abstractly interpreted by the
+//! kernel verifier — any `LNT-K…` error fails the sweep like every
+//! other error-severity finding.
+//!
 //! With `--json` the output is a single machine-readable document:
-//! `schema_version`, one sweep report per (device, kernel, method), and
-//! a per-method `oracle` section pairing the whole-plan dataflow
-//! histogram with the static traffic oracle's predictions for a
-//! representative plan.
+//! `schema_version`, `verify_kernels`, one sweep report per (device,
+//! kernel, method), and a per-method `oracle` section pairing the
+//! whole-plan dataflow histogram with the static traffic oracle's
+//! predictions for a representative plan.
 //!
 //! ```sh
 //! cargo run --release --bin lint -- --device gtx580 --kernel laplacian --json
@@ -20,12 +26,15 @@ use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::{lower_step, KernelSpec, LaunchConfig, Method, Variant};
 use stencil_apps::{Hyperthermia, Laplacian3d, Poisson, Upstream};
 use stencil_grid::{MultiGridKernel, Precision};
-use stencil_lint::sweep::{enumerate_configs, enumerate_configs_quick, lint_configs, SweepReport};
+use stencil_lint::sweep::{
+    enumerate_configs, enumerate_configs_quick, lint_configs_opts, LintOptions, SweepReport,
+};
 use stencil_lint::{analyze_plan, predict_traffic};
 
 /// Version of the `--json` document layout; the golden-schema test in
-/// `tests/lint_json.rs` pins it.
-const SCHEMA_VERSION: u32 = 1;
+/// `tests/lint_json.rs` pins it. v2 added the `verify_kernels` flag
+/// echo alongside the kernel-verifier sweep option.
+const SCHEMA_VERSION: u32 = 2;
 
 struct Args {
     devices: Vec<DeviceSpec>,
@@ -33,16 +42,19 @@ struct Args {
     precision: Precision,
     json: bool,
     quick: bool,
+    verify_kernels: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lint [--device gtx580|gtx680|c2070|all]\n\
          \x20           [--kernel laplacian|poisson|hyperthermia|upstream|all]\n\
-         \x20           [--precision sp|dp] [--json] [--quick]\n\
+         \x20           [--precision sp|dp] [--json] [--quick] [--verify-kernels]\n\
          Sweeps the full (TX, TY, RX, RY) tuning grid for every method variant and\n\
          reports coded diagnostics. Exits non-zero when a feasible configuration\n\
-         carries an error-severity diagnostic or a rejection is unexplained."
+         carries an error-severity diagnostic or a rejection is unexplained.\n\
+         --verify-kernels additionally proves the emitted CUDA/OpenCL source by\n\
+         abstract interpretation (LNT-K diagnostics)."
     );
     std::process::exit(2)
 }
@@ -54,6 +66,7 @@ fn parse_args() -> Args {
         precision: Precision::Single,
         json: false,
         quick: false,
+        verify_kernels: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,6 +100,7 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = true,
             "--quick" => args.quick = true,
+            "--verify-kernels" => args.verify_kernels = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -154,6 +168,9 @@ fn oracle_json(device: &DeviceSpec, spec: &KernelSpec, precision: Precision) -> 
 fn main() {
     let args = parse_args();
     let dims = GridDims::paper();
+    let opts = LintOptions {
+        verify_kernels: args.verify_kernels,
+    };
     let mut reports: Vec<SweepReport> = Vec::new();
     let mut oracles: Vec<String> = Vec::new();
 
@@ -165,7 +182,7 @@ fn main() {
         };
         for kernel_name in &args.kernels {
             for spec in specs_for(kernel_name, args.precision) {
-                let results = lint_configs(device, &spec, &dims, &configs);
+                let results = lint_configs_opts(device, &spec, &dims, &configs, opts);
                 reports.push(SweepReport::from_results(device, &spec, &results));
                 if args.json {
                     oracles.push(oracle_json(device, &spec, args.precision));
@@ -179,8 +196,10 @@ fn main() {
         let items: Vec<String> = reports.iter().map(SweepReport::to_json).collect();
         println!(
             "{{\"schema_version\":{SCHEMA_VERSION},\"precision\":\"{}\",\
+             \"verify_kernels\":{},\
              \"reports\":[{}],\"oracle\":[{}],\"failed\":{failed},\"clean\":{}}}",
             args.precision.label(),
+            args.verify_kernels,
             items.join(","),
             oracles.join(","),
             failed == 0

@@ -34,9 +34,10 @@ fn json_document_matches_the_pinned_schema() {
     assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
 
     // Top level.
-    assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
     for key in [
         "\"precision\":\"SP\"",
+        "\"verify_kernels\":false",
         "\"reports\":[",
         "\"oracle\":[",
         "\"failed\":0",

@@ -4,12 +4,26 @@
 //! writer, never through raw strings) makes "the generated source is
 //! well-formed" a checkable invariant instead of a hope.
 
+/// A labelled position in generated source: the emission phase that
+/// begins at (1-based) `line`. Verifier diagnostics map a source
+/// position back to the innermost anchor at or above it, so a finding
+/// names the emitter phase ("stage top halo") and not just a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceAnchor {
+    /// Emitter-phase label.
+    pub label: &'static str,
+    /// 1-based source line the phase starts on.
+    pub line: usize,
+}
+
 /// Indented C source builder with brace accounting.
 #[derive(Debug, Default)]
 pub struct CWriter {
     out: String,
     indent: usize,
     open_braces: usize,
+    lines: usize,
+    anchors: Vec<SourceAnchor>,
 }
 
 impl CWriter {
@@ -31,12 +45,14 @@ impl CWriter {
         }
         self.out.push_str(s);
         self.out.push('\n');
+        self.lines += 1;
         self
     }
 
     /// Emit a blank line.
     pub fn blank(&mut self) -> &mut Self {
         self.out.push('\n');
+        self.lines += 1;
         self
     }
 
@@ -44,6 +60,7 @@ impl CWriter {
     pub fn raw(&mut self, s: &str) -> &mut Self {
         self.out.push_str(s);
         self.out.push('\n');
+        self.lines += 1;
         self
     }
 
@@ -59,6 +76,7 @@ impl CWriter {
         self.out.push_str("{\n");
         self.indent += 1;
         self.open_braces += 1;
+        self.lines += 1;
         self
     }
 
@@ -74,7 +92,26 @@ impl CWriter {
         self.out.push('}');
         self.out.push_str(suffix);
         self.out.push('\n');
+        self.lines += 1;
         self
+    }
+
+    /// The 1-based line number the next emission lands on.
+    pub fn line_no(&self) -> usize {
+        self.lines + 1
+    }
+
+    /// Record a [`SourceAnchor`] labelling the phase that starts at the
+    /// next emitted line.
+    pub fn anchor(&mut self, label: &'static str) -> &mut Self {
+        let line = self.line_no();
+        self.anchors.push(SourceAnchor { label, line });
+        self
+    }
+
+    /// The anchors recorded so far.
+    pub fn take_anchors(&mut self) -> Vec<SourceAnchor> {
+        std::mem::take(&mut self.anchors)
     }
 
     /// Number of currently open blocks.
@@ -86,6 +123,12 @@ impl CWriter {
     pub fn finish(self) -> String {
         assert_eq!(self.open_braces, 0, "unclosed block in generated source");
         self.out
+    }
+
+    /// Finish, returning the source and the recorded anchors.
+    pub fn finish_with_anchors(mut self) -> (String, Vec<SourceAnchor>) {
+        let anchors = self.take_anchors();
+        (self.finish(), anchors)
     }
 }
 
@@ -148,6 +191,32 @@ mod tests {
     fn close_without_open_panics() {
         let mut w = CWriter::new();
         w.close("");
+    }
+
+    #[test]
+    fn anchors_record_one_based_start_lines() {
+        let mut w = CWriter::new();
+        w.anchor("prologue");
+        w.raw("#define R 2");
+        w.open("void f(void)");
+        w.anchor("body");
+        w.line("int x = 1;");
+        w.close("");
+        let (src, anchors) = w.finish_with_anchors();
+        assert_eq!(
+            anchors,
+            vec![
+                SourceAnchor {
+                    label: "prologue",
+                    line: 1
+                },
+                SourceAnchor {
+                    label: "body",
+                    line: 3
+                },
+            ]
+        );
+        assert_eq!(src.lines().nth(2).unwrap().trim(), "int x = 1;");
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod host;
 pub mod kernel;
 pub mod opencl;
 
-pub use cwriter::CWriter;
+pub use cwriter::{CWriter, SourceAnchor};
 pub use host::generate_host_harness;
 pub use kernel::{generate_kernel, kernel_name, GeneratedKernel};
-pub use opencl::{generate_opencl_kernel, opencl_kernel_name};
+pub use opencl::{
+    generate_opencl_kernel, generate_opencl_kernel_full, opencl_kernel_name, OpenClKernel,
+};

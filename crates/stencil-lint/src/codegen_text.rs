@@ -40,12 +40,38 @@ pub const CUDA_BARRIER: &str = "__syncthreads()";
 /// OpenCL's per-plane barrier token.
 pub const OPENCL_BARRIER: &str = "barrier(CLK_LOCAL_MEM_FENCE)";
 
+/// Count `needle` as a token sequence, so occurrences inside comments
+/// and string literals are ignored. Falls back to a raw substring count
+/// only when the source does not lex (a malformed kernel still gets a
+/// best-effort barrier figure alongside its other findings).
 fn count_occurrences(haystack: &str, needle: &str) -> usize {
-    haystack.match_indices(needle).count()
+    crate::kernelir::count_token_occurrences(haystack, needle)
+        .unwrap_or_else(|| haystack.match_indices(needle).count())
 }
 
 /// Extract `#define NAME <expr>` pairs from the source.
+///
+/// Goes through the [`crate::kernelir`] lexer, so a `#define` sitting
+/// inside a comment can never shadow a real one; the raw line scan only
+/// backstops source that does not lex.
 fn parse_defines(source: &str) -> HashMap<String, String> {
+    if let Ok(lexed) = crate::kernelir::lexer::lex(source) {
+        let mut out = HashMap::new();
+        for (name, body) in lexed.defines {
+            let expr = body
+                .iter()
+                .map(|t| match &t.kind {
+                    crate::kernelir::lexer::TokKind::Ident(s) => s.clone(),
+                    crate::kernelir::lexer::TokKind::Num(n) => n.to_string(),
+                    crate::kernelir::lexer::TokKind::Str => "\"\"".to_string(),
+                    crate::kernelir::lexer::TokKind::P(p) => (*p).to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.insert(name, expr);
+        }
+        return out;
+    }
     let mut out = HashMap::new();
     for line in source.lines() {
         let line = line.trim();
@@ -441,6 +467,38 @@ mod tests {
         let tampered = k.source.replacen("__syncthreads();", "", 1);
         let d = lint_cuda_source(&tampered, &s, &c, None);
         assert!(d.iter().any(|x| x.code == "LNT-T001"), "{d:?}");
+    }
+
+    #[test]
+    fn commented_out_barrier_is_not_counted() {
+        let s = spec(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let c = LaunchConfig::new(32, 4, 1, 2);
+        let k = generate_kernel(&s, &c);
+
+        // Commenting a barrier out removes it from the count: the raw
+        // substring scan used to still see the token and stay silent.
+        let tampered = k
+            .source
+            .replacen("__syncthreads();", "// __syncthreads();", 1);
+        let d = lint_cuda_source(&tampered, &s, &c, None);
+        assert!(d.iter().any(|x| x.code == "LNT-T001"), "{d:?}");
+
+        // Conversely a barrier mentioned inside a comment adds nothing.
+        let padded = format!("// reminder: __syncthreads();\n{}", k.source);
+        let d = lint_cuda_source(&padded, &s, &c, None);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn commented_define_cannot_shadow_the_real_one() {
+        let s = spec(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let c = LaunchConfig::new(32, 4, 1, 2);
+        let k = generate_kernel(&s, &c);
+        // A define inside a trailing block comment used to win the
+        // line-scan's last-insert race and fake an LNT-T003.
+        let padded = format!("{}\n/*\n#define TX 64\n*/\n", k.source);
+        let d = lint_cuda_source(&padded, &s, &c, None);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * `LNT-S…` — barrier/happens-before schedule proofs;
 //! * `LNT-C…` — load-region coverage of the halo-framed slab;
 //! * `LNT-M…` — memory behaviour (coalescing, bank conflicts);
-//! * `LNT-T…` — generated-source (CUDA/OpenCL) text checks.
+//! * `LNT-T…` — generated-source (CUDA/OpenCL) text checks;
+//! * `LNT-K…` — symbolic kernel verification: the emitted source is
+//!   parsed into a typed AST and abstractly interpreted per thread
+//!   (see `kernelir` and `verify`).
 //!
 //! Within a family, codes `…001`–`…099` are errors (the configuration or
 //! plan is wrong/rejected), `…101`–`…199` warnings (legal but
@@ -245,6 +248,37 @@ pub const CATALOG: &[(&str, Severity, &str)] = &[
         "LNT-T101",
         Severity::Warning,
         "static shared tile with alignment slack exceeds the device's per-SM capacity",
+    ),
+    // Symbolic kernel verification (AST + abstract interpretation).
+    (
+        "LNT-K001",
+        Severity::Error,
+        "kernel accesses a shared/local array out of its declared bounds",
+    ),
+    (
+        "LNT-K002",
+        Severity::Error,
+        "kernel accesses global memory outside the buffer (or misaligns a vector load)",
+    ),
+    (
+        "LNT-K003",
+        Severity::Error,
+        "barrier executed under thread-divergent control flow or barrier count deviates from the proven schedule",
+    ),
+    (
+        "LNT-K004",
+        Severity::Error,
+        "conflicting shared-memory accesses in the same barrier phase (write-write or read-write race)",
+    ),
+    (
+        "LNT-K005",
+        Severity::Error,
+        "per-plane traffic derived from the kernel AST disagrees with the static traffic oracle",
+    ),
+    (
+        "LNT-K006",
+        Severity::Error,
+        "kernel outside the verifiable subset: parse/eval failure, budget exhaustion, or ill-shaped declarations",
     ),
 ];
 

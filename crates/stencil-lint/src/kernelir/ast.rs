@@ -1,0 +1,292 @@
+//! The typed kernel AST the parser lowers generated source into.
+//!
+//! The subset is exactly what the two emitters produce: integer-affine
+//! index expressions over thread/block builtins, fixed-shape local and
+//! shared arrays, counted `for` loops, guarded `if`s, barriers, vector
+//! loads with explicit lane stores, and the double-buffer tile alias.
+//! Identifiers are interned ([`Sym`]) so the evaluator's variable
+//! lookups compare integers, not strings.
+
+use super::lexer::Pos;
+use std::collections::HashMap;
+
+/// Interned identifier.
+pub type Sym = u32;
+
+/// Interning table mapping identifier text to [`Sym`]s.
+#[derive(Clone, Debug, Default)]
+pub struct SymTab {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl SymTab {
+    /// Intern `name`, returning its stable symbol.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = self.names.len() as Sym;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// The text of a symbol.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s as usize]
+    }
+
+    /// Look an existing name up without interning.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+}
+
+/// Thread/block builtins the emitted kernels read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Builtin {
+    /// `threadIdx.x` / `get_local_id(0)`.
+    Tx,
+    /// `threadIdx.y` / `get_local_id(1)`.
+    Ty,
+    /// `blockIdx.x` / `get_group_id(0)`.
+    Bx,
+    /// `blockIdx.y` / `get_group_id(1)`.
+    By,
+}
+
+/// Binary operators of the verified subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (C truncating division)
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `&&`
+    LAnd,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// What an indexed base name refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Base {
+    /// The streamed input buffer `in`.
+    GlobalIn,
+    /// The output buffer `out`.
+    GlobalOut,
+    /// The coefficient array (`c_coeff` / `coeff`).
+    Coeff,
+    /// A named local/shared array, pointer, or alias resolved at
+    /// evaluation time.
+    Named(Sym),
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable read.
+    Var(Sym),
+    /// Thread/block builtin.
+    Builtin(Builtin),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Indexed read `base[i0][i1]…`.
+    Index {
+        /// What the base name resolves to.
+        base: Base,
+        /// One expression per subscript.
+        indices: Vec<Expr>,
+        /// Source position of the base identifier (the load site id).
+        pos: Pos,
+    },
+    /// `*reinterpret_cast<const vecT*>(&in[idx])`.
+    VecLoad {
+        /// The address expression (element index into `in`).
+        index: Box<Expr>,
+        /// 4 for `float4`, 2 for `double2`.
+        lanes: u8,
+        /// Site id.
+        pos: Pos,
+    },
+    /// Lane read `v.x` … `v.w` of a vector value.
+    Lane {
+        /// The vector variable.
+        var: Sym,
+        /// Lane number 0..3.
+        lane: u8,
+    },
+    /// Integer cast (`(int)`, `(size_t)`) — value-transparent.
+    CastInt(Box<Expr>),
+    /// Data cast (`(float)0`, `(double)0`) — produces a data value.
+    CastData(Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(Sym),
+    /// Indexed store `base[i0][i1]… = …`.
+    Index {
+        /// Base resolution.
+        base: Base,
+        /// Subscripts.
+        indices: Vec<Expr>,
+    },
+}
+
+/// `=` or `+=`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// Plain store.
+    Set,
+    /// Read-modify-write add.
+    Add,
+}
+
+/// The step clause of a counted loop.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// `++i`
+    Inc,
+    /// `--i`
+    Dec,
+    /// `i += expr`
+    AddAssign(Expr),
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `const int x = e;` / `float acc = e;` — scoped scalar.
+    DeclScalar {
+        /// Variable name.
+        name: Sym,
+        /// Initialiser.
+        init: Expr,
+    },
+    /// `float pipe[RY][RX][2*R+1];` — per-thread array, constant dims.
+    DeclArray {
+        /// Array name.
+        name: Sym,
+        /// Evaluated dimensions.
+        dims: Vec<i64>,
+    },
+    /// `float* dst = &tile[a][b];` — pointer into a shared array.
+    DeclPtr {
+        /// Pointer name.
+        name: Sym,
+        /// Underlying array.
+        base: Sym,
+        /// Subscripts of the element whose address is taken.
+        indices: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `float (*tile)[SMEM_W] = tile_pair[e];` — row-view alias into a
+    /// buffered pair; the alias behaves as a 2-D array.
+    DeclAlias {
+        /// Alias name (`tile`).
+        name: Sym,
+        /// The pair array (`tile_pair`).
+        base: Sym,
+        /// Buffer-selection expression.
+        index: Expr,
+        /// Row length of the aliased view (evaluated `SMEM_W`).
+        row_len: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// `=` or `+=`.
+        op: AssignOp,
+        /// Value.
+        rhs: Expr,
+        /// Source position (the store site id).
+        pos: Pos,
+    },
+    /// `if (cond) { … }`.
+    If {
+        /// Guard (integer expression).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (int v = init; cond; step) { … }`.
+    For {
+        /// Loop variable.
+        var: Sym,
+        /// Initial value.
+        init: Expr,
+        /// Continuation guard.
+        cond: Expr,
+        /// Step clause.
+        step: Step,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `__syncthreads();` / `barrier(CLK_LOCAL_MEM_FENCE);`.
+    Barrier {
+        /// Site id.
+        pos: Pos,
+    },
+    /// `(void)x;` and friends — evaluated for effect, value dropped.
+    Nop,
+}
+
+/// A shared-memory array declaration (`__shared__` / `__local`).
+#[derive(Clone, Debug)]
+pub struct SharedDecl {
+    /// Array name.
+    pub name: Sym,
+    /// Evaluated dimensions.
+    pub dims: Vec<i64>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The parsed kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Interning table (diagnostics map symbols back to text).
+    pub syms: SymTab,
+    /// The `__global__`/`__kernel` function's name.
+    pub name: String,
+    /// Shared-memory arrays declared in the function.
+    pub shared: Vec<SharedDecl>,
+    /// Declared extent of the coefficient array (`c_coeff[R+1]`),
+    /// when a file-scope `__constant__` declaration exists.
+    pub coeff_len: Option<i64>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Per-thread local array declarations, collected for shape checks
+    /// (name → dims), in declaration order.
+    pub local_arrays: Vec<(Sym, Vec<i64>)>,
+}

@@ -37,6 +37,12 @@
 //! bounds, declared shared-memory bytes — `LNT-T…`), and [`sweep`] runs
 //! everything over a device's full parameter space in parallel.
 //!
+//! Finally, [`verify`] closes the loop on the emitted text itself: the
+//! CUDA/OpenCL source is parsed by [`kernelir`] into a typed AST and
+//! abstractly interpreted per thread, proving shared/global bounds,
+//! barrier uniformity, race freedom and that the per-plane traffic the
+//! kernel issues equals the static oracle exactly (`LNT-K…`).
+//!
 //! Every finding is a [`Diagnostic`] with a stable code from
 //! [`diag::CATALOG`], rendered either human-readable or as JSON.
 
@@ -46,10 +52,12 @@ pub mod coverage;
 pub mod dataflow;
 pub mod diag;
 pub mod feasibility;
+pub mod kernelir;
 pub mod rect;
 pub mod schedule;
 pub mod sweep;
 pub mod traffic;
+pub mod verify;
 
 pub use coalescing::check_coalescing;
 pub use codegen_text::{lint_cuda, lint_cuda_source, lint_opencl_source};
@@ -61,5 +69,12 @@ pub use diag::{
 pub use feasibility::{explain_feasibility, is_feasible};
 pub use rect::Rect;
 pub use schedule::check_schedule;
-pub use sweep::{enumerate_configs, lint_config, lint_space, ConfigLint, SweepReport};
-pub use traffic::{predict_stats, predict_traffic, TrafficOracle};
+pub use sweep::{
+    enumerate_configs, lint_config, lint_config_opts, lint_space, lint_space_opts, ConfigLint,
+    LintOptions, SweepReport,
+};
+pub use traffic::{
+    padded_stride, predict_kernel_traffic, predict_stats, predict_traffic, KernelTraffic,
+    PlaneTraffic, TrafficOracle,
+};
+pub use verify::{verify_cuda_kernel, verify_kernel_source, verify_opencl_kernel};

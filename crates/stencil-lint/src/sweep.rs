@@ -13,6 +13,12 @@
 //!   explained analyzer has drifted from the boolean predicate.
 //!
 //! [`SweepReport::clean`] is true iff both hold over the whole space.
+//!
+//! With [`LintOptions::verify_kernels`] the first contract is extended:
+//! a feasible, codegen-applicable configuration must also survive the
+//! [`crate::verify`] abstract interpreter with zero `LNT-K…` errors on
+//! **both** backends — the emitted text itself is proven in-bounds,
+//! race-free, barrier-uniform and traffic-exact, not just well-formed.
 
 use crate::coalescing::check_coalescing;
 use crate::codegen_text::{lint_cuda, lint_opencl_source};
@@ -29,6 +35,17 @@ use inplane_core::{KernelSpec, LaunchConfig};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use stencil_codegen::{generate_kernel, generate_opencl_kernel};
+
+/// Optional passes layered on top of the always-on analyses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Run the [`crate::verify`] kernel verifier (parse + abstract
+    /// interpretation of the emitted CUDA and, where supported, OpenCL
+    /// source) on every feasible, codegen-applicable configuration.
+    /// Off by default: the verifier executes every thread of a block
+    /// and costs orders of magnitude more than the text lints.
+    pub verify_kernels: bool,
+}
 
 /// The lint verdict for one launch configuration.
 #[derive(Clone, Debug)]
@@ -96,6 +113,22 @@ pub fn lint_config(
     dims: &GridDims,
     config: &LaunchConfig,
 ) -> ConfigLint {
+    lint_config_opts(device, kernel, dims, config, LintOptions::default())
+}
+
+/// [`lint_config`] with optional passes: when
+/// [`LintOptions::verify_kernels`] is set, the emitted CUDA (and, where
+/// supported, OpenCL) source is additionally proven by the
+/// [`crate::verify`] abstract interpreter on a minimal one-block grid
+/// (`2R + WX × 2R + WY × 2R + 2`) — the smallest domain that exercises
+/// prologue, one full interior trip and the store path.
+pub fn lint_config_opts(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: &GridDims,
+    config: &LaunchConfig,
+    opts: LintOptions,
+) -> ConfigLint {
     let mut diagnostics = explain_feasibility(device, kernel, dims, config);
     let feasible = !has_errors(&diagnostics);
 
@@ -117,6 +150,15 @@ pub fn lint_config(
             if kernel.method.routine().opencl_supported() {
                 let src = generate_opencl_kernel(kernel, config);
                 diagnostics.extend(lint_opencl_source(&src, kernel, config, Some(device)));
+            }
+
+            if opts.verify_kernels {
+                let r = kernel.radius;
+                let vdims = (2 * r + config.tile_x(), 2 * r + config.tile_y(), 2 * r + 2);
+                diagnostics.extend(crate::verify::verify_cuda_kernel(kernel, config, vdims));
+                if kernel.method.routine().opencl_supported() {
+                    diagnostics.extend(crate::verify::verify_opencl_kernel(kernel, config, vdims));
+                }
             }
         }
 
@@ -148,9 +190,20 @@ pub fn lint_configs(
     dims: &GridDims,
     configs: &[LaunchConfig],
 ) -> Vec<ConfigLint> {
+    lint_configs_opts(device, kernel, dims, configs, LintOptions::default())
+}
+
+/// [`lint_configs`] with optional passes.
+pub fn lint_configs_opts(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: &GridDims,
+    configs: &[LaunchConfig],
+    opts: LintOptions,
+) -> Vec<ConfigLint> {
     configs
         .par_iter()
-        .map(|c| lint_config(device, kernel, dims, c))
+        .map(|c| lint_config_opts(device, kernel, dims, c, opts))
         .collect()
 }
 
@@ -318,8 +371,18 @@ impl SweepReport {
 
 /// Sweep the full enumeration grid of `device` for `kernel` on `dims`.
 pub fn lint_space(device: &DeviceSpec, kernel: &KernelSpec, dims: &GridDims) -> SweepReport {
+    lint_space_opts(device, kernel, dims, LintOptions::default())
+}
+
+/// [`lint_space`] with optional passes.
+pub fn lint_space_opts(
+    device: &DeviceSpec,
+    kernel: &KernelSpec,
+    dims: &GridDims,
+    opts: LintOptions,
+) -> SweepReport {
     let configs = enumerate_configs(device);
-    let results = lint_configs(device, kernel, dims, &configs);
+    let results = lint_configs_opts(device, kernel, dims, &configs, opts);
     SweepReport::from_results(device, kernel, &results)
 }
 
@@ -376,6 +439,29 @@ mod tests {
                 !report.rejections.is_empty(),
                 "the grid has infeasible points"
             );
+        }
+    }
+
+    #[test]
+    fn kernel_verifier_reaches_the_sweep_and_stays_clean() {
+        let dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let cfg = LaunchConfig::new(16, 2, 1, 2);
+        let opts = LintOptions {
+            verify_kernels: true,
+        };
+        for method in [
+            inplane_core::Method::ForwardPlane,
+            inplane_core::Method::InPlane(inplane_core::Variant::FullSlice),
+        ] {
+            let k = kernel(method, 4);
+            let with = lint_config_opts(&dev, &k, &dims, &cfg, opts);
+            assert!(with.feasible);
+            assert!(!with.has_errors(), "{method:?}: {:?}", with.diagnostics);
+            // The option is additive: without it the result is the
+            // default pass set, bit for bit.
+            let without = lint_config(&dev, &k, &dims, &cfg);
+            assert_eq!(with.diagnostics, without.diagnostics);
         }
     }
 

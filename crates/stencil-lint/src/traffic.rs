@@ -21,7 +21,10 @@
 //! halo moves and gathers.
 
 use inplane_core::plan::{PipelineFeed, PipelineKind, PlanOp, StagePlan, StageSource, OUTPUT_BUF};
-use inplane_core::ExecStats;
+use inplane_core::resources::vector_width;
+use inplane_core::routine::LoadPattern;
+use inplane_core::{ExecStats, KernelSpec};
+use std::collections::BTreeMap;
 use stencil_grid::Precision;
 
 /// Memory-segment size assumed by the coalesced-transaction count: the
@@ -110,7 +113,7 @@ struct BlockGeom {
 
 /// Transactions one row of `len` cells takes, starting at linear cell
 /// index `base` of a row-major buffer, with `b`-byte words.
-fn row_transactions(base: u64, len: u64, b: u64) -> u64 {
+pub(crate) fn row_transactions(base: u64, len: u64, b: u64) -> u64 {
     if len == 0 {
         return 0;
     }
@@ -283,6 +286,204 @@ pub fn predict_traffic(plan: &StagePlan, precision: Precision) -> TrafficOracle 
     simulate(plan, precision.bytes() as u64)
 }
 
+/// Per-plane global-load figures of one emitted kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneTraffic {
+    /// Cells loaded from global memory while this plane is current.
+    pub cells: u64,
+    /// 128-byte coalesced transactions those loads take against the
+    /// *padded* host layout (see [`padded_stride`]).
+    pub transactions: u64,
+}
+
+/// The kernel-side traffic oracle: per-plane global loads and
+/// write-backs exactly as the *emitted* kernel issues them.
+///
+/// This differs from [`TrafficOracle`] in two deliberate ways: rows
+/// use the generated host allocator's 128-byte padded stride (the plan
+/// oracle uses the logical `nx`), and staging extents follow the
+/// emitter — vector-extended slabs when `r % VW != 0`, `VW`-rounded
+/// sweep spans. The kernel verifier (`LNT-K005`) re-derives the same
+/// map from the kernel AST's load events and asserts exact equality,
+/// proving oracle, plan and emitted text agree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelTraffic {
+    /// Word width in bytes.
+    pub word_bytes: u64,
+    /// Per-global-plane load figures.
+    pub loads: BTreeMap<u64, PlaneTraffic>,
+    /// Per-global-plane write-back cell counts.
+    pub stores: BTreeMap<u64, u64>,
+}
+
+impl KernelTraffic {
+    /// Total cells loaded across all planes.
+    pub fn total_load_cells(&self) -> u64 {
+        self.loads.values().map(|p| p.cells).sum()
+    }
+
+    /// Total coalesced load transactions across all planes.
+    pub fn total_load_transactions(&self) -> u64 {
+        self.loads.values().map(|p| p.transactions).sum()
+    }
+
+    /// Total cells written back across all planes.
+    pub fn total_store_cells(&self) -> u64 {
+        self.stores.values().sum()
+    }
+}
+
+/// The 128-byte-aligned row stride (in elements) the generated host
+/// code allocates: `ceil(nx·b / 128) · (128 / b)` — the `STRIDE`
+/// `#define` of `generate_host`.
+pub fn padded_stride(nx: usize, elem_bytes: usize) -> u64 {
+    let b = elem_bytes as u64;
+    (nx as u64 * b).div_ceil(COALESCE_SEGMENT_BYTES) * (COALESCE_SEGMENT_BYTES / b)
+}
+
+/// State threaded through the kernel-oracle plan walk.
+struct KernelWalk {
+    out: KernelTraffic,
+    stride: u64,
+    pstride: u64,
+    word_bytes: u64,
+}
+
+impl KernelWalk {
+    /// Count the loads of a `w × h` row-aligned region at `(x_lo, y_lo)`
+    /// of global plane `plane`.
+    fn region(&mut self, plane: usize, x_lo: i64, w: i64, y_lo: i64, h: i64) {
+        if w <= 0 || h <= 0 {
+            return;
+        }
+        let entry = self.out.loads.entry(plane as u64).or_default();
+        for y in y_lo..y_lo + h {
+            let base = plane as u64 * self.pstride + y as u64 * self.stride + x_lo as u64;
+            entry.cells += w as u64;
+            entry.transactions += row_transactions(base, w as u64, self.word_bytes);
+        }
+    }
+}
+
+/// Re-derive the per-plane traffic the generated kernel issues for
+/// `plan` (a single-step lowering of `spec.method`), against the
+/// padded host layout.
+///
+/// The walk mirrors the emitters region for region: pipeline preloads
+/// and `GlobalPlane` rotation feeds load the interior tile; each
+/// staged plane loads the routine's pattern — scalar interior + four
+/// halo arms, vertical slab + side columns, horizontal full-width rows,
+/// or the corner-including full-slice sweep. Extents reproduce the
+/// emitted arithmetic exactly, including the `VW`-aligned slab
+/// extension when `r % VW != 0` and the `VW`-rounded sweep span.
+pub fn predict_kernel_traffic(plan: &StagePlan, spec: &KernelSpec) -> KernelTraffic {
+    let r = plan.radius as i64;
+    let vw = vector_width(spec).max(1) as i64;
+    let routine = plan.method.routine();
+    let pattern = routine.load_pattern();
+    let interior_global = routine.skeleton(plan.radius).interior_source == StageSource::Global;
+    let (nx, ny, _) = plan.dims;
+    let stride = padded_stride(nx, spec.elem_bytes);
+    let mut walk = KernelWalk {
+        out: KernelTraffic {
+            word_bytes: spec.elem_bytes as u64,
+            ..KernelTraffic::default()
+        },
+        stride,
+        pstride: stride * ny as u64,
+        word_bytes: spec.elem_bytes as u64,
+    };
+
+    struct Blk {
+        x0: i64,
+        y0: i64,
+        w: i64,
+        h: i64,
+        cur_plane: Option<usize>,
+    }
+    let mut blk: Option<Blk> = None;
+
+    for op in &plan.ops {
+        match *op {
+            PlanOp::BeginBlock {
+                x0,
+                y0,
+                w,
+                h,
+                z_depth,
+                ..
+            } => {
+                // Pipeline preload: the interior tile on the first
+                // `z_depth` planes.
+                for p in 0..z_depth {
+                    walk.region(p, x0 as i64, w as i64, y0 as i64, h as i64);
+                }
+                blk = Some(Blk {
+                    x0: x0 as i64,
+                    y0: y0 as i64,
+                    w: w as i64,
+                    h: h as i64,
+                    cur_plane: None,
+                });
+            }
+            PlanOp::StageRegion { plane, .. } => {
+                let bb = blk.as_mut().expect("StageRegion outside a block");
+                if bb.cur_plane == Some(plane) {
+                    continue;
+                }
+                bb.cur_plane = Some(plane);
+                let (x0, y0, w, h) = (bb.x0, bb.y0, bb.w, bb.h);
+                let xs = x0 - r;
+                // Exact extents when the halo is vector-aligned; the
+                // emitters fall back to VW-extended slabs otherwise.
+                let (ext_lo, ext_w) = if r % vw == 0 {
+                    (x0, w)
+                } else {
+                    ((x0 / vw) * vw, (w / vw + 1) * vw)
+                };
+                let span = (w + 2 * r + vw - 1) / vw * vw;
+                match pattern {
+                    LoadPattern::ScalarRegions => {
+                        if interior_global {
+                            walk.region(plane, x0, w, y0, h);
+                        }
+                        walk.region(plane, x0, w, y0 - r, r);
+                        walk.region(plane, x0, w, y0 + h, r);
+                        walk.region(plane, x0 - r, r, y0, h);
+                        walk.region(plane, x0 + w, r, y0, h);
+                    }
+                    LoadPattern::VerticalSlab => {
+                        walk.region(plane, ext_lo, ext_w, y0 - r, h + 2 * r);
+                        walk.region(plane, x0 - r, r, y0, h);
+                        walk.region(plane, x0 + w, r, y0, h);
+                    }
+                    LoadPattern::HorizontalRows => {
+                        walk.region(plane, xs, span, y0, h);
+                        walk.region(plane, ext_lo, ext_w, y0 - r, r);
+                        walk.region(plane, ext_lo, ext_w, y0 + h, r);
+                    }
+                    LoadPattern::FullSliceSweep => {
+                        walk.region(plane, xs, span, y0 - r, h + 2 * r);
+                    }
+                }
+            }
+            PlanOp::RotatePipeline { pipeline, feed } => {
+                if let (PipelineKind::ZValues, PipelineFeed::GlobalPlane(kp)) = (pipeline, feed) {
+                    let bb = blk.as_ref().expect("RotatePipeline outside a block");
+                    walk.region(kp, bb.x0, bb.w, bb.y0, bb.h);
+                }
+            }
+            PlanOp::WriteBack { plane, .. } => {
+                let bb = blk.as_ref().expect("WriteBack outside a block");
+                *walk.out.stores.entry(plane as u64).or_insert(0) += (bb.w * bb.h) as u64;
+            }
+            _ => {}
+        }
+    }
+
+    walk.out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +539,59 @@ mod tests {
         let j = dp.to_json();
         assert!(j.contains("\"word_bytes\":8"));
         assert!(j.contains("\"load_transactions\":"));
+    }
+
+    #[test]
+    fn padded_stride_rounds_rows_to_whole_segments() {
+        // 12 f32 words = 48 bytes -> one 128-byte segment = 32 words.
+        assert_eq!(padded_stride(12, 4), 32);
+        // 33 f32 words = 132 bytes -> two segments = 64 words.
+        assert_eq!(padded_stride(33, 4), 64);
+        // 16 f64 words fill a segment exactly.
+        assert_eq!(padded_stride(16, 8), 16);
+    }
+
+    #[test]
+    fn kernel_oracle_matches_plan_cells_on_aligned_configs() {
+        use inplane_core::Method;
+        // When the staging extents are exact (r % VW == 0), the
+        // kernel-side oracle must agree with the plan oracle on total
+        // load cells and stores — only the transaction figures differ
+        // (padded vs logical stride).
+        for (method, order, config, dims) in [
+            (
+                Method::ForwardPlane,
+                4,
+                LaunchConfig::new(4, 4, 1, 1),
+                (12, 12, 9),
+            ),
+            (
+                Method::InPlane(Variant::Vertical),
+                8,
+                LaunchConfig::new(8, 2, 1, 2),
+                (16, 12, 10),
+            ),
+            (
+                Method::InPlane(Variant::Horizontal),
+                8,
+                LaunchConfig::new(8, 2, 1, 2),
+                (16, 12, 10),
+            ),
+            (
+                Method::InPlane(Variant::FullSlice),
+                8,
+                LaunchConfig::new(8, 2, 1, 2),
+                (16, 12, 10),
+            ),
+        ] {
+            let spec = KernelSpec::star_order(method, order, Precision::Single);
+            let plan = lower_step(method, &config, spec.radius, dims);
+            let kt = predict_kernel_traffic(&plan, &spec);
+            let po = predict_traffic(&plan, Precision::Single);
+            assert_eq!(kt.total_load_cells(), po.global_load_cells, "{method}");
+            assert_eq!(kt.total_store_cells(), po.stats.global_writes, "{method}");
+            assert!(kt.total_load_transactions() > 0, "{method}");
+            assert!(kt.loads.len() >= dims.2 - 2 * spec.radius, "{method}");
+        }
     }
 }

@@ -41,7 +41,7 @@ fn codes_are_unique_and_well_formed() {
         );
         let family = code.as_bytes()[4] as char;
         assert!(
-            matches!(family, 'R' | 'S' | 'C' | 'D' | 'M' | 'T'),
+            matches!(family, 'R' | 'S' | 'C' | 'D' | 'M' | 'T' | 'K'),
             "{code} uses unknown family {family}"
         );
         assert!(
@@ -72,6 +72,12 @@ fn every_emitted_code_is_registered() {
         include_str!("../src/schedule.rs"),
         include_str!("../src/sweep.rs"),
         include_str!("../src/traffic.rs"),
+        include_str!("../src/verify.rs"),
+        include_str!("../src/kernelir/mod.rs"),
+        include_str!("../src/kernelir/ast.rs"),
+        include_str!("../src/kernelir/lexer.rs"),
+        include_str!("../src/kernelir/parser.rs"),
+        include_str!("../src/kernelir/interp.rs"),
         include_str!("../../core/src/exec/buffer.rs"),
         include_str!("../../core/src/exec/interp.rs"),
     ];
@@ -87,7 +93,10 @@ fn every_emitted_code_is_registered() {
             // codes in negative tests ("LNT-XXXX"): a real code is a
             // family letter followed by exactly three digits.
             let well_formed = code.len() == 8
-                && matches!(code.as_bytes()[4], b'R' | b'S' | b'C' | b'D' | b'M' | b'T')
+                && matches!(
+                    code.as_bytes()[4],
+                    b'R' | b'S' | b'C' | b'D' | b'M' | b'T' | b'K'
+                )
                 && code[5..].chars().all(|c| c.is_ascii_digit());
             if well_formed {
                 used.insert(code);
