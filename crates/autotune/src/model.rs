@@ -42,7 +42,15 @@ pub fn latency_overlap_factor(device: &DeviceSpec, arg: f64, warps_per_block: us
     }
     let total_warps = arg * warps_per_block as f64;
     let full = device.max_warps_per_sm as f64;
-    let hide = ((total_warps - 1.0) / (full - 1.0)).clamp(0.0, 1.0);
+    // A device that can hold only one resident warp has nothing to
+    // hide latency with: the interpolation's denominator (full - 1)
+    // degenerates, so pin the factor at full serialisation instead of
+    // dividing by zero.
+    let hide = if full <= 1.0 {
+        0.0
+    } else {
+        ((total_warps - 1.0) / (full - 1.0)).clamp(0.0, 1.0)
+    };
     // hide = 1 → factor 1; hide = 0 → factor arg.
     arg - (arg - 1.0) * hide
 }
@@ -51,15 +59,17 @@ pub fn latency_overlap_factor(device: &DeviceSpec, arg: f64, warps_per_block: us
 /// halo-framed slab reads for every streamed grid, interior reads for
 /// coefficient grids, interior writes for outputs.
 ///
-/// The transaction granularity the model assumes: the Fermi 128-byte
-/// cached-load segment. The paper's model was built against Fermi cards;
-/// §VI attributes its worst mis-rankings (~6%, on the GTX680) to
-/// "architectural differences in the newer Kepler cards which the model
-/// does not capture" — Kepler's 32-byte L2 sectors being exactly such a
-/// difference. We therefore fix the model at 128 bytes for every device
-/// and let Fig 12 measure the consequence.
-pub const MODEL_SEGMENT_BYTES: u64 = 128;
-
+/// The transaction granularity the model assumes is the device's
+/// `coalesce_segment_bytes` — the padding granule its host allocator
+/// rounds rows to (128 bytes on every NVIDIA preset, Fermi's cached-
+/// load segment; 64 bytes on GCN-class wave64 parts). The paper's
+/// model was built against Fermi cards; §VI attributes its worst
+/// mis-rankings (~6%, on the GTX680) to "architectural differences in
+/// the newer Kepler cards which the model does not capture" —
+/// Kepler's 32-byte L2 sectors being exactly such a difference. The
+/// model therefore keeps the *allocation* granule rather than chasing
+/// per-generation sector sizes, and Fig 12 measures the consequence.
+///
 /// Bytes are *bus* bytes: each row is rounded up to whole memory
 /// transactions of `segment_bytes` — without this, the model grossly
 /// overrates narrow tiles whose rows use a fraction of every segment.
@@ -120,8 +130,8 @@ pub fn predict_mpoints(
     // reading of Eqn (12) would, under-counts bandwidth ActBlks-fold at
     // full occupancy and cannot reproduce the paper's reported accuracy.
     let t_lat = device.mem_latency_cycles / device.clock_hz();
-    let t_bw =
-        bytes_per_block_plane(kernel, config, MODEL_SEGMENT_BYTES) / device.bandwidth_per_sm();
+    let t_bw = bytes_per_block_plane(kernel, config, device.coalesce_segment_bytes)
+        / device.bandwidth_per_sm();
 
     // Eqn (11): compute time of one block-plane, seconds, normalised by
     // the SM's flop throughput for the element width.
@@ -228,6 +238,36 @@ mod tests {
         // Two blocks of one warp each: barely any hiding.
         let f = latency_overlap_factor(&dev, 2.0, 1);
         assert!(f > 1.9 && f <= 2.0, "{f}");
+    }
+
+    #[test]
+    fn single_resident_warp_device_stays_finite() {
+        // max_warps_per_sm == 1 degenerates the hiding interpolation's
+        // (full - 1) denominator; the factor must pin at full
+        // serialisation (= arg), not divide by zero.
+        let mut dev = DeviceSpec::gtx580();
+        dev.max_warps_per_sm = 1;
+        for arg in [1.0, 2.0, 6.0] {
+            let f = latency_overlap_factor(&dev, arg, 4);
+            assert!(f.is_finite(), "arg {arg}: {f}");
+            assert!((f - arg).abs() < 1e-12, "arg {arg}: {f}");
+        }
+        let p = predict_mpoints(
+            &dev,
+            &kernel(4),
+            &LaunchConfig::new(64, 4, 1, 2),
+            &GridDims::paper(),
+        );
+        assert!(p.is_finite() && p >= 0.0, "{p}");
+    }
+
+    #[test]
+    fn model_predicts_on_every_registered_device() {
+        let c = LaunchConfig::new(64, 4, 1, 2);
+        for dev in DeviceSpec::all_devices() {
+            let p = predict_mpoints(&dev, &kernel(4), &c, &GridDims::paper());
+            assert!(p.is_finite() && p > 0.0, "{}: {p}", dev.name);
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl ParameterSpace {
         kernel: &KernelSpec,
         dims: &GridDims,
     ) -> (Self, SpaceAudit) {
-        let half_warp = device.warp_size / 2;
+        let half_warp = device.half_wavefront();
         let reg_factors = [1usize, 2, 4, 8];
         let mut configs = Vec::new();
         let mut audit = SpaceAudit::default();

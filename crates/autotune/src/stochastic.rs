@@ -70,7 +70,7 @@ fn neighbours(
     dims: &GridDims,
     c: &LaunchConfig,
 ) -> Vec<LaunchConfig> {
-    let half_warp = device.warp_size / 2;
+    let half_warp = device.half_wavefront();
     let mut out = Vec::new();
     let mut push = |tx: usize, ty: usize, rx: usize, ry: usize| {
         if tx >= half_warp && ty >= 1 && rx >= 1 && ry >= 1 {

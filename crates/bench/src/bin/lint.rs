@@ -29,12 +29,14 @@ use stencil_grid::{MultiGridKernel, Precision};
 use stencil_lint::sweep::{
     enumerate_configs, enumerate_configs_quick, lint_configs_opts, LintOptions, SweepReport,
 };
-use stencil_lint::{analyze_plan, predict_traffic};
+use stencil_lint::{analyze_plan, predict_traffic_on};
 
 /// Version of the `--json` document layout; the golden-schema test in
 /// `tests/lint_json.rs` pins it. v2 added the `verify_kernels` flag
-/// echo alongside the kernel-verifier sweep option.
-const SCHEMA_VERSION: u32 = 2;
+/// echo alongside the kernel-verifier sweep option; v3 added the
+/// `segment_bytes` field to the traffic-oracle entries and the
+/// wave64/Ampere device names.
+const SCHEMA_VERSION: u32 = 3;
 
 struct Args {
     devices: Vec<DeviceSpec>,
@@ -47,7 +49,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lint [--device gtx580|gtx680|c2070|all]\n\
+        "usage: lint [--device gtx580|gtx680|c2070|hd7970|rtx3090|all]\n\
          \x20           [--kernel laplacian|poisson|hyperthermia|upstream|all]\n\
          \x20           [--precision sp|dp] [--json] [--quick] [--verify-kernels]\n\
          Sweeps the full (TX, TY, RX, RY) tuning grid for every method variant and\n\
@@ -77,7 +79,9 @@ fn parse_args() -> Args {
                     "gtx580" => vec![DeviceSpec::gtx580()],
                     "gtx680" => vec![DeviceSpec::gtx680()],
                     "c2070" => vec![DeviceSpec::c2070()],
-                    "all" => DeviceSpec::paper_devices().to_vec(),
+                    "hd7970" => vec![DeviceSpec::hd7970()],
+                    "rtx3090" => vec![DeviceSpec::rtx3090()],
+                    "all" => DeviceSpec::all_devices().to_vec(),
                     _ => usage(),
                 }
             }
@@ -141,11 +145,12 @@ fn app_spec<T: stencil_grid::Real>(kernel: &str, method: Method) -> KernelSpec {
 
 /// One JSON entry pairing the whole-plan dataflow histogram with the
 /// static traffic oracle's predictions on a representative plan: a few
-/// tiles of a warp-aligned configuration, enough planes for prologue,
-/// steady state and drain.
+/// tiles of a wavefront-aligned configuration, enough planes for
+/// prologue, steady state and drain. The oracle runs against the
+/// device's own coalescing geometry (64-byte segments on wave64).
 fn oracle_json(device: &DeviceSpec, spec: &KernelSpec, precision: Precision) -> String {
     let r = spec.radius;
-    let config = LaunchConfig::new(device.warp_size / 2, 2, 1, 1);
+    let config = LaunchConfig::new(device.half_wavefront(), 2, 1, 1);
     let dims = (
         2 * r + 2 * config.tile_x(),
         2 * r + 2 * config.tile_y(),
@@ -153,7 +158,7 @@ fn oracle_json(device: &DeviceSpec, spec: &KernelSpec, precision: Precision) -> 
     );
     let plan = lower_step(spec.method, &config, r, dims);
     let report = analyze_plan(&plan);
-    let traffic = predict_traffic(&plan, precision);
+    let traffic = predict_traffic_on(&plan, precision, device);
     format!(
         "{{\"device\":\"{}\",\"kernel\":\"{}\",\"method\":\"{}\",\
          \"dataflow\":{},\"traffic\":{}}}",

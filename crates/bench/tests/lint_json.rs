@@ -34,7 +34,7 @@ fn json_document_matches_the_pinned_schema() {
     assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
 
     // Top level.
-    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+    assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
     for key in [
         "\"precision\":\"SP\"",
         "\"verify_kernels\":false",
@@ -71,6 +71,7 @@ fn json_document_matches_the_pinned_schema() {
         "\"method\":\"in-plane/full-slice\"",
         "\"errors\":0",
         "\"word_bytes\":4",
+        "\"segment_bytes\":128",
         "\"cells_staged\":",
         "\"load_transactions\":",
         "\"staged_bytes\":",
@@ -96,4 +97,23 @@ fn dp_run_reports_eight_byte_words() {
     assert!(json.contains("\"precision\":\"DP\""), "{json}");
     assert!(json.contains("\"kernel\":\"Upstream"), "{json}");
     assert!(json.contains("\"word_bytes\":8"), "{json}");
+}
+
+#[test]
+fn wave64_run_reports_its_own_segment_geometry() {
+    let (json, ok) = run_lint(&[
+        "--device",
+        "hd7970",
+        "--kernel",
+        "laplacian",
+        "--precision",
+        "sp",
+        "--quick",
+        "--json",
+    ]);
+    assert!(ok, "hd7970 sweep must be clean:\n{json}");
+    assert!(json.contains("\"device\":\"Radeon HD 7970\""), "{json}");
+    // The traffic oracle runs against the device's 64-byte segments.
+    assert!(json.contains("\"segment_bytes\":64"), "{json}");
+    assert!(!json.contains("\"segment_bytes\":128"), "{json}");
 }

@@ -5,11 +5,13 @@
 
 use crate::cwriter::CWriter;
 use crate::kernel::kernel_name;
+use gpu_sim::LEGACY_COALESCE_SEGMENT_BYTES;
 use inplane_core::{KernelSpec, LaunchConfig};
 use stencil_grid::Precision;
 
 /// Generate a standalone `main.cu` that allocates a `lx × ly × lz` grid,
-/// runs `steps` Jacobi iterations of the kernel and reports MPoint/s.
+/// runs `steps` Jacobi iterations of the kernel and reports MPoint/s,
+/// with rows padded to the legacy 128-byte coalescing granule.
 pub fn generate_host_harness(
     spec: &KernelSpec,
     config: &LaunchConfig,
@@ -17,6 +19,52 @@ pub fn generate_host_harness(
     ly: usize,
     lz: usize,
     steps: usize,
+) -> String {
+    generate_host_harness_for(
+        spec,
+        config,
+        lx,
+        ly,
+        lz,
+        steps,
+        LEGACY_COALESCE_SEGMENT_BYTES,
+    )
+}
+
+/// [`generate_host_harness`] with the row padding granule taken from a
+/// device's `coalesce_segment_bytes` — 64 bytes on GCN-class wave64
+/// parts, where padding to 128 would waste half the fringe segment.
+pub fn generate_host_harness_on(
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    lx: usize,
+    ly: usize,
+    lz: usize,
+    steps: usize,
+    device: &gpu_sim::DeviceSpec,
+) -> String {
+    generate_host_harness_for(
+        spec,
+        config,
+        lx,
+        ly,
+        lz,
+        steps,
+        device.coalesce_segment_bytes,
+    )
+}
+
+/// The generic harness generator, parameterized on the coalescing
+/// segment the allocation pads rows to.
+#[allow(clippy::too_many_arguments)]
+fn generate_host_harness_for(
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    lx: usize,
+    ly: usize,
+    lz: usize,
+    steps: usize,
+    seg: u64,
 ) -> String {
     let t = match spec.precision() {
         Precision::Single => "float",
@@ -36,11 +84,14 @@ pub fn generate_host_harness(
     w.raw(&format!("#define LY {ly}"));
     w.raw(&format!("#define LZ {lz}"));
     w.raw(&format!("#define STEPS {steps}"));
-    w.raw("// Row stride padded to a 128-byte boundary so tile rows align");
+    w.raw(&format!(
+        "// Row stride padded to a {seg}-byte boundary so tile rows align"
+    ));
     w.raw("// (the array-padding optimisation the in-plane kernels assume).");
     w.raw(&format!(
-        "#define STRIDE ((((LX + 2 * R) * {sz} + 127) / 128) * (128 / {sz}))",
-        sz = spec.elem_bytes
+        "#define STRIDE ((((LX + 2 * R) * {sz} + {m}) / {seg}) * ({seg} / {sz}))",
+        sz = spec.elem_bytes,
+        m = seg - 1
     ));
     w.raw("#define PSTRIDE (STRIDE * (LY + 2 * R))");
     w.blank();
@@ -136,6 +187,36 @@ mod tests {
         let s = harness();
         // 512 / (32*1) = 16 blocks in x, 512 / (4*4) = 32 in y.
         assert!(s.contains("dim3 grid(16, 32);"));
+    }
+
+    #[test]
+    fn legacy_harness_pads_to_128_bytes() {
+        let s = harness();
+        assert!(
+            s.contains("#define STRIDE ((((LX + 2 * R) * 4 + 127) / 128) * (128 / 4))"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn wave64_harness_pads_to_the_device_granule() {
+        let spec =
+            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Single);
+        let dev = gpu_sim::DeviceSpec::hd7970();
+        let s = generate_host_harness_on(
+            &spec,
+            &LaunchConfig::new(32, 4, 1, 4),
+            512,
+            512,
+            256,
+            100,
+            &dev,
+        );
+        assert!(
+            s.contains("#define STRIDE ((((LX + 2 * R) * 4 + 63) / 64) * (64 / 4))"),
+            "{s}"
+        );
+        assert!(s.contains("// Row stride padded to a 64-byte boundary"));
     }
 
     #[test]

@@ -156,12 +156,52 @@ pub fn coeff_region(geom: &TileGeometry, vec_width: usize) -> Region {
     }
 }
 
-/// Build the full per-plane workload of one interior block.
+/// Build the full per-plane workload of one interior block, assuming
+/// the legacy 32-bank × 4-byte shared-memory geometry. Device-aware
+/// callers should use [`build_plane_plan_on`].
 pub fn build_plane_plan(
     kernel: &KernelSpec,
     config: &LaunchConfig,
     geom: &TileGeometry,
     warp_size: usize,
+) -> PlanePlan {
+    build_plane_plan_banked(
+        kernel,
+        config,
+        geom,
+        warp_size,
+        gpu_sim::device::LEGACY_SMEM_BANKS,
+        gpu_sim::LEGACY_SMEM_BANK_BYTES,
+    )
+}
+
+/// [`build_plane_plan`] with `device`'s execution width and LDS bank
+/// geometry.
+pub fn build_plane_plan_on(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    geom: &TileGeometry,
+    device: &gpu_sim::DeviceSpec,
+) -> PlanePlan {
+    build_plane_plan_banked(
+        kernel,
+        config,
+        geom,
+        device.warp_size,
+        device.smem_banks,
+        device.smem_bank_bytes,
+    )
+}
+
+/// The generic plane-plan builder, parameterized on the shared-memory
+/// bank count and width.
+fn build_plane_plan_banked(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    geom: &TileGeometry,
+    warp_size: usize,
+    smem_banks: usize,
+    smem_bank_bytes: usize,
 ) -> PlanePlan {
     let v = vector_width(kernel);
     let regions = load_regions(kernel.method, geom, v);
@@ -207,17 +247,18 @@ pub fn build_plane_plan(
     let rounds = (regions.len() * kernel.streamed_inputs.max(1) + kernel.coeff_inputs) as f64;
 
     // Bank conflicts during the compute phase, computed from the actual
-    // warp/tile geometry: warps of narrow blocks (TX < 32) span several
-    // tile rows, which collide when the tile pitch lands on a bank
-    // multiple. The staged tile's pitch includes the halo frame.
-    let pitch_words = (geom.wx + 2 * geom.r) * kernel.elem_bytes / 4;
+    // warp/tile geometry: warps of narrow blocks (TX below the warp
+    // width) span several tile rows, which collide when the tile pitch
+    // lands on a bank multiple. The staged tile's pitch includes the
+    // halo frame and is measured in bank-width words.
+    let pitch_words = (geom.wx + 2 * geom.r) * kernel.elem_bytes / smem_bank_bytes;
     let bank_conflict_factor = gpu_sim::stencil_phase_factor(
         config.tx,
         config.threads(),
         pitch_words,
         kernel.radius,
         warp_size,
-        32,
+        smem_banks,
     );
 
     PlanePlan {
@@ -262,6 +303,31 @@ pub fn plan_for_device(
         geom = geom.unaligned_baseline();
     }
     let plan = build_plane_plan(kernel, config, &geom, warp_size);
+    let res = block_resources(kernel, config);
+    (plan, res, geom)
+}
+
+/// [`plan_for_device`] driven entirely by a [`gpu_sim::DeviceSpec`]:
+/// segment size, warp/wavefront width and LDS bank geometry all come
+/// from the spec, so wave64 parts plan with 64-wide execution and
+/// their own bank shape.
+pub fn plan_for_device_on(
+    kernel: &KernelSpec,
+    config: &LaunchConfig,
+    lx: usize,
+    device: &gpu_sim::DeviceSpec,
+) -> (PlanePlan, gpu_sim::occupancy::BlockResources, TileGeometry) {
+    let mut geom = TileGeometry::interior(
+        config,
+        kernel.radius,
+        kernel.elem_bytes as u64,
+        lx,
+        device.segment_bytes,
+    );
+    if kernel.method.routine().unaligned_layout() {
+        geom = geom.unaligned_baseline();
+    }
+    let plan = build_plane_plan_on(kernel, config, &geom, device);
     let res = block_resources(kernel, config);
     (plan, res, geom)
 }

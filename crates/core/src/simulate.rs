@@ -11,7 +11,7 @@
 use crate::config::LaunchConfig;
 use crate::eval::{EvalContext, PlanKey};
 use crate::kernel::KernelSpec;
-use crate::loadplan::plan_for_device;
+use crate::loadplan::plan_for_device_on;
 use gpu_sim::plan::{BlockPlan, GridDims, LaunchGeometry};
 use gpu_sim::{apply_noise, DeviceSpec, SimOptions, SimReport};
 
@@ -22,13 +22,7 @@ pub fn build_block_plan(
     config: &LaunchConfig,
     dims: GridDims,
 ) -> BlockPlan {
-    let (plane, resources, _geom) = plan_for_device(
-        kernel,
-        config,
-        dims.lx,
-        device.segment_bytes,
-        device.warp_size,
-    );
+    let (plane, resources, _geom) = plan_for_device_on(kernel, config, dims.lx, device);
     BlockPlan {
         plane,
         resources,

@@ -43,7 +43,7 @@ pub mod smem;
 pub mod timing;
 
 pub use counters::{LimitingFactor, SimReport};
-pub use device::{Architecture, DeviceSpec};
+pub use device::{Architecture, DeviceSpec, LEGACY_COALESCE_SEGMENT_BYTES, LEGACY_SMEM_BANK_BYTES};
 pub use mem::{coalesce_transactions, MemCounters, WarpLoad};
 pub use microbench::measure_achieved_bandwidth;
 pub use microsim::{simulate_block_plane, MicrosimResult};

@@ -94,8 +94,9 @@ pub fn check_coalescing(
         }
     }
 
-    // Compute-phase bank conflicts on the staged tile.
-    let pitch_words = (geom.wx + 2 * geom.r) * kernel.elem_bytes / 4;
+    // Compute-phase bank conflicts on the staged tile, in units of the
+    // device's LDS bank width.
+    let pitch_words = (geom.wx + 2 * geom.r) * kernel.elem_bytes / device.smem_bank_bytes;
     let factor = stencil_phase_factor(
         config.tx,
         config.threads(),

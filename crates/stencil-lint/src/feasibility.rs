@@ -36,7 +36,7 @@ pub fn explain_feasibility(
     c: &LaunchConfig,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let half_warp = device.warp_size / 2;
+    let half_warp = device.half_wavefront();
 
     // (i) TX multiple of a half-warp.
     if !c.tx.is_multiple_of(half_warp) {

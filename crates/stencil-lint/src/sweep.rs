@@ -28,7 +28,7 @@ use crate::diag::{has_errors, json_string, Diagnostic, Severity};
 use crate::feasibility::explain_feasibility;
 use crate::schedule::check_schedule;
 use gpu_sim::{DeviceSpec, GridDims};
-use inplane_core::loadplan::plan_for_device;
+use inplane_core::loadplan::plan_for_device_on;
 use inplane_core::plan::lower_step;
 use inplane_core::resources::vector_width;
 use inplane_core::{KernelSpec, LaunchConfig};
@@ -65,12 +65,13 @@ impl ConfigLint {
     }
 }
 
-/// Enumerate the §IV-C tuning grid for `device`: `TX` over half-warp
-/// multiples up to 512, `TY` up to 32, `RX`/`RY` over `{1, 2, 4, 8}` —
+/// Enumerate the §IV-C tuning grid for `device`: `TX` over
+/// half-wavefront multiples up to 512 (half-warp on NVIDIA, 32 on
+/// wave64 parts), `TY` up to 32, `RX`/`RY` over `{1, 2, 4, 8}` —
 /// with **no** feasibility filtering, so infeasible points are examined
 /// and explained rather than silently skipped.
 pub fn enumerate_configs(device: &DeviceSpec) -> Vec<LaunchConfig> {
-    let half_warp = device.warp_size / 2;
+    let half_warp = device.half_wavefront();
     let mut out = Vec::new();
     for tx in (half_warp..=512).step_by(half_warp) {
         for ty in 1..=32 {
@@ -133,13 +134,7 @@ pub fn lint_config_opts(
     let feasible = !has_errors(&diagnostics);
 
     if feasible {
-        let (plan, _res, geom) = plan_for_device(
-            kernel,
-            config,
-            dims.lx,
-            device.segment_bytes,
-            device.warp_size,
-        );
+        let (plan, _res, geom) = plan_for_device_on(kernel, config, dims.lx, device);
         diagnostics.extend(check_schedule(kernel, config, &plan));
         diagnostics.extend(check_coverage(kernel, &geom));
         diagnostics.extend(check_coalescing(kernel, config, &geom, device));
@@ -155,9 +150,13 @@ pub fn lint_config_opts(
             if opts.verify_kernels {
                 let r = kernel.radius;
                 let vdims = (2 * r + config.tile_x(), 2 * r + config.tile_y(), 2 * r + 2);
-                diagnostics.extend(crate::verify::verify_cuda_kernel(kernel, config, vdims));
+                diagnostics.extend(crate::verify::verify_cuda_kernel_on(
+                    kernel, config, vdims, device,
+                ));
                 if kernel.method.routine().opencl_supported() {
-                    diagnostics.extend(crate::verify::verify_opencl_kernel(kernel, config, vdims));
+                    diagnostics.extend(crate::verify::verify_opencl_kernel_on(
+                        kernel, config, vdims, device,
+                    ));
                 }
             }
         }

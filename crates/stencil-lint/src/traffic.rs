@@ -18,7 +18,12 @@
 //! word width implies: global-load cells split from register-publish
 //! staging, per-row coalesced transaction counts over
 //! [`COALESCE_SEGMENT_BYTES`] segments, and byte volumes for stores,
-//! halo moves and gathers.
+//! halo moves and gathers. The `_on` variants
+//! ([`predict_traffic_on`], [`predict_kernel_traffic_on`]) take the
+//! segment size from a [`gpu_sim::DeviceSpec`]'s
+//! `coalesce_segment_bytes` instead, so wave64/GCN parts with 64-byte
+//! segments get exact per-architecture transaction figures; the
+//! counters and byte volumes are segment-independent by construction.
 
 use inplane_core::plan::{PipelineFeed, PipelineKind, PlanOp, StagePlan, StageSource, OUTPUT_BUF};
 use inplane_core::resources::vector_width;
@@ -27,9 +32,12 @@ use inplane_core::{ExecStats, KernelSpec};
 use std::collections::BTreeMap;
 use stencil_grid::Precision;
 
-/// Memory-segment size assumed by the coalesced-transaction count: the
-/// 128-byte global-memory transaction of the paper's target devices.
-pub const COALESCE_SEGMENT_BYTES: u64 = 128;
+/// Memory-segment size the legacy entry points assume: the 128-byte
+/// global-memory transaction of the paper's target devices. Device-
+/// aware callers should go through [`predict_traffic_on`] /
+/// [`predict_kernel_traffic_on`] with the spec's
+/// `coalesce_segment_bytes` instead.
+pub const COALESCE_SEGMENT_BYTES: u64 = gpu_sim::LEGACY_COALESCE_SEGMENT_BYTES;
 
 /// Byte/transaction figures derived from the predicted counters for
 /// one word width.
@@ -39,6 +47,10 @@ pub struct TrafficOracle {
     pub stats: ExecStats,
     /// Word width the byte figures use.
     pub word_bytes: u64,
+    /// Memory-segment size the transaction figures were counted
+    /// against (the device's `coalesce_segment_bytes`; see
+    /// [`COALESCE_SEGMENT_BYTES`] for the legacy default).
+    pub segment_bytes: u64,
     /// Cells loaded from global memory by blocks: `Global`-source
     /// staging plus pipeline preloads and `GlobalPlane` rotation feeds
     /// (register publishes excluded — they cost no global traffic).
@@ -72,13 +84,15 @@ impl TrafficOracle {
             .map(|n| n.to_string())
             .collect();
         format!(
-            "{{\"word_bytes\":{},\"blocks\":{},\"planes_staged\":{},\"cells_staged\":{},\
+            "{{\"word_bytes\":{},\"segment_bytes\":{},\"blocks\":{},\"planes_staged\":{},\
+             \"cells_staged\":{},\
              \"staged_cells_by_zone\":[{}],\"global_writes\":{},\"barriers\":{},\
              \"pipeline_rotations\":{},\"points_computed\":{},\"halo_planes_exchanged\":{},\
              \"halo_cells_exchanged\":{},\"cells_copied_out\":{},\"global_load_cells\":{},\
              \"load_transactions\":{},\"staged_bytes\":{},\"store_bytes\":{},\
              \"halo_bytes\":{},\"gather_bytes\":{},\"redundancy\":{}}}",
             self.word_bytes,
+            self.segment_bytes,
             s.blocks,
             s.planes_staged,
             s.cells_staged,
@@ -112,19 +126,20 @@ struct BlockGeom {
 }
 
 /// Transactions one row of `len` cells takes, starting at linear cell
-/// index `base` of a row-major buffer, with `b`-byte words.
-pub(crate) fn row_transactions(base: u64, len: u64, b: u64) -> u64 {
+/// index `base` of a row-major buffer, with `b`-byte words against
+/// `seg`-byte memory segments.
+pub(crate) fn row_transactions(base: u64, len: u64, b: u64, seg: u64) -> u64 {
     if len == 0 {
         return 0;
     }
     let lo = base * b;
     let hi = (base + len - 1) * b + (b - 1);
-    hi / COALESCE_SEGMENT_BYTES - lo / COALESCE_SEGMENT_BYTES + 1
+    hi / seg - lo / seg + 1
 }
 
 /// One pass over the op stream computing both the counter mirror and
-/// the byte/transaction extras.
-fn simulate(plan: &StagePlan, word_bytes: u64) -> TrafficOracle {
+/// the byte/transaction extras, against `seg`-byte memory segments.
+fn simulate(plan: &StagePlan, word_bytes: u64, seg: u64) -> TrafficOracle {
     let mut dims: Vec<(usize, usize, usize)> = vec![plan.dims, plan.dims];
     let mut stats = ExecStats::default();
     let mut block: Option<BlockGeom> = None;
@@ -146,7 +161,7 @@ fn simulate(plan: &StagePlan, word_bytes: u64) -> TrafficOracle {
             let base = (plane as u64 * ny as u64 + y) * nx as u64 + x0;
             let len = x1 - x0;
             *cells += len;
-            *txns += row_transactions(base, len, word_bytes);
+            *txns += row_transactions(base, len, word_bytes, seg);
         }
     };
 
@@ -262,6 +277,7 @@ fn simulate(plan: &StagePlan, word_bytes: u64) -> TrafficOracle {
 
     TrafficOracle {
         word_bytes,
+        segment_bytes: seg,
         global_load_cells,
         load_transactions,
         staged_bytes: stats.cells_staged * word_bytes,
@@ -277,13 +293,35 @@ fn simulate(plan: &StagePlan, word_bytes: u64) -> TrafficOracle {
 /// exact equality (zero tolerance) against [`inplane_core`]'s
 /// interpreter across every method, precision and configuration.
 pub fn predict_stats(plan: &StagePlan) -> ExecStats {
-    simulate(plan, Precision::Single.bytes() as u64).stats
+    simulate(
+        plan,
+        Precision::Single.bytes() as u64,
+        COALESCE_SEGMENT_BYTES,
+    )
+    .stats
 }
 
 /// Predict the full traffic picture — counters plus bytes and
-/// coalesced transactions — for `plan` at `precision`.
+/// coalesced transactions — for `plan` at `precision`, assuming the
+/// legacy [`COALESCE_SEGMENT_BYTES`] segment size.
 pub fn predict_traffic(plan: &StagePlan, precision: Precision) -> TrafficOracle {
-    simulate(plan, precision.bytes() as u64)
+    simulate(plan, precision.bytes() as u64, COALESCE_SEGMENT_BYTES)
+}
+
+/// [`predict_traffic`] against `device`'s memory-segment geometry:
+/// transactions are counted over `device.coalesce_segment_bytes`
+/// segments (64 bytes on GCN-class wave64 parts). Counters and byte
+/// volumes are identical to the legacy entry point on every device.
+pub fn predict_traffic_on(
+    plan: &StagePlan,
+    precision: Precision,
+    device: &gpu_sim::DeviceSpec,
+) -> TrafficOracle {
+    simulate(
+        plan,
+        precision.bytes() as u64,
+        device.coalesce_segment_bytes,
+    )
 }
 
 /// Per-plane global-load figures of one emitted kernel.
@@ -291,8 +329,9 @@ pub fn predict_traffic(plan: &StagePlan, precision: Precision) -> TrafficOracle 
 pub struct PlaneTraffic {
     /// Cells loaded from global memory while this plane is current.
     pub cells: u64,
-    /// 128-byte coalesced transactions those loads take against the
-    /// *padded* host layout (see [`padded_stride`]).
+    /// Coalesced transactions those loads take against the *padded*
+    /// host layout (see [`padded_stride_for`]), over the segment size
+    /// the oracle was asked for.
     pub transactions: u64,
 }
 
@@ -333,12 +372,18 @@ impl KernelTraffic {
     }
 }
 
-/// The 128-byte-aligned row stride (in elements) the generated host
-/// code allocates: `ceil(nx·b / 128) · (128 / b)` — the `STRIDE`
-/// `#define` of `generate_host`.
-pub fn padded_stride(nx: usize, elem_bytes: usize) -> u64 {
+/// The segment-aligned row stride (in elements) the generated host
+/// code allocates for a `seg`-byte coalescing granule:
+/// `ceil(nx·b / seg) · (seg / b)` — the `STRIDE` `#define` of
+/// `generate_host`.
+pub fn padded_stride_for(nx: usize, elem_bytes: usize, seg: u64) -> u64 {
     let b = elem_bytes as u64;
-    (nx as u64 * b).div_ceil(COALESCE_SEGMENT_BYTES) * (COALESCE_SEGMENT_BYTES / b)
+    (nx as u64 * b).div_ceil(seg) * (seg / b)
+}
+
+/// [`padded_stride_for`] at the legacy [`COALESCE_SEGMENT_BYTES`].
+pub fn padded_stride(nx: usize, elem_bytes: usize) -> u64 {
+    padded_stride_for(nx, elem_bytes, COALESCE_SEGMENT_BYTES)
 }
 
 /// State threaded through the kernel-oracle plan walk.
@@ -347,6 +392,7 @@ struct KernelWalk {
     stride: u64,
     pstride: u64,
     word_bytes: u64,
+    segment_bytes: u64,
 }
 
 impl KernelWalk {
@@ -360,7 +406,8 @@ impl KernelWalk {
         for y in y_lo..y_lo + h {
             let base = plane as u64 * self.pstride + y as u64 * self.stride + x_lo as u64;
             entry.cells += w as u64;
-            entry.transactions += row_transactions(base, w as u64, self.word_bytes);
+            entry.transactions +=
+                row_transactions(base, w as u64, self.word_bytes, self.segment_bytes);
         }
     }
 }
@@ -377,13 +424,31 @@ impl KernelWalk {
 /// emitted arithmetic exactly, including the `VW`-aligned slab
 /// extension when `r % VW != 0` and the `VW`-rounded sweep span.
 pub fn predict_kernel_traffic(plan: &StagePlan, spec: &KernelSpec) -> KernelTraffic {
+    predict_kernel_traffic_for(plan, spec, COALESCE_SEGMENT_BYTES)
+}
+
+/// [`predict_kernel_traffic`] against `device`'s
+/// `coalesce_segment_bytes`: both the padded host stride and the
+/// transaction counts follow the device's segment size, exactly as the
+/// generated host harness allocates for it.
+pub fn predict_kernel_traffic_on(
+    plan: &StagePlan,
+    spec: &KernelSpec,
+    device: &gpu_sim::DeviceSpec,
+) -> KernelTraffic {
+    predict_kernel_traffic_for(plan, spec, device.coalesce_segment_bytes)
+}
+
+/// The generic kernel-side oracle, parameterized on the coalescing
+/// segment size in bytes.
+pub fn predict_kernel_traffic_for(plan: &StagePlan, spec: &KernelSpec, seg: u64) -> KernelTraffic {
     let r = plan.radius as i64;
     let vw = vector_width(spec).max(1) as i64;
     let routine = plan.method.routine();
     let pattern = routine.load_pattern();
     let interior_global = routine.skeleton(plan.radius).interior_source == StageSource::Global;
     let (nx, ny, _) = plan.dims;
-    let stride = padded_stride(nx, spec.elem_bytes);
+    let stride = padded_stride_for(nx, spec.elem_bytes, seg);
     let mut walk = KernelWalk {
         out: KernelTraffic {
             word_bytes: spec.elem_bytes as u64,
@@ -392,6 +457,7 @@ pub fn predict_kernel_traffic(plan: &StagePlan, spec: &KernelSpec) -> KernelTraf
         stride,
         pstride: stride * ny as u64,
         word_bytes: spec.elem_bytes as u64,
+        segment_bytes: seg,
     };
 
     struct Blk {
@@ -493,15 +559,20 @@ mod tests {
 
     #[test]
     fn row_transactions_count_touched_segments() {
-        // 32 f32 words aligned on a segment: one transaction.
-        assert_eq!(row_transactions(0, 32, 4), 1);
+        // 32 f32 words aligned on a 128-byte segment: one transaction.
+        assert_eq!(row_transactions(0, 32, 4, 128), 1);
         // Misaligned by one word: spills into a second segment.
-        assert_eq!(row_transactions(1, 32, 4), 2);
+        assert_eq!(row_transactions(1, 32, 4, 128), 2);
         // f64 halves the words per segment.
-        assert_eq!(row_transactions(0, 32, 8), 2);
-        assert_eq!(row_transactions(0, 0, 4), 0);
+        assert_eq!(row_transactions(0, 32, 8, 128), 2);
+        assert_eq!(row_transactions(0, 0, 4, 128), 0);
         // Single cell: always one transaction.
-        assert_eq!(row_transactions(1023, 1, 8), 1);
+        assert_eq!(row_transactions(1023, 1, 8, 128), 1);
+        // 64-byte segments double the aligned figure and can never
+        // need fewer transactions than 128-byte ones.
+        assert_eq!(row_transactions(0, 32, 4, 64), 2);
+        assert_eq!(row_transactions(1, 32, 4, 64), 3);
+        assert_eq!(row_transactions(0, 16, 4, 64), 1);
     }
 
     #[test]
@@ -549,6 +620,34 @@ mod tests {
         assert_eq!(padded_stride(33, 4), 64);
         // 16 f64 words fill a segment exactly.
         assert_eq!(padded_stride(16, 8), 16);
+        // 64-byte granules pad half as far: 12 f32 words -> 16.
+        assert_eq!(padded_stride_for(12, 4, 64), 16);
+        assert_eq!(padded_stride_for(33, 4, 64), 48);
+        assert_eq!(padded_stride_for(16, 8, 64), 16);
+    }
+
+    #[test]
+    fn device_segment_geometry_changes_transactions_only() {
+        let plan = lower_step(
+            Method::InPlane(Variant::FullSlice),
+            &LaunchConfig::new(8, 4, 1, 1),
+            2,
+            (20, 12, 9),
+        );
+        let legacy = predict_traffic(&plan, Precision::Single);
+        let wave64 = predict_traffic_on(&plan, Precision::Single, &gpu_sim::DeviceSpec::hd7970());
+        let ampere = predict_traffic_on(&plan, Precision::Single, &gpu_sim::DeviceSpec::rtx3090());
+        // Counters and byte volumes are segment-independent.
+        assert_eq!(legacy.stats, wave64.stats);
+        assert_eq!(legacy.global_load_cells, wave64.global_load_cells);
+        assert_eq!(legacy.staged_bytes, wave64.staged_bytes);
+        assert_eq!(legacy.store_bytes, wave64.store_bytes);
+        // A 64-byte segment can only split, never merge, transactions.
+        assert!(wave64.load_transactions >= legacy.load_transactions);
+        assert_eq!(wave64.segment_bytes, 64);
+        // Ampere keeps the legacy 128-byte padding granule.
+        assert_eq!(ampere, legacy);
+        assert!(wave64.to_json().contains("\"segment_bytes\":64"));
     }
 
     #[test]

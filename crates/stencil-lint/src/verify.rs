@@ -21,11 +21,13 @@
 //!   same shared cell carry different values and no cross-thread
 //!   read-write pair touches the same cell (write-write of the *same*
 //!   staged value is benign — the vertical slab's overlap);
-//! * **K005** — the per-plane global-load cell and 128-byte-segment
+//! * **K005** — the per-plane global-load cell and coalesced-segment
 //!   figures re-derived from the AST's load events equal
-//!   [`crate::traffic::predict_kernel_traffic`] exactly, and the store
-//!   total equals [`crate::traffic::predict_traffic`]'s `global_writes`
-//!   — the traffic oracle proven three ways (interpreter = plan walk =
+//!   [`crate::traffic::predict_kernel_traffic`] exactly (over the
+//!   device's `coalesce_segment_bytes` for the `_on` entry points —
+//!   64-byte segments on wave64/GCN parts), and the store total equals
+//!   [`crate::traffic::predict_traffic`]'s `global_writes` — the
+//!   traffic oracle proven three ways (interpreter = plan walk =
 //!   emitted text);
 //! * **K006** — the source stays inside the verified subset: it
 //!   parses, declares the routine's exact array shapes, evaluates
@@ -39,8 +41,10 @@ use crate::diag::Diagnostic;
 use crate::kernelir::lexer::Pos;
 use crate::kernelir::{parse_kernel, run_block, BlockEvents, LaunchEnv, Violation, ViolationKind};
 use crate::traffic::{
-    padded_stride, predict_kernel_traffic, predict_traffic, row_transactions, KernelTraffic,
+    padded_stride_for, predict_kernel_traffic_for, predict_traffic, row_transactions,
+    KernelTraffic, COALESCE_SEGMENT_BYTES,
 };
+use gpu_sim::DeviceSpec;
 use inplane_core::plan::lower_step;
 use inplane_core::resources::vector_width;
 use inplane_core::{ComputeShape, KernelSpec, LaunchConfig};
@@ -48,14 +52,46 @@ use std::collections::{BTreeMap, HashSet};
 use stencil_codegen::{generate_kernel, generate_opencl_kernel_full, SourceAnchor};
 
 /// Generate the CUDA kernel for `(spec, config)` and verify it against
-/// `dims` (full halo-framed extents; the interior must tile exactly).
+/// `dims` (full halo-framed extents; the interior must tile exactly),
+/// assuming the legacy 128-byte coalescing geometry.
 pub fn verify_cuda_kernel(
     spec: &KernelSpec,
     config: &LaunchConfig,
     dims: (usize, usize, usize),
 ) -> Vec<Diagnostic> {
     let k = generate_kernel(spec, config);
-    verify_kernel_source(&k.source, &k.name, &k.anchors, spec, config, dims)
+    verify_source_for(
+        &k.source,
+        &k.name,
+        &k.anchors,
+        spec,
+        config,
+        dims,
+        COALESCE_SEGMENT_BYTES,
+    )
+}
+
+/// [`verify_cuda_kernel`] against `device`'s coalescing geometry: the
+/// abstract interpreter runs with the segment-padded host stride and
+/// K005 re-derives transactions over `device.coalesce_segment_bytes`
+/// segments. The emitted text is unchanged — kernels take
+/// `stride`/`pstride` as runtime arguments.
+pub fn verify_cuda_kernel_on(
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    dims: (usize, usize, usize),
+    device: &DeviceSpec,
+) -> Vec<Diagnostic> {
+    let k = generate_kernel(spec, config);
+    verify_source_for(
+        &k.source,
+        &k.name,
+        &k.anchors,
+        spec,
+        config,
+        dims,
+        device.coalesce_segment_bytes,
+    )
 }
 
 /// Generate the OpenCL kernel for `(spec, config)` and verify it.
@@ -69,13 +105,44 @@ pub fn verify_opencl_kernel(
     dims: (usize, usize, usize),
 ) -> Vec<Diagnostic> {
     let k = generate_opencl_kernel_full(spec, config);
-    verify_kernel_source(&k.source, &k.name, &k.anchors, spec, config, dims)
+    verify_source_for(
+        &k.source,
+        &k.name,
+        &k.anchors,
+        spec,
+        config,
+        dims,
+        COALESCE_SEGMENT_BYTES,
+    )
+}
+
+/// [`verify_opencl_kernel`] against `device`'s coalescing geometry.
+///
+/// # Panics
+/// Panics for routines without an OpenCL port, like the generator.
+pub fn verify_opencl_kernel_on(
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    dims: (usize, usize, usize),
+    device: &DeviceSpec,
+) -> Vec<Diagnostic> {
+    let k = generate_opencl_kernel_full(spec, config);
+    verify_source_for(
+        &k.source,
+        &k.name,
+        &k.anchors,
+        spec,
+        config,
+        dims,
+        device.coalesce_segment_bytes,
+    )
 }
 
 /// Verify arbitrary kernel `source` claiming to implement
-/// `(spec, config)` over `dims`. `expected_name` is the routine's
-/// kernel function name; `anchors` (possibly empty) label emitter
-/// phases for diagnostics.
+/// `(spec, config)` over `dims`, assuming the legacy 128-byte
+/// coalescing geometry. `expected_name` is the routine's kernel
+/// function name; `anchors` (possibly empty) label emitter phases for
+/// diagnostics.
 ///
 /// # Panics
 /// Panics when `dims` does not tile exactly: the interior extents
@@ -87,6 +154,53 @@ pub fn verify_kernel_source(
     spec: &KernelSpec,
     config: &LaunchConfig,
     dims: (usize, usize, usize),
+) -> Vec<Diagnostic> {
+    verify_source_for(
+        source,
+        expected_name,
+        anchors,
+        spec,
+        config,
+        dims,
+        COALESCE_SEGMENT_BYTES,
+    )
+}
+
+/// [`verify_kernel_source`] against `device`'s coalescing geometry.
+///
+/// # Panics
+/// Panics when `dims` does not tile exactly, like the legacy entry.
+pub fn verify_kernel_source_on(
+    source: &str,
+    expected_name: &str,
+    anchors: &[SourceAnchor],
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    dims: (usize, usize, usize),
+    device: &DeviceSpec,
+) -> Vec<Diagnostic> {
+    verify_source_for(
+        source,
+        expected_name,
+        anchors,
+        spec,
+        config,
+        dims,
+        device.coalesce_segment_bytes,
+    )
+}
+
+/// The generic verifier, parameterized on the coalescing segment size
+/// the host allocator pads rows to.
+#[allow(clippy::too_many_arguments)]
+fn verify_source_for(
+    source: &str,
+    expected_name: &str,
+    anchors: &[SourceAnchor],
+    spec: &KernelSpec,
+    config: &LaunchConfig,
+    dims: (usize, usize, usize),
+    seg: u64,
 ) -> Vec<Diagnostic> {
     let r = spec.radius as i64;
     let vw = vector_width(spec).max(1) as i64;
@@ -136,7 +250,7 @@ pub fn verify_kernel_source(
 
     let routine = spec.method.routine();
     let sk = routine.skeleton(spec.radius);
-    let stride = padded_stride(dims.0, spec.elem_bytes) as i64;
+    let stride = padded_stride_for(dims.0, spec.elem_bytes, seg) as i64;
     let (gx, gy) = ((nx - 2 * r) / wx, (ny - 2 * r) / wy);
     let env = LaunchEnv {
         block: (config.tx as i64, config.ty as i64),
@@ -166,7 +280,7 @@ pub fn verify_kernel_source(
             }
             let n = events.barrier_trace.len();
             barriers_executed = Some(barriers_executed.map_or(n, |m| m.max(n)));
-            accumulate_traffic(&events, &env, &mut derived);
+            accumulate_traffic(&events, &env, &mut derived, seg);
         }
     }
 
@@ -190,7 +304,7 @@ pub fn verify_kernel_source(
     // K005: only meaningful for kernels that executed cleanly.
     if diags.is_empty() {
         let plan = lower_step(spec.method, config, spec.radius, dims);
-        let oracle = predict_kernel_traffic(&plan, spec);
+        let oracle = predict_kernel_traffic_for(&plan, spec, seg);
         compare_traffic(&derived, &oracle, &mut diags);
         let stats = predict_traffic(&plan, spec.precision()).stats;
         if derived.total_store_cells() != stats.global_writes {
@@ -337,7 +451,7 @@ fn phase_of(anchors: &[SourceAnchor], line: usize) -> Option<&'static str> {
 /// blocks issue distinct transactions, so grouping never crosses a
 /// block — then maximal contiguous runs are counted with the same
 /// segment arithmetic as the oracle.
-fn accumulate_traffic(events: &BlockEvents, env: &LaunchEnv, out: &mut KernelTraffic) {
+fn accumulate_traffic(events: &BlockEvents, env: &LaunchEnv, out: &mut KernelTraffic, seg: u64) {
     let mut rows: BTreeMap<(Pos, i64), Vec<i64>> = BTreeMap::new();
     for a in &events.loads {
         for lane in 0..a.len as i64 {
@@ -361,12 +475,12 @@ fn accumulate_traffic(events: &BlockEvents, env: &LaunchEnv, out: &mut KernelTra
             // A duplicate or a gap both end the run; duplicates inflate
             // the transaction count and fail the K005 comparison.
             entry.transactions +=
-                row_transactions(start as u64, (prev - start + 1) as u64, out.word_bytes);
+                row_transactions(start as u64, (prev - start + 1) as u64, out.word_bytes, seg);
             start = a;
             prev = a;
         }
         entry.transactions +=
-            row_transactions(start as u64, (prev - start + 1) as u64, out.word_bytes);
+            row_transactions(start as u64, (prev - start + 1) as u64, out.word_bytes, seg);
     }
     for s in &events.stores {
         for lane in 0..s.len as i64 {
@@ -465,6 +579,28 @@ mod tests {
             let diags = verify_opencl_kernel(&spec, &config, dims);
             assert!(diags.is_empty(), "{method}: {:?}", diags);
         }
+    }
+
+    #[test]
+    fn generated_kernels_verify_clean_on_wave64_geometry() {
+        // The same emitted text must pass the three-way proof under
+        // the 64-byte segment geometry: kernels take stride/pstride as
+        // runtime arguments, so only the abstract launch env changes.
+        let hd7970 = gpu_sim::DeviceSpec::hd7970();
+        for routine in inplane_core::registry() {
+            let method = routine.method();
+            let spec = KernelSpec::star_order(method, 4, Precision::Single);
+            let config = LaunchConfig::new(8, 2, 1, 2);
+            let dims = dims_for(&spec, &config, 1, 1);
+            let diags = verify_cuda_kernel_on(&spec, &config, dims, &hd7970);
+            assert!(diags.is_empty(), "{method}: {:?}", diags);
+        }
+        let spec =
+            KernelSpec::star_order(Method::InPlane(Variant::FullSlice), 4, Precision::Double);
+        let config = LaunchConfig::new(8, 2, 1, 2);
+        let dims = dims_for(&spec, &config, 2, 1);
+        let diags = verify_opencl_kernel_on(&spec, &config, dims, &hd7970);
+        assert!(diags.is_empty(), "{:?}", diags);
     }
 
     #[test]

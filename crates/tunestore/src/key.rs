@@ -439,6 +439,44 @@ mod tests {
         }
     }
 
+    /// The device-model parameterization (`coalesce_segment_bytes`,
+    /// `smem_bank_bytes`, the wave64/Ampere presets) must not perturb
+    /// the NVIDIA fingerprints that persisted tune keys embed: the new
+    /// fields are elided from `DeviceSpec::fingerprint` at their legacy
+    /// defaults, so every stored optimum stays warm. These fingerprints
+    /// were captured before the fields existed; the pinned key hashes
+    /// above depend on them transitively.
+    #[test]
+    fn nvidia_fingerprints_survive_device_model_extension() {
+        assert_eq!(DeviceSpec::gtx580().fingerprint(), 0xb918_beb1_e8a8_43bc);
+        assert_eq!(DeviceSpec::gtx680().fingerprint(), 0xb20e_b1aa_2c5a_778e);
+        assert_eq!(DeviceSpec::c2070().fingerprint(), 0x1972_ea53_7613_347e);
+
+        // And keys built on them hash identically whether or not the
+        // new fields sit at their defaults explicitly.
+        let mut dev = DeviceSpec::gtx580();
+        let dims = GridDims::paper();
+        let space = ParameterSpace::from_configs(vec![LaunchConfig::new(64, 4, 1, 2)]);
+        let k = KernelSpec::star_order(Method::ForwardPlane, 4, Precision::Single);
+        let key = TuneKey::new(&dev, &k, dims, &space, TunerKind::Exhaustive, 42);
+        dev.coalesce_segment_bytes = gpu_sim::LEGACY_COALESCE_SEGMENT_BYTES;
+        dev.smem_bank_bytes = gpu_sim::LEGACY_SMEM_BANK_BYTES;
+        let again = TuneKey::new(&dev, &k, dims, &space, TunerKind::Exhaustive, 42);
+        assert_eq!(key.stable_hash(), again.stable_hash());
+
+        // A genuinely different geometry (the wave64 preset) must key
+        // a different store slot.
+        let amd = TuneKey::new(
+            &DeviceSpec::hd7970(),
+            &k,
+            dims,
+            &space,
+            TunerKind::Exhaustive,
+            42,
+        );
+        assert_ne!(key.stable_hash(), amd.stable_hash());
+    }
+
     #[test]
     fn tuner_kind_round_trips() {
         for t in [
