@@ -1,0 +1,364 @@
+//! Bounded-exhaustive schedule exploration.
+//!
+//! [`Checker::check`] runs the checked closure once per schedule,
+//! driving a depth-first search over the choice points the scheduler
+//! exposes (which pending operation runs, whether a fault point
+//! panics, which condvar waiter wakes spuriously). Sleep sets prune
+//! schedules that only commute independent operations — two
+//! `fetch_add`s on the same counter, operations on unrelated objects
+//! — so the search visits one representative per Mazurkiewicz trace
+//! instead of every interleaving.
+//!
+//! Exploration is deterministic: the same closure under the same
+//! [`Checker`] configuration (budget, seed, spurious setting) visits
+//! the same schedules in the same order and reports the same first
+//! finding with the same trace. [`Checker::replay`] re-runs exactly
+//! one recorded schedule for step-by-step reproduction.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::finding::{CheckReport, Finding};
+use crate::sched::{self, Choice, Execution, TState};
+use crate::trace::Trace;
+
+/// One explored choice point in the DFS stack, persistent across
+/// executions (prefix determinism guarantees the same choices appear
+/// at the same depth on every re-run).
+struct Frame {
+    /// Every choice available here, in seed-rotated order.
+    all: Vec<Choice>,
+    /// Choices not to explore from this node: inherited from the
+    /// parent (covered through a commuted ordering) plus siblings
+    /// whose subtrees are already done.
+    sleep: Vec<Choice>,
+    /// The choice the current/next execution takes here.
+    chosen: Option<Choice>,
+}
+
+/// Configuration for one model-checking run. All knobs have
+/// deterministic effect; two identical `Checker`s produce identical
+/// reports for the same closure.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    /// Maximum executions (completed + pruned) before exploration
+    /// stops with `exhausted: false`.
+    pub budget: u64,
+    /// Inject spurious condvar wakeups as schedule choices.
+    pub spurious: bool,
+    /// Per-thread spurious-wakeup cap per execution.
+    pub max_spurious: u32,
+    /// Rotates choice order per depth; `0` keeps announcement order.
+    /// Findings embed the seed so traces replay bit-identically.
+    pub seed: u64,
+    /// Per-execution choice-point cap; exceeding it is reported as
+    /// `CCK-900` (runaway schedule, usually an unmodeled spin loop).
+    pub max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            budget: 4096,
+            spurious: true,
+            max_spurious: 1,
+            seed: 0,
+            max_steps: 4000,
+        }
+    }
+}
+
+/// What one execution produced.
+struct RunResult {
+    trace: Trace,
+    finding: Option<Finding>,
+    warnings: Vec<(String, String)>,
+    /// True when the run was cut because every available choice was
+    /// already covered through a commuted ordering.
+    pruned: bool,
+}
+
+fn rotate(mut v: Vec<Choice>, seed: u64, depth: usize) -> Vec<Choice> {
+    if seed != 0 && v.len() > 1 {
+        let r =
+            ((seed ^ depth as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize % v.len();
+        v.rotate_left(r);
+    }
+    v
+}
+
+impl Checker {
+    /// A checker with the given schedule budget and defaults
+    /// otherwise.
+    pub fn with_budget(budget: u64) -> Self {
+        Checker {
+            budget,
+            ..Checker::default()
+        }
+    }
+
+    /// Set the exploration seed (choice-order rotation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable or disable spurious-wakeup injection.
+    pub fn spurious(mut self, on: bool) -> Self {
+        self.spurious = on;
+        self
+    }
+
+    /// Explore schedules of `f` until the space is exhausted, the
+    /// budget runs out, or the first error finding appears.
+    ///
+    /// `f` is invoked once per schedule as model thread 0; any state
+    /// it checks must be created inside the closure. Use
+    /// [`sync`](crate::sync) primitives and
+    /// [`sync::thread::spawn`](crate::sync::thread::spawn) for
+    /// everything the model should interleave.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> CheckReport {
+        sched::install_panic_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut report = CheckReport {
+            seed: self.seed,
+            exhausted: true,
+            ..CheckReport::default()
+        };
+        let mut warn_seen: HashSet<(String, String)> = HashSet::new();
+        loop {
+            if report.schedules + report.pruned >= self.budget {
+                report.exhausted = false;
+                break;
+            }
+            let run = self.run_one(&f, &mut frames, None);
+            report.max_depth = report.max_depth.max(run.trace.len());
+            if run.pruned {
+                report.pruned += 1;
+            } else {
+                report.schedules += 1;
+            }
+            for w in run.warnings {
+                if warn_seen.insert(w.clone()) {
+                    report.findings.push(Finding {
+                        code: w.0,
+                        message: w.1,
+                        trace: run.trace.clone(),
+                    });
+                }
+            }
+            if let Some(found) = run.finding {
+                report.findings.push(found);
+                report.exhausted = false;
+                break;
+            }
+            if !backtrack(&mut frames) {
+                break;
+            }
+        }
+        report
+    }
+
+    /// Re-run exactly one schedule, encoded as by
+    /// [`Trace::encode`](crate::Trace::encode). Reproduces the
+    /// finding the original exploration reported at that trace.
+    pub fn replay(&self, trace: &str, f: impl Fn() + Send + Sync + 'static) -> CheckReport {
+        sched::install_panic_hook();
+        let parsed = match Trace::parse(trace) {
+            Ok(t) => t,
+            Err(e) => {
+                return CheckReport {
+                    seed: self.seed,
+                    findings: vec![Finding {
+                        code: "CCK-900".to_string(),
+                        message: format!("unparseable trace: {e}"),
+                        trace: Trace::default(),
+                    }],
+                    ..CheckReport::default()
+                }
+            }
+        };
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut frames = Vec::new();
+        let run = self.run_one(&f, &mut frames, Some(&parsed));
+        let mut report = CheckReport {
+            seed: self.seed,
+            schedules: 1,
+            exhausted: false,
+            max_depth: run.trace.len(),
+            ..CheckReport::default()
+        };
+        for w in run.warnings {
+            report.findings.push(Finding {
+                code: w.0,
+                message: w.1,
+                trace: run.trace.clone(),
+            });
+        }
+        if let Some(found) = run.finding {
+            report.findings.push(found);
+        }
+        report
+    }
+
+    /// Drive one execution to a terminal state (done, pruned, or
+    /// finding), following `frames` prescriptions (exploration) or a
+    /// fixed trace (replay) and extending `frames` at new depths.
+    fn run_one(
+        &self,
+        f: &Arc<dyn Fn() + Send + Sync>,
+        frames: &mut Vec<Frame>,
+        replay: Option<&Trace>,
+    ) -> RunResult {
+        let exec = Execution::new();
+        let root = Arc::clone(f);
+        exec.spawn_thread("main".to_string(), move || root());
+        let mut trace = Trace::default();
+        let mut finding = None;
+        let mut pruned = false;
+        loop {
+            let mut inner = exec.settle();
+            if let Some((code, message)) = inner.violation.take() {
+                let message = format!(
+                    "{message}\nschedule ({}):\n{}",
+                    trace,
+                    sched::render_schedule(&inner, &trace)
+                );
+                finding = Some(Finding {
+                    code,
+                    message,
+                    trace: trace.clone(),
+                });
+                break;
+            }
+            let live = inner
+                .threads
+                .iter()
+                .any(|t| !matches!(t.state, TState::Finished | TState::Panicked));
+            if !live {
+                break;
+            }
+            if trace.len() >= self.max_steps {
+                finding = Some(Finding {
+                    code: "CCK-900".to_string(),
+                    message: format!(
+                        "schedule exceeded {} choice points without terminating \
+                         (unmodeled spin loop or runaway spawn?)",
+                        self.max_steps
+                    ),
+                    trace: trace.clone(),
+                });
+                break;
+            }
+            let avail = sched::choices(&inner, self.spurious, self.max_spurious);
+            if avail.is_empty() {
+                let stuck = sched::classify_stuck(&inner);
+                let message = format!(
+                    "{}\nschedule ({}):\n{}",
+                    stuck.message,
+                    trace,
+                    sched::render_schedule(&inner, &trace)
+                );
+                finding = Some(Finding {
+                    code: stuck.code.to_string(),
+                    message,
+                    trace: trace.clone(),
+                });
+                break;
+            }
+            let depth = trace.len();
+            let choice = if let Some(prescribed) = replay {
+                match prescribed.steps.get(depth) {
+                    None => avail[0].clone(),
+                    Some(step) => match avail.iter().find(|c| c.step() == *step) {
+                        Some(c) => c.clone(),
+                        None => {
+                            finding = Some(Finding {
+                                code: "CCK-900".to_string(),
+                                message: format!(
+                                    "replay diverged at step {depth}: {step:?} is not \
+                                     among the available choices (did the code change?)"
+                                ),
+                                trace: trace.clone(),
+                            });
+                            break;
+                        }
+                    },
+                }
+            } else if depth < frames.len() {
+                let want = frames[depth].chosen.clone().expect("prescribed frame");
+                match avail.iter().find(|c| **c == want) {
+                    Some(c) => c.clone(),
+                    None => {
+                        finding = Some(Finding {
+                            code: "CCK-900".to_string(),
+                            message: format!(
+                                "nondeterministic choice set at step {depth}: the \
+                                 prescribed choice vanished on re-run \
+                                 (checked closure must be deterministic)"
+                            ),
+                            trace: trace.clone(),
+                        });
+                        break;
+                    }
+                }
+            } else {
+                let inherited: Vec<Choice> = match frames.last() {
+                    None => Vec::new(),
+                    Some(parent) => {
+                        let pc = parent.chosen.as_ref().expect("parent chosen");
+                        parent
+                            .sleep
+                            .iter()
+                            .filter(|z| z.op.independent(&pc.op))
+                            .cloned()
+                            .collect()
+                    }
+                };
+                let ordered = rotate(avail, self.seed, depth);
+                match ordered.iter().find(|c| !inherited.contains(c)).cloned() {
+                    Some(c) => {
+                        frames.push(Frame {
+                            all: ordered,
+                            sleep: inherited,
+                            chosen: Some(c.clone()),
+                        });
+                        c
+                    }
+                    None => {
+                        pruned = true;
+                        break;
+                    }
+                }
+            };
+            sched::apply(&exec, &mut inner, &choice, trace.len());
+            trace.steps.push(choice.step());
+            drop(inner);
+        }
+        let warnings = exec.teardown();
+        RunResult {
+            trace,
+            finding,
+            warnings,
+            pruned,
+        }
+    }
+}
+
+/// Advance the DFS stack to the next unexplored schedule; false when
+/// the whole bounded space is done.
+fn backtrack(frames: &mut Vec<Frame>) -> bool {
+    while let Some(top) = frames.last_mut() {
+        if let Some(c) = top.chosen.take() {
+            top.sleep.push(c);
+        }
+        let next = top.all.iter().find(|c| !top.sleep.contains(c)).cloned();
+        if let Some(c) = next {
+            top.chosen = Some(c);
+            return true;
+        }
+        frames.pop();
+    }
+    false
+}

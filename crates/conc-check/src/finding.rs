@@ -1,0 +1,178 @@
+//! Coded findings (`CCK-*`) and the per-check report.
+//!
+//! The numeric bands follow the house diagnostic convention
+//! (`LNT-*`, `SRV-*`): 001–099 are errors (the schedule shown is a
+//! real counterexample), 101–199 are warnings (suspicious but not a
+//! safety violation on its own), 900+ are uncategorized model events
+//! surfaced as errors so they are never silently swallowed.
+
+use crate::trace::Trace;
+
+/// Severity of a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The schedule in the finding is a counterexample to a safety
+    /// property — the checked code is broken.
+    Error,
+    /// A suspicious pattern (e.g. a lock held across a compute
+    /// region); not a violation by itself.
+    Warning,
+}
+
+/// One catalog entry: a stable code with its meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeInfo {
+    /// The stable machine-readable code, e.g. `"CCK-001"`.
+    pub code: &'static str,
+    /// Severity band the code belongs to.
+    pub severity: Severity,
+    /// One-line meaning.
+    pub summary: &'static str,
+}
+
+/// Every code the checker can emit, in catalog order. The registry
+/// test asserts each emitted finding carries one of these codes.
+pub const REGISTRY: &[CodeInfo] = &[
+    CodeInfo {
+        code: "CCK-001",
+        severity: Severity::Error,
+        summary: "deadlock: a lock-order cycle (or join cycle) with no runnable thread; \
+                  the finding carries every party's held-lock acquisition points",
+    },
+    CodeInfo {
+        code: "CCK-002",
+        severity: Severity::Error,
+        summary: "lost wakeup: a condvar waiter is stuck after every thread that could \
+                  have notified it exited or blocked",
+    },
+    CodeInfo {
+        code: "CCK-003",
+        severity: Severity::Error,
+        summary: "permit/resource leak: a pool or counter did not return to its idle \
+                  value after all threads (including panicking ones) finished",
+    },
+    CodeInfo {
+        code: "CCK-004",
+        severity: Severity::Error,
+        summary: "atomicity violation: a torn read-modify-write left a counter or stat \
+                  inconsistent with the operations that ran",
+    },
+    CodeInfo {
+        code: "CCK-005",
+        severity: Severity::Error,
+        summary: "non-linearizable single-flight: one key observed more than one compute \
+                  (or a waiter observed a half-published result)",
+    },
+    CodeInfo {
+        code: "CCK-101",
+        severity: Severity::Warning,
+        summary: "lock held across a compute region: a modeled lock was held while \
+                  entering a region marked as long-running compute",
+    },
+    CodeInfo {
+        code: "CCK-900",
+        severity: Severity::Error,
+        summary: "uncategorized model panic or resource cap (schedule depth, unexpected \
+                  assertion) — always surfaced, never swallowed",
+    },
+];
+
+/// Catalog lookup; `None` for unknown codes.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    REGISTRY.iter().find(|c| c.code == code)
+}
+
+/// One finding: a coded violation plus the deterministic schedule
+/// that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Stable `CCK-*` code (always present in [`REGISTRY`]).
+    pub code: String,
+    /// Human-readable description, including held-lock acquisition
+    /// points for deadlocks and the violated invariant otherwise.
+    pub message: String,
+    /// The schedule that produced the finding; replay it with
+    /// [`Checker::replay`](crate::Checker::replay) for a step-by-step
+    /// reproduction under the same seed.
+    pub trace: Trace,
+}
+
+impl Finding {
+    /// Severity from the catalog (unknown codes default to error).
+    pub fn severity(&self) -> Severity {
+        code_info(&self.code).map_or(Severity::Error, |c| c.severity)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} [trace {}]", self.code, self.message, self.trace)
+    }
+}
+
+/// The outcome of one [`Checker::check`](crate::Checker::check) run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckReport {
+    /// Distinct complete schedules executed.
+    pub schedules: u64,
+    /// Schedules cut early because every available transition was in
+    /// the sleep set (already covered through a commuted ordering).
+    pub pruned: u64,
+    /// True when the whole bounded space was explored; false when the
+    /// schedule budget stopped exploration (or an error finding did).
+    pub exhausted: bool,
+    /// The deepest schedule (number of choice points) seen.
+    pub max_depth: usize,
+    /// Error and warning findings, in discovery order. Exploration
+    /// stops at the first error; warnings accumulate (deduplicated by
+    /// code + message).
+    pub findings: Vec<Finding>,
+    /// The seed exploration ran under (replays need it).
+    pub seed: u64,
+}
+
+impl CheckReport {
+    /// True when no error-severity finding was recorded.
+    pub fn ok(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| f.severity() == Severity::Error)
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .collect()
+    }
+
+    /// Warning-severity findings only.
+    pub fn warnings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Warning)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_banded() {
+        let mut seen = std::collections::HashSet::new();
+        for info in REGISTRY {
+            assert!(seen.insert(info.code), "duplicate code {}", info.code);
+            let num: u32 = info.code[4..].parse().expect("numeric tail");
+            let expect = if (100..900).contains(&num) {
+                Severity::Warning
+            } else {
+                Severity::Error
+            };
+            assert_eq!(info.severity, expect, "band mismatch for {}", info.code);
+        }
+    }
+}

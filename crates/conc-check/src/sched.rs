@@ -1,0 +1,836 @@
+//! The controlled cooperative scheduler.
+//!
+//! One model execution runs the checked closure on real OS threads,
+//! serialized by a baton: exactly one model thread runs at a time,
+//! and it runs only until its next operation on a modeled primitive
+//! (a *yield point*), where it announces the operation and parks.
+//! The controller — the thread that called
+//! [`Checker::check`](crate::Checker::check) — then picks which
+//! announced operation runs next. The sequence of picks is the
+//! schedule; the explorer in `checker.rs` drives a DFS over all of
+//! them.
+//!
+//! Model-state effects (who holds which mutex, who waits on which
+//! condvar) are applied by the controller at grant time under the
+//! execution lock, so enabledness (can this `lock` proceed?) is
+//! always judged against a consistent view. Real-world effects (the
+//! actual `std` mutex acquisition, the actual atomic update) are
+//! performed by the granted thread itself, which is safe because
+//! grants serialize all model threads.
+//!
+//! Two scheduler-injected behaviours widen the explored space beyond
+//! plain interleavings: condvar waiters can be woken *spuriously* (a
+//! schedule choice, bounded per thread), and
+//! [`fault::point`](crate::fault::point) sites can be driven into
+//! their panic arm — so unwinding (RAII permit release, poisoned
+//! locks) is explored like any other schedule.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::trace::{Step, StepKind, Trace};
+
+/// Model thread id (dense, starting at 0 for the root closure).
+pub(crate) type Tid = usize;
+/// Model object id (dense per execution).
+pub(crate) type ObjId = usize;
+
+/// What a modeled operation does, for enabledness and independence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First announcement of a freshly spawned thread.
+    Begin,
+    Lock(ObjId),
+    Unlock(ObjId),
+    RwRead(ObjId),
+    RwReadUnlock(ObjId),
+    RwWrite(ObjId),
+    RwWriteUnlock(ObjId),
+    /// Atomically release the mutex and join the condvar's waiters.
+    Wait {
+        cv: ObjId,
+        mutex: ObjId,
+    },
+    NotifyOne(ObjId),
+    NotifyAll(ObjId),
+    AtomicLoad(ObjId),
+    AtomicStore(ObjId),
+    /// Commuting read-modify-write (`fetch_add`/`fetch_sub`): two of
+    /// these on the same object are independent for pruning.
+    AtomicRmwCommute(ObjId),
+    /// Non-commuting read-modify-write (`swap`, `compare_exchange*`).
+    AtomicRmw(ObjId),
+    /// A fault-injection site; has a normal arm and a panic arm.
+    Fault(u32),
+    /// Join on another model thread.
+    Join(Tid),
+}
+
+/// One announced operation: the kind plus the `Ordering` the call
+/// site used (tracked for trace rendering; execution is explored
+/// under sequential consistency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    pub ord: Option<std::sync::atomic::Ordering>,
+}
+
+impl Op {
+    pub(crate) fn new(kind: OpKind) -> Self {
+        Op { kind, ord: None }
+    }
+
+    pub(crate) fn atomic(kind: OpKind, ord: std::sync::atomic::Ordering) -> Self {
+        Op {
+            kind,
+            ord: Some(ord),
+        }
+    }
+
+    /// The model object this op touches, in a namespace that keeps
+    /// thread-join targets distinct from primitive objects.
+    fn object(&self) -> Option<(u8, usize)> {
+        match self.kind {
+            OpKind::Begin => None,
+            OpKind::Fault(_) => None,
+            OpKind::Join(t) => Some((1, t)),
+            OpKind::Lock(o)
+            | OpKind::Unlock(o)
+            | OpKind::RwRead(o)
+            | OpKind::RwReadUnlock(o)
+            | OpKind::RwWrite(o)
+            | OpKind::RwWriteUnlock(o)
+            | OpKind::NotifyOne(o)
+            | OpKind::NotifyAll(o)
+            | OpKind::AtomicLoad(o)
+            | OpKind::AtomicStore(o)
+            | OpKind::AtomicRmwCommute(o)
+            | OpKind::AtomicRmw(o) => Some((0, o)),
+            OpKind::Wait { cv, .. } => Some((0, cv)),
+        }
+    }
+
+    /// True when reordering `self` and `other` cannot change any
+    /// observable outcome — the independence relation the sleep-set
+    /// pruning is built on. Conservative: unknown pairs are dependent.
+    pub(crate) fn independent(&self, other: &Op) -> bool {
+        let (a, b) = match (self.object(), other.object()) {
+            (Some(a), Some(b)) => (a, b),
+            // Begin/Fault are thread-local transitions.
+            _ => return true,
+        };
+        if a != b {
+            // Wait touches both its condvar and its mutex: treat a
+            // Wait as dependent with any op on either object.
+            if let OpKind::Wait { mutex, .. } = self.kind {
+                if b == (0, mutex) {
+                    return false;
+                }
+            }
+            if let OpKind::Wait { mutex, .. } = other.kind {
+                if a == (0, mutex) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        matches!(
+            (self.kind, other.kind),
+            (OpKind::AtomicLoad(_), OpKind::AtomicLoad(_))
+                | (OpKind::AtomicRmwCommute(_), OpKind::AtomicRmwCommute(_))
+                | (OpKind::RwRead(_), OpKind::RwRead(_))
+        )
+    }
+}
+
+/// How a parked thread is told to proceed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Grant {
+    /// Run the announced operation's normal arm.
+    Proceed,
+    /// Run the announced fault point's panic arm.
+    Panic,
+    /// The execution was cancelled; unwind quietly.
+    Cancel,
+}
+
+/// Panic payload used to tear down model threads on cancellation.
+pub(crate) struct Cancelled;
+
+/// Panic payload of a fault point driven into its panic arm.
+pub(crate) struct InjectedFault(pub u32);
+
+/// Panic payload of [`violation`](crate::violation) — a coded
+/// invariant failure the checker reports as a finding.
+pub(crate) struct CodedViolation {
+    pub code: String,
+    pub message: String,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum ObjState {
+    Mutex {
+        held_by: Option<Tid>,
+    },
+    Cond {
+        /// `(waiter, mutex to reacquire)` in wait order.
+        waiters: Vec<(Tid, ObjId)>,
+    },
+    Rw {
+        writer: Option<Tid>,
+        readers: Vec<Tid>,
+    },
+    Atomic,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ObjEntry {
+    pub state: ObjState,
+    pub name: String,
+}
+
+#[derive(Debug)]
+pub(crate) enum TState {
+    /// OS thread spawned but has not announced `Begin` yet.
+    Starting,
+    /// Announced `op` and parked, waiting for a grant.
+    Pending(Op),
+    /// Parked inside a condvar wait (no pending op until woken).
+    CondWait,
+    /// Granted and executing user code (holds the baton).
+    Running,
+    Finished,
+    /// Unwound on a panic (injected fault, coded violation, or bug).
+    Panicked,
+}
+
+pub(crate) struct ThreadSlot {
+    pub state: TState,
+    pub granted: Option<Grant>,
+    pub name: String,
+}
+
+#[derive(Default)]
+pub(crate) struct ExecInner {
+    pub threads: Vec<ThreadSlot>,
+    pub objects: Vec<ObjEntry>,
+    pub active: Option<Tid>,
+    pub cancelled: bool,
+    /// `(mutex obj, trace step index at acquisition)` per thread —
+    /// the acquisition stacks CCK-001 reports.
+    pub held: Vec<Vec<(ObjId, usize)>>,
+    pub spurious_used: Vec<u32>,
+    /// First coded violation (or uncategorized panic) of this
+    /// execution, taken by the controller at the next settle.
+    pub violation: Option<(String, String)>,
+    /// CCK-101-style warnings (code, message), deduplicated later.
+    pub warnings: Vec<(String, String)>,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+    pub steps_taken: usize,
+}
+
+/// One model execution's shared state.
+pub(crate) struct Execution {
+    pub inner: StdMutex<ExecInner>,
+    pub cv: StdCondvar,
+    /// Process-unique id; modeled primitives bind to it so objects
+    /// created outside this execution fall back to plain `std` ops.
+    pub id: u64,
+}
+
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current model context of this OS thread, if any.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Execution>, Tid)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Suppress the default "thread panicked" stderr spam for panics
+/// raised inside model executions (cancellations, injected faults,
+/// coded violations); panics outside any model keep the default hook.
+pub(crate) fn install_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+impl Execution {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Execution {
+            inner: StdMutex::new(ExecInner::default()),
+            cv: StdCondvar::new(),
+            id: NEXT_EXEC_ID.fetch_add(1, AOrd::Relaxed),
+        })
+    }
+
+    /// Register a modeled primitive, returning its object id.
+    pub(crate) fn register_object(&self, state: ObjState, name: String) -> ObjId {
+        let mut inner = self.inner.lock().expect("execution state");
+        inner.objects.push(ObjEntry { state, name });
+        inner.objects.len() - 1
+    }
+
+    /// Spawn a model thread running `f`; returns its tid. The OS
+    /// thread announces `Begin` and parks before touching `f`.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        name: String,
+        f: impl FnOnce() + Send + 'static,
+    ) -> Tid {
+        let tid = {
+            let mut inner = self.inner.lock().expect("execution state");
+            inner.threads.push(ThreadSlot {
+                state: TState::Starting,
+                granted: None,
+                name,
+            });
+            inner.held.push(Vec::new());
+            inner.spurious_used.push(0);
+            inner.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("cck-{}-{tid}", self.id))
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                set_current(Some((Arc::clone(&exec), tid)));
+                let began = matches!(exec.op(tid, Op::new(OpKind::Begin)), Grant::Proceed);
+                let outcome = if began {
+                    Some(catch_unwind(AssertUnwindSafe(f)))
+                } else {
+                    None
+                };
+                set_current(None);
+                let mut inner = exec.inner.lock().expect("execution state");
+                inner.threads[tid].state = match outcome {
+                    None | Some(Err(_)) if inner.cancelled => TState::Finished,
+                    None => TState::Finished,
+                    Some(Ok(())) => TState::Finished,
+                    Some(Err(payload)) => classify_panic(&mut inner, payload),
+                };
+                if inner.active == Some(tid) {
+                    inner.active = None;
+                }
+                exec.cv.notify_all();
+            })
+            .expect("spawn model thread");
+        self.inner
+            .lock()
+            .expect("execution state")
+            .os_handles
+            .push(handle);
+        tid
+    }
+
+    /// Announce `op` for `tid`, release the baton, and park until the
+    /// controller resolves this thread's next grant.
+    pub(crate) fn op(&self, tid: Tid, op: Op) -> Grant {
+        let mut inner = self.inner.lock().expect("execution state");
+        if inner.cancelled {
+            return Grant::Cancel;
+        }
+        inner.threads[tid].state = TState::Pending(op);
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if let Some(g) = inner.threads[tid].granted.take() {
+                return g;
+            }
+            if inner.cancelled {
+                return Grant::Cancel;
+            }
+            inner = self.cv.wait(inner).expect("execution state");
+        }
+    }
+
+    /// Park after a condvar `Wait` grant's cleanup (the real guard is
+    /// already dropped); returns when the reacquire grant arrives.
+    pub(crate) fn park_for_reacquire(&self, tid: Tid) -> Grant {
+        let mut inner = self.inner.lock().expect("execution state");
+        if inner.active == Some(tid) {
+            inner.active = None;
+        }
+        self.cv.notify_all();
+        loop {
+            if let Some(g) = inner.threads[tid].granted.take() {
+                return g;
+            }
+            if inner.cancelled {
+                return Grant::Cancel;
+            }
+            inner = self.cv.wait(inner).expect("execution state");
+        }
+    }
+
+    /// Block until the execution is settled: the baton is free, no
+    /// thread is still starting up, and every `Begin` has been
+    /// eagerly granted (thread startup is a local transition and
+    /// never a choice point). Returns the state guard so the caller
+    /// can compute choices and apply one atomically.
+    pub(crate) fn settle(&self) -> std::sync::MutexGuard<'_, ExecInner> {
+        let mut inner = self.inner.lock().expect("execution state");
+        loop {
+            if inner.active.is_none() {
+                let begin = inner.threads.iter().position(
+                    |t| matches!(t.state, TState::Pending(op) if op.kind == OpKind::Begin),
+                );
+                if let Some(tid) = begin {
+                    inner.threads[tid].state = TState::Running;
+                    inner.threads[tid].granted = Some(Grant::Proceed);
+                    inner.active = Some(tid);
+                    self.cv.notify_all();
+                } else if !inner
+                    .threads
+                    .iter()
+                    .any(|t| matches!(t.state, TState::Starting))
+                {
+                    return inner;
+                }
+            }
+            inner = self.cv.wait(inner).expect("execution state");
+        }
+    }
+
+    /// Cancel everything still live, join the OS threads, and return
+    /// the warnings this execution accumulated.
+    pub(crate) fn teardown(&self) -> Vec<(String, String)> {
+        let handles = {
+            let mut inner = self.inner.lock().expect("execution state");
+            inner.cancelled = true;
+            self.cv.notify_all();
+            std::mem::take(&mut inner.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut inner = self.inner.lock().expect("execution state");
+        std::mem::take(&mut inner.warnings)
+    }
+
+    /// Record a CCK-101-style warning from inside a model thread.
+    pub(crate) fn warn(&self, code: &str, message: String) {
+        let mut inner = self.inner.lock().expect("execution state");
+        let entry = (code.to_string(), message);
+        if !inner.warnings.contains(&entry) {
+            inner.warnings.push(entry);
+        }
+    }
+
+    /// The locks `tid` currently holds, as `(object name, step)`.
+    pub(crate) fn held_by(&self, tid: Tid) -> Vec<(String, usize)> {
+        let inner = self.inner.lock().expect("execution state");
+        inner.held[tid]
+            .iter()
+            .map(|&(obj, step)| (inner.objects[obj].name.clone(), step))
+            .collect()
+    }
+}
+
+/// Map a caught panic payload to a thread state, recording coded
+/// violations (and uncategorized panics as `CCK-900`).
+fn classify_panic(inner: &mut ExecInner, payload: Box<dyn Any + Send>) -> TState {
+    if payload.is::<Cancelled>() {
+        return TState::Finished;
+    }
+    if let Some(InjectedFault(_tag)) = payload.downcast_ref::<InjectedFault>() {
+        return TState::Panicked;
+    }
+    match payload.downcast::<CodedViolation>() {
+        Ok(v) => {
+            if inner.violation.is_none() {
+                inner.violation = Some((v.code, v.message));
+            }
+            TState::Panicked
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            if inner.violation.is_none() {
+                inner.violation = Some(("CCK-900".to_string(), format!("model panic: {msg}")));
+            }
+            TState::Panicked
+        }
+    }
+}
+
+/// Obey a grant on the thread side: proceed, raise the injected
+/// fault, or unwind on cancellation (quietly if already unwinding).
+pub(crate) fn obey(grant: Grant) {
+    match grant {
+        Grant::Proceed => {}
+        Grant::Panic => std::panic::panic_any(InjectedFault(0)),
+        Grant::Cancel => {
+            if !std::thread::panicking() {
+                std::panic::panic_any(Cancelled);
+            }
+        }
+    }
+}
+
+/// One schedulable choice at a choice point.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Choice {
+    pub tid: Tid,
+    pub kind: StepKind,
+    /// The pending op this choice would run (synthesized
+    /// `Wait`-shaped op for spurious wakeups, for independence).
+    pub op: Op,
+}
+
+impl Choice {
+    pub(crate) fn step(&self) -> Step {
+        Step {
+            tid: self.tid,
+            kind: self.kind,
+        }
+    }
+}
+
+/// Is `op` enabled under the current model state?
+fn enabled(inner: &ExecInner, op: &Op) -> bool {
+    match op.kind {
+        OpKind::Lock(o) => matches!(inner.objects[o].state, ObjState::Mutex { held_by: None }),
+        OpKind::RwRead(o) => {
+            matches!(inner.objects[o].state, ObjState::Rw { writer: None, .. })
+        }
+        OpKind::RwWrite(o) => matches!(
+            &inner.objects[o].state,
+            ObjState::Rw {
+                writer: None,
+                readers,
+            } if readers.is_empty()
+        ),
+        OpKind::Join(t) => matches!(inner.threads[t].state, TState::Finished | TState::Panicked),
+        _ => true,
+    }
+}
+
+/// The ordered choice list at the current settled state.
+pub(crate) fn choices(inner: &ExecInner, spurious: bool, max_spurious: u32) -> Vec<Choice> {
+    let mut out = Vec::new();
+    for (tid, slot) in inner.threads.iter().enumerate() {
+        if let TState::Pending(op) = &slot.state {
+            if enabled(inner, op) {
+                out.push(Choice {
+                    tid,
+                    kind: StepKind::Run,
+                    op: *op,
+                });
+                if matches!(op.kind, OpKind::Fault(_)) {
+                    out.push(Choice {
+                        tid,
+                        kind: StepKind::FaultPanic,
+                        op: *op,
+                    });
+                }
+            }
+        }
+    }
+    if spurious {
+        for (tid, slot) in inner.threads.iter().enumerate() {
+            if matches!(slot.state, TState::CondWait) && inner.spurious_used[tid] < max_spurious {
+                // Find the condvar this thread waits on for the op.
+                for (obj, entry) in inner.objects.iter().enumerate() {
+                    if let ObjState::Cond { waiters } = &entry.state {
+                        if let Some(&(_, mutex)) = waiters.iter().find(|(t, _)| *t == tid) {
+                            out.push(Choice {
+                                tid,
+                                kind: StepKind::Spurious,
+                                op: Op::new(OpKind::Wait { cv: obj, mutex }),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply `choice`'s model-state effects and (for non-spurious
+/// choices) hand the baton to its thread.
+pub(crate) fn apply(exec: &Execution, inner: &mut ExecInner, choice: &Choice, step_idx: usize) {
+    let tid = choice.tid;
+    match choice.kind {
+        StepKind::Spurious => {
+            if let OpKind::Wait { cv, mutex } = choice.op.kind {
+                if let ObjState::Cond { waiters } = &mut inner.objects[cv].state {
+                    waiters.retain(|(t, _)| *t != tid);
+                }
+                inner.spurious_used[tid] += 1;
+                inner.threads[tid].state = TState::Pending(Op::new(OpKind::Lock(mutex)));
+            }
+            // State-only transition: no thread wakes; the reacquire
+            // becomes a normal choice at the next point.
+            inner.steps_taken += 1;
+            return;
+        }
+        StepKind::FaultPanic => {
+            inner.threads[tid].state = TState::Running;
+            inner.threads[tid].granted = Some(Grant::Panic);
+        }
+        StepKind::Run => {
+            match choice.op.kind {
+                OpKind::Lock(o) => {
+                    if let ObjState::Mutex { held_by } = &mut inner.objects[o].state {
+                        *held_by = Some(tid);
+                    }
+                    inner.held[tid].push((o, step_idx));
+                }
+                OpKind::Unlock(o) => {
+                    if let ObjState::Mutex { held_by } = &mut inner.objects[o].state {
+                        *held_by = None;
+                    }
+                    inner.held[tid].retain(|&(h, _)| h != o);
+                }
+                OpKind::RwRead(o) => {
+                    if let ObjState::Rw { readers, .. } = &mut inner.objects[o].state {
+                        readers.push(tid);
+                    }
+                    inner.held[tid].push((o, step_idx));
+                }
+                OpKind::RwReadUnlock(o) => {
+                    if let ObjState::Rw { readers, .. } = &mut inner.objects[o].state {
+                        if let Some(pos) = readers.iter().position(|&t| t == tid) {
+                            readers.remove(pos);
+                        }
+                    }
+                    inner.held[tid].retain(|&(h, _)| h != o);
+                }
+                OpKind::RwWrite(o) => {
+                    if let ObjState::Rw { writer, .. } = &mut inner.objects[o].state {
+                        *writer = Some(tid);
+                    }
+                    inner.held[tid].push((o, step_idx));
+                }
+                OpKind::RwWriteUnlock(o) => {
+                    if let ObjState::Rw { writer, .. } = &mut inner.objects[o].state {
+                        *writer = None;
+                    }
+                    inner.held[tid].retain(|&(h, _)| h != o);
+                }
+                OpKind::Wait { cv, mutex } => {
+                    if let ObjState::Mutex { held_by } = &mut inner.objects[mutex].state {
+                        *held_by = None;
+                    }
+                    inner.held[tid].retain(|&(h, _)| h != mutex);
+                    if let ObjState::Cond { waiters } = &mut inner.objects[cv].state {
+                        waiters.push((tid, mutex));
+                    }
+                    // The thread still gets the baton once, to drop
+                    // its real guard, then parks for the reacquire.
+                    inner.threads[tid].state = TState::CondWait;
+                    inner.threads[tid].granted = Some(Grant::Proceed);
+                    inner.active = Some(tid);
+                    inner.steps_taken += 1;
+                    exec.cv.notify_all();
+                    return;
+                }
+                OpKind::NotifyOne(cv) => {
+                    if let ObjState::Cond { waiters } = &mut inner.objects[cv].state {
+                        if !waiters.is_empty() {
+                            let (t, mutex) = waiters.remove(0);
+                            inner.threads[t].state = TState::Pending(Op::new(OpKind::Lock(mutex)));
+                        }
+                    }
+                }
+                OpKind::NotifyAll(cv) => {
+                    if let ObjState::Cond { waiters } = &mut inner.objects[cv].state {
+                        for (t, mutex) in std::mem::take(waiters) {
+                            inner.threads[t].state = TState::Pending(Op::new(OpKind::Lock(mutex)));
+                        }
+                    }
+                }
+                // Atomics, Begin, Fault (normal arm), Join: no model
+                // state to update; the thread performs the real op.
+                _ => {}
+            }
+            inner.threads[tid].state = TState::Running;
+            inner.threads[tid].granted = Some(Grant::Proceed);
+        }
+    }
+    inner.active = Some(tid);
+    inner.steps_taken += 1;
+    exec.cv.notify_all();
+}
+
+/// Why no choice is available at a settled, unfinished state.
+pub(crate) struct Stuck {
+    pub code: &'static str,
+    pub message: String,
+}
+
+/// Classify a state with live threads but no enabled transition:
+/// lock-order cycle (CCK-001), lost wakeup (CCK-002), or a generic
+/// deadlock (CCK-001).
+pub(crate) fn classify_stuck(inner: &ExecInner) -> Stuck {
+    let name = |tid: Tid| -> String {
+        let n = &inner.threads[tid].name;
+        if n.is_empty() {
+            format!("thread {tid}")
+        } else {
+            format!("thread {tid} ({n})")
+        }
+    };
+    let held_desc = |tid: Tid| -> String {
+        let held = &inner.held[tid];
+        if held.is_empty() {
+            "holding nothing".to_string()
+        } else {
+            let list: Vec<String> = held
+                .iter()
+                .map(|&(o, s)| format!("{} (acquired at step {s})", inner.objects[o].name))
+                .collect();
+            format!("holding {}", list.join(", "))
+        }
+    };
+    // Waits-for edges over lock acquisition.
+    let mut wants: HashMap<Tid, (ObjId, Tid)> = HashMap::new();
+    for (tid, slot) in inner.threads.iter().enumerate() {
+        if let TState::Pending(op) = &slot.state {
+            let holder = match op.kind {
+                OpKind::Lock(o) => match inner.objects[o].state {
+                    ObjState::Mutex { held_by } => held_by.map(|h| (o, h)),
+                    _ => None,
+                },
+                OpKind::RwWrite(o) | OpKind::RwRead(o) => match &inner.objects[o].state {
+                    ObjState::Rw { writer, readers } => writer
+                        .map(|h| (o, h))
+                        .or_else(|| readers.first().map(|&h| (o, h))),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(edge) = holder {
+                wants.insert(tid, edge);
+            }
+        }
+    }
+    // Cycle detection over the waits-for graph, in tid order so the
+    // rendered cycle is deterministic.
+    let mut starts: Vec<Tid> = wants.keys().copied().collect();
+    starts.sort_unstable();
+    for start in starts {
+        let mut seen = vec![start];
+        let mut cur = start;
+        while let Some(&(_, next)) = wants.get(&cur) {
+            if next == start {
+                seen.push(start);
+                let cycle: Vec<String> = seen
+                    .windows(2)
+                    .map(|w| {
+                        let (obj, _) = wants[&w[0]];
+                        format!(
+                            "{} wants {} ({}), ",
+                            name(w[0]),
+                            inner.objects[obj].name,
+                            held_desc(w[0])
+                        )
+                    })
+                    .collect();
+                return Stuck {
+                    code: "CCK-001",
+                    message: format!("lock-order cycle: {}", cycle.concat()),
+                };
+            }
+            if seen.contains(&next) {
+                break;
+            }
+            seen.push(next);
+            cur = next;
+        }
+    }
+    // Lost wakeup: someone is parked on a condvar and nothing can run.
+    let cond_waiters: Vec<Tid> = inner
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.state, TState::CondWait))
+        .map(|(t, _)| t)
+        .collect();
+    if !cond_waiters.is_empty() {
+        let on: Vec<String> = cond_waiters
+            .iter()
+            .map(|&t| {
+                let cv = inner
+                    .objects
+                    .iter()
+                    .find(|o| {
+                        matches!(&o.state, ObjState::Cond { waiters }
+                            if waiters.iter().any(|(w, _)| *w == t))
+                    })
+                    .map(|o| o.name.clone())
+                    .unwrap_or_else(|| "condvar".to_string());
+                format!("{} stuck in wait on {cv}", name(t))
+            })
+            .collect();
+        return Stuck {
+            code: "CCK-002",
+            message: format!(
+                "lost wakeup: {}; every thread that could have notified has exited or blocked",
+                on.join(", ")
+            ),
+        };
+    }
+    // Generic: blocked joins / lock waits without a detected cycle.
+    let blocked: Vec<String> = inner
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.state, TState::Pending(_)))
+        .map(|(t, s)| {
+            let what = match s.state {
+                TState::Pending(op) => format!("{:?}", op.kind),
+                _ => unreachable!(),
+            };
+            format!("{} blocked at {what} ({})", name(t), held_desc(t))
+        })
+        .collect();
+    Stuck {
+        code: "CCK-001",
+        message: format!("deadlock with no runnable thread: {}", blocked.join("; ")),
+    }
+}
+
+/// Render a human-readable schedule (object names resolved) for a
+/// finding message.
+pub(crate) fn render_schedule(inner: &ExecInner, trace: &Trace) -> String {
+    let mut lines = Vec::new();
+    for (i, step) in trace.steps.iter().enumerate() {
+        let kind = match step.kind {
+            StepKind::Run => "run",
+            StepKind::FaultPanic => "inject-panic",
+            StepKind::Spurious => "spurious-wake",
+        };
+        let tname = inner
+            .threads
+            .get(step.tid)
+            .map(|t| t.name.clone())
+            .unwrap_or_default();
+        lines.push(format!("  step {i}: {kind} thread {} {tname}", step.tid));
+    }
+    lines.join("\n")
+}

@@ -1,0 +1,700 @@
+//! Drop-in sync primitives with runtime model dispatch.
+//!
+//! Every type here *contains* the real `std::sync` primitive and uses
+//! it directly whenever the current OS thread is not a model thread —
+//! production code pays one thread-local read per operation and is
+//! otherwise bit-identical to plain `std::sync`. Inside a model
+//! execution (under [`Checker::check`](crate::Checker::check)) each
+//! operation becomes a scheduler yield point: the thread announces
+//! the op, parks, and performs the real-world effect only once the
+//! controller grants it. The real lock is therefore only ever taken
+//! when the model says it is free, so model threads never contend on
+//! the real primitive and the model's view stays authoritative.
+//!
+//! Primitives are bound to the execution they were created in (by
+//! execution id); objects created outside any model — globals,
+//! leaked fixtures — transparently fall back to real `std` behaviour
+//! even when touched from a model thread.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::sched::{self, CodedViolation, Execution, Grant, ObjId, ObjState, Op, OpKind, Tid};
+
+/// The model binding of one primitive: which execution owns it and
+/// its object id there.
+struct Binding {
+    exec: std::sync::Weak<Execution>,
+    exec_id: u64,
+    obj: ObjId,
+}
+
+fn bind(state: ObjState, name: &str) -> Option<Binding> {
+    sched::current().map(|(exec, _)| {
+        let obj = exec.register_object(state, name.to_string());
+        Binding {
+            exec_id: exec.id,
+            exec: Arc::downgrade(&exec),
+            obj,
+        }
+    })
+}
+
+/// The current thread's model context *if* it matches `binding`'s
+/// execution; `None` means "use the real primitive directly".
+fn model_ctx(binding: &Option<Binding>) -> Option<(Arc<Execution>, Tid, ObjId)> {
+    let b = binding.as_ref()?;
+    let (exec, tid) = sched::current()?;
+    if exec.id != b.exec_id {
+        return None;
+    }
+    let bound = b.exec.upgrade()?;
+    debug_assert!(Arc::ptr_eq(&bound, &exec));
+    Some((exec, tid, b.obj))
+}
+
+/// Announce `op` and obey the grant (proceed / injected panic /
+/// cancellation unwind).
+fn yield_op(exec: &Execution, tid: Tid, op: Op) {
+    sched::obey(exec.op(tid, op));
+}
+
+// ---------------------------------------------------------------- Mutex
+
+/// A mutual-exclusion lock; `std::sync::Mutex` in production, a
+/// modeled yield point under the checker.
+pub struct Mutex<T> {
+    real: StdMutex<T>,
+    binding: Option<Binding>,
+}
+
+/// RAII guard for [`Mutex`]; releasing it is itself a yield point.
+pub struct MutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex named for diagnostics (deadlock findings print
+    /// the name).
+    pub fn new_named(value: T, name: &str) -> Self {
+        Mutex {
+            real: StdMutex::new(value),
+            binding: bind(ObjState::Mutex { held_by: None }, name),
+        }
+    }
+
+    /// Create an anonymous mutex.
+    pub fn new(value: T) -> Self {
+        Self::new_named(value, "mutex")
+    }
+
+    /// Acquire the lock, blocking (in the model: parking until the
+    /// scheduler grants an enabled acquisition).
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+            yield_op(&exec, tid, Op::new(OpKind::Lock(obj)));
+        }
+        match self.real.lock() {
+            Ok(g) => Ok(MutexGuard {
+                guard: Some(g),
+                mutex: self,
+            }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                guard: Some(poisoned.into_inner()),
+                mutex: self,
+            })),
+        }
+    }
+
+    /// Acquire the lock, recovering from poisoning — the house
+    /// convention for locks whose protected state stays valid across
+    /// a panic (counters, maps with per-entry invariants).
+    pub fn lock_recovered(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("data", &self.real).finish()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the real guard first, then tell the model: the real
+        // lock must be free before another model thread is granted it.
+        self.guard.take();
+        if let Some((exec, tid, obj)) = model_ctx(&self.mutex.binding) {
+            if std::thread::panicking() {
+                // Unwinding (injected fault or violation): apply the
+                // model release without creating a choice point, so
+                // teardown cannot double-panic.
+                exec.force_unlock(tid, obj);
+            } else {
+                yield_op(&exec, tid, Op::new(OpKind::Unlock(obj)));
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// A condition variable; `std::sync::Condvar` in production, modeled
+/// (with scheduler-injected spurious wakeups) under the checker.
+pub struct Condvar {
+    real: std::sync::Condvar,
+    binding: Option<Binding>,
+}
+
+impl Condvar {
+    /// Create a condvar named for diagnostics.
+    pub fn new_named(name: &str) -> Self {
+        Condvar {
+            real: std::sync::Condvar::new(),
+            binding: bind(ObjState::Cond { waiters: vec![] }, name),
+        }
+    }
+
+    /// Create an anonymous condvar.
+    pub fn new() -> Self {
+        Self::new_named("condvar")
+    }
+
+    /// Release `guard`'s mutex and wait for a notification (or, in
+    /// the model, a scheduler-injected spurious wakeup). As with
+    /// `std`, re-check the predicate in a loop.
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        if let Some((exec, tid, cv)) = model_ctx(&self.binding) {
+            if let Some((_, _, mobj)) = model_ctx(&mutex.binding) {
+                // Announce the wait; the grant atomically (in model
+                // state) releases the mutex and registers us as a
+                // waiter, then hands the baton back once so we can
+                // drop the real guard before parking.
+                yield_op(&exec, tid, Op::new(OpKind::Wait { cv, mutex: mobj }));
+                guard.guard.take();
+                // The model already released the mutex at the Wait
+                // grant; the spent guard must not announce a second
+                // unlock when it drops.
+                std::mem::forget(guard);
+                sched::obey(exec.park_for_reacquire(tid));
+                // Woken: the scheduler rewrote our state to a pending
+                // Lock(mobj) and granted it; retake the real lock.
+                return match mutex.real.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        guard: Some(g),
+                        mutex,
+                    }),
+                    Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                        guard: Some(poisoned.into_inner()),
+                        mutex,
+                    })),
+                };
+            }
+        }
+        let real_guard = guard.guard.take().expect("guard taken");
+        std::mem::forget(guard);
+        match self.real.wait(real_guard) {
+            Ok(g) => Ok(MutexGuard {
+                guard: Some(g),
+                mutex,
+            }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                guard: Some(poisoned.into_inner()),
+                mutex,
+            })),
+        }
+    }
+
+    /// [`wait`](Self::wait) with poison recovery.
+    pub fn wait_recovered<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one waiter (FIFO-deterministic in the model).
+    pub fn notify_one(&self) {
+        if let Some((exec, tid, cv)) = model_ctx(&self.binding) {
+            yield_op(&exec, tid, Op::new(OpKind::NotifyOne(cv)));
+        }
+        self.real.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        if let Some((exec, tid, cv)) = model_ctx(&self.binding) {
+            yield_op(&exec, tid, Op::new(OpKind::NotifyAll(cv)));
+        }
+        self.real.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// A reader-writer lock; `std::sync::RwLock` in production, modeled
+/// under the checker (writer-exclusive, no reader/writer fairness
+/// policy beyond the explored schedules).
+pub struct RwLock<T> {
+    real: std::sync::RwLock<T>,
+    binding: Option<Binding>,
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+/// Exclusive-write RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a reader-writer lock named for diagnostics.
+    pub fn new_named(value: T, name: &str) -> Self {
+        RwLock {
+            real: std::sync::RwLock::new(value),
+            binding: bind(
+                ObjState::Rw {
+                    writer: None,
+                    readers: vec![],
+                },
+                name,
+            ),
+        }
+    }
+
+    /// Create an anonymous reader-writer lock.
+    pub fn new(value: T) -> Self {
+        Self::new_named(value, "rwlock")
+    }
+
+    /// Acquire shared read access.
+    pub fn read(&self) -> std::sync::LockResult<RwLockReadGuard<'_, T>> {
+        if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+            yield_op(&exec, tid, Op::new(OpKind::RwRead(obj)));
+        }
+        match self.real.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                guard: Some(g),
+                lock: self,
+            }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(RwLockReadGuard {
+                guard: Some(poisoned.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> std::sync::LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+            yield_op(&exec, tid, Op::new(OpKind::RwWrite(obj)));
+        }
+        match self.real.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                guard: Some(g),
+                lock: self,
+            }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(RwLockWriteGuard {
+                guard: Some(poisoned.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+
+    /// [`read`](Self::read) with poison recovery.
+    pub fn read_recovered(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`write`](Self::write) with poison recovery.
+    pub fn write_recovered(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((exec, tid, obj)) = model_ctx(&self.lock.binding) {
+            if std::thread::panicking() {
+                exec.force_unlock(tid, obj);
+            } else {
+                yield_op(&exec, tid, Op::new(OpKind::RwReadUnlock(obj)));
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((exec, tid, obj)) = model_ctx(&self.lock.binding) {
+            if std::thread::panicking() {
+                exec.force_unlock(tid, obj);
+            } else {
+                yield_op(&exec, tid, Op::new(OpKind::RwWriteUnlock(obj)));
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- Atomics
+
+macro_rules! modeled_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// An atomic integer; plain `std` atomic in production, a
+        /// yield point per operation under the checker. Explored
+        /// under sequential consistency; the `Ordering` each call
+        /// site passes is recorded for diagnostics. `compare_exchange_weak`
+        /// is modeled as strong (no spurious CAS failures).
+        pub struct $name {
+            real: $std,
+            binding: Option<Binding>,
+        }
+
+        impl $name {
+            /// Create an atomic named for diagnostics.
+            pub fn new_named(value: $prim, name: &str) -> Self {
+                $name {
+                    real: <$std>::new(value),
+                    binding: bind(ObjState::Atomic, name),
+                }
+            }
+
+            /// Create an anonymous atomic.
+            pub fn new(value: $prim) -> Self {
+                Self::new_named(value, "atomic")
+            }
+
+            /// Atomic load.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicLoad(obj), ord));
+                }
+                self.real.load(ord)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, value: $prim, ord: Ordering) {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicStore(obj), ord));
+                }
+                self.real.store(value, ord)
+            }
+
+            /// Atomic add; returns the previous value.
+            pub fn fetch_add(&self, value: $prim, ord: Ordering) -> $prim {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmwCommute(obj), ord));
+                }
+                self.real.fetch_add(value, ord)
+            }
+
+            /// Atomic subtract; returns the previous value.
+            pub fn fetch_sub(&self, value: $prim, ord: Ordering) -> $prim {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmwCommute(obj), ord));
+                }
+                self.real.fetch_sub(value, ord)
+            }
+
+            /// Atomic max; returns the previous value.
+            pub fn fetch_max(&self, value: $prim, ord: Ordering) -> $prim {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmw(obj), ord));
+                }
+                self.real.fetch_max(value, ord)
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, value: $prim, ord: Ordering) -> $prim {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmw(obj), ord));
+                }
+                self.real.swap(value, ord)
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmw(obj), success));
+                }
+                self.real.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic compare-exchange, weak form. Modeled as strong:
+            /// the checker never injects spurious CAS failures, so a
+            /// retry loop correct under this model is correct under
+            /// the strong form (weak-form spurious failures only add
+            /// retries).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if let Some((exec, tid, obj)) = model_ctx(&self.binding) {
+                    yield_op(&exec, tid, Op::atomic(OpKind::AtomicRmw(obj), success));
+                }
+                self.real
+                    .compare_exchange_weak(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).field(&self.real).finish()
+            }
+        }
+    };
+}
+
+modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+// -------------------------------------------------------------- thread
+
+/// Model-aware threading: real `std::thread` in production, model
+/// threads (participating in schedule exploration) under the checker.
+pub mod thread {
+    use super::*;
+
+    /// The model half of a [`JoinHandle`]: which execution and thread
+    /// to join, and the slot the thread's return value lands in.
+    type ModelJoin<T> = (Arc<Execution>, Tid, Arc<StdMutex<Option<T>>>);
+
+    /// Handle to a spawned thread; joining is a yield point in the
+    /// model.
+    pub struct JoinHandle<T> {
+        real: Option<std::thread::JoinHandle<T>>,
+        model: Option<ModelJoin<T>>,
+    }
+
+    /// Spawn a thread running `f`. Inside a model execution the
+    /// thread is a model thread: it starts parked and runs only when
+    /// scheduled.
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+        spawn_named("worker", f)
+    }
+
+    /// [`spawn`] with a diagnostic name (findings print it).
+    pub fn spawn_named<T: Send + 'static>(
+        name: &str,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        if let Some((exec, _)) = sched::current() {
+            let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = exec.spawn_thread(name.to_string(), move || {
+                let value = f();
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            });
+            JoinHandle {
+                real: None,
+                model: Some((exec, tid, result)),
+            }
+        } else {
+            JoinHandle {
+                real: Some(
+                    std::thread::Builder::new()
+                        .name(name.to_string())
+                        .spawn(f)
+                        .expect("spawn thread"),
+                ),
+                model: None,
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish; returns `Err` if it
+        /// panicked (matching `std::thread::JoinHandle::join`).
+        pub fn join(mut self) -> std::thread::Result<T> {
+            if let Some((exec, tid, result)) = self.model.take() {
+                let (ctx_exec, me) =
+                    sched::current().expect("model JoinHandle joined from a non-model thread");
+                assert_eq!(ctx_exec.id, exec.id, "joined across executions");
+                yield_op(&ctx_exec, me, Op::new(OpKind::Join(tid)));
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread panicked")),
+                }
+            } else {
+                self.real.take().expect("join handle consumed").join()
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- region
+
+/// Markers for long-running compute regions.
+pub mod region {
+    use super::*;
+
+    /// Run `f` as a compute region. In production this is a plain
+    /// call. Under the checker it emits warning `CCK-101` when the
+    /// current thread enters while holding any modeled lock — the
+    /// pattern that turns a slow tuner search into a lock convoy.
+    pub fn compute<R>(f: impl FnOnce() -> R) -> R {
+        if let Some((exec, tid)) = sched::current() {
+            let held = exec.held_by(tid);
+            if !held.is_empty() {
+                let locks: Vec<String> = held
+                    .iter()
+                    .map(|(name, step)| format!("{name} (acquired at step {step})"))
+                    .collect();
+                exec.warn(
+                    "CCK-101",
+                    format!("compute region entered holding {}", locks.join(", ")),
+                );
+            }
+        }
+        f()
+    }
+}
+
+// --------------------------------------------------------------- fault
+
+/// Fault-injection points.
+pub mod fault {
+    use super::*;
+
+    /// A named fault site. In production this is a no-op. Under the
+    /// checker it is a choice point with two arms: proceed, or panic
+    /// here (unwinding with an `InjectedFault` payload) — so every
+    /// RAII cleanup and poison-recovery path is explored like any
+    /// other schedule.
+    pub fn point(tag: u32) {
+        if let Some((exec, tid)) = sched::current() {
+            match exec.op(tid, Op::new(OpKind::Fault(tag))) {
+                Grant::Proceed => {}
+                Grant::Panic => std::panic::panic_any(sched::InjectedFault(tag)),
+                cancel => sched::obey(cancel),
+            }
+        }
+    }
+}
+
+/// Raise a coded model violation: under the checker this unwinds the
+/// current model thread and surfaces `code` as an error finding with
+/// the current schedule as its counterexample trace. Outside a model
+/// it panics with the code in the message.
+pub fn violation(code: &str, message: impl Into<String>) -> ! {
+    let message = message.into();
+    if sched::current().is_some() {
+        std::panic::panic_any(CodedViolation {
+            code: code.to_string(),
+            message,
+        });
+    }
+    panic!("{code}: {message}");
+}
+
+/// Assert a model invariant; on failure raises [`violation`] with
+/// `code` so the checker reports a coded finding instead of CCK-900.
+#[macro_export]
+macro_rules! cck_assert {
+    ($cond:expr, $code:expr, $($arg:tt)+) => {
+        if !$cond {
+            $crate::violation($code, format!($($arg)+));
+        }
+    };
+}
+
+/// Grant-free model release used while unwinding (no choice point).
+impl Execution {
+    pub(crate) fn force_unlock(&self, tid: Tid, obj: ObjId) {
+        let mut inner = self.inner.lock().expect("execution state");
+        match &mut inner.objects[obj].state {
+            ObjState::Mutex { held_by } if *held_by == Some(tid) => {
+                *held_by = None;
+            }
+            ObjState::Rw { writer, readers } => {
+                if *writer == Some(tid) {
+                    *writer = None;
+                } else if let Some(pos) = readers.iter().position(|&t| t == tid) {
+                    readers.remove(pos);
+                }
+            }
+            _ => {}
+        }
+        inner.held[tid].retain(|&(h, _)| h != obj);
+        self.cv.notify_all();
+    }
+}
+
+// Re-export so ported code can `use conc_check::sync::Ordering`.
+pub use std::sync::atomic::Ordering as AtomicOrdering;

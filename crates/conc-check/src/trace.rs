@@ -1,0 +1,130 @@
+//! Replayable schedule traces.
+//!
+//! A trace is the exact sequence of scheduler choices of one
+//! execution: which thread ran at each choice point, whether a fault
+//! point was driven into its panic arm, and which condvar waiters
+//! were spuriously woken. Together with the seed it pins the entire
+//! execution — [`Checker::replay`](crate::Checker::replay) re-runs
+//! the same closure under the same choices and must reproduce the
+//! same finding (the determinism CI asserts exactly that).
+
+/// How one choice point was resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// The thread's pending operation ran normally.
+    Run,
+    /// The thread's pending fault point was driven into its panic arm.
+    FaultPanic,
+    /// The thread was spuriously woken from a condvar wait.
+    Spurious,
+}
+
+/// One resolved choice point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The chosen thread.
+    pub tid: usize,
+    /// How the choice was resolved.
+    pub kind: StepKind,
+}
+
+/// A full schedule: the choice sequence of one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Choice points in execution order.
+    pub steps: Vec<Step>,
+}
+
+const PREFIX: &str = "cck1:";
+
+impl Trace {
+    /// Compact encoding, e.g. `cck1:t0.t1.p2.w1.t1`.
+    pub fn encode(&self) -> String {
+        let mut out = String::from(PREFIX);
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            let c = match s.kind {
+                StepKind::Run => 't',
+                StepKind::FaultPanic => 'p',
+                StepKind::Spurious => 'w',
+            };
+            out.push(c);
+            out.push_str(&s.tid.to_string());
+        }
+        out
+    }
+
+    /// Parse an [`encode`](Self::encode)d trace.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let body = text
+            .strip_prefix(PREFIX)
+            .ok_or_else(|| format!("trace must start with {PREFIX:?}"))?;
+        let mut steps = Vec::new();
+        if body.is_empty() {
+            return Ok(Trace { steps });
+        }
+        for tok in body.split('.') {
+            let (kind, digits) = tok.split_at(1);
+            let kind = match kind {
+                "t" => StepKind::Run,
+                "p" => StepKind::FaultPanic,
+                "w" => StepKind::Spurious,
+                other => return Err(format!("unknown step kind {other:?} in {tok:?}")),
+            };
+            let tid: usize = digits
+                .parse()
+                .map_err(|_| format!("bad thread id in {tok:?}"))?;
+            steps.push(Step { tid, kind });
+        }
+        Ok(Trace { steps })
+    }
+
+    /// Number of choice points.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let t = Trace {
+            steps: vec![
+                Step {
+                    tid: 0,
+                    kind: StepKind::Run,
+                },
+                Step {
+                    tid: 2,
+                    kind: StepKind::FaultPanic,
+                },
+                Step {
+                    tid: 1,
+                    kind: StepKind::Spurious,
+                },
+            ],
+        };
+        let enc = t.encode();
+        assert_eq!(enc, "cck1:t0.p2.w1");
+        assert_eq!(Trace::parse(&enc).unwrap(), t);
+        assert_eq!(Trace::parse("cck1:").unwrap(), Trace::default());
+        assert!(Trace::parse("nope").is_err());
+        assert!(Trace::parse("cck1:x3").is_err());
+    }
+}

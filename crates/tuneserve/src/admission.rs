@@ -22,7 +22,9 @@
 //! Cheap admissions (store, LRU, sharing an in-flight leader) bypass
 //! all three gates — shedding only ever refuses *new* search work.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+use conc_check::sync::{AtomicU64, AtomicUsize};
 
 use inplane_core::ProblemSpec;
 use stencil_lint::predict_traffic;
@@ -147,11 +149,11 @@ impl ComputePool {
     pub fn new(limit: usize) -> Self {
         ComputePool {
             limit,
-            in_use: AtomicUsize::new(0),
-            admitted: AtomicU64::new(0),
-            shed_saturated: AtomicU64::new(0),
-            shed_over_budget: AtomicU64::new(0),
-            shed_deadline: AtomicU64::new(0),
+            in_use: AtomicUsize::new_named(0, "pool.in_use"),
+            admitted: AtomicU64::new_named(0, "pool.admitted"),
+            shed_saturated: AtomicU64::new_named(0, "pool.shed_saturated"),
+            shed_over_budget: AtomicU64::new_named(0, "pool.shed_over_budget"),
+            shed_deadline: AtomicU64::new_named(0, "pool.shed_deadline"),
         }
     }
 

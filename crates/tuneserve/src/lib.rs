@@ -33,7 +33,12 @@
 //!   provenance counts;
 //! * [`report`] — [`ServingReport`], persisted as
 //!   `BENCH_serving.json` so the serving trajectory is tracked across
-//!   PRs.
+//!   PRs;
+//! * [`conc`] — the concurrency proofs: every core above runs under
+//!   the `conc-check` deterministic model checker, which explores
+//!   bounded-exhaustive interleavings (plus injected leader panics
+//!   and spurious condvar wakeups) and reports coded `CCK-*`
+//!   findings with replayable counterexample traces.
 //!
 //! ## Example
 //!
@@ -66,6 +71,7 @@
 //! ```
 
 pub mod admission;
+pub mod conc;
 pub mod lru;
 pub mod replay;
 pub mod report;

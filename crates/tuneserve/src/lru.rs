@@ -10,7 +10,8 @@
 //! miss, insert and eviction is counted.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+
+use conc_check::sync::Mutex;
 
 use stencil_tunestore::TuneResponse;
 
@@ -95,7 +96,7 @@ impl HotKeyLru {
     pub fn new(capacity: usize) -> Self {
         HotKeyLru {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new_named(Inner::default(), "lru.inner"),
         }
     }
 
@@ -106,7 +107,7 @@ impl HotKeyLru {
 
     /// The cached response for `hash`, refreshing its recency.
     pub fn get(&self, hash: u64) -> Option<TuneResponse> {
-        let mut inner = self.inner.lock().expect("lru poisoned");
+        let mut inner = self.inner.lock_recovered();
         if inner.map.contains_key(&hash) {
             let tick = inner.touch(hash);
             let entry = inner.map.get_mut(&hash).expect("checked above");
@@ -127,7 +128,7 @@ impl HotKeyLru {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("lru poisoned");
+        let mut inner = self.inner.lock_recovered();
         let tick = inner.touch(hash);
         let fresh = inner.map.insert(hash, Entry { response, tick }).is_none();
         if fresh {
@@ -139,9 +140,17 @@ impl HotKeyLru {
         inner.sweep_if_bloated(self.capacity);
     }
 
+    /// Length of the lazily-invalidated recency queue — exposed so
+    /// the concurrency proofs can assert the `4 * capacity + 16`
+    /// bound holds under every explored interleaving.
+    #[doc(hidden)]
+    pub fn queue_len(&self) -> usize {
+        self.inner.lock_recovered().order.len()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> LruStats {
-        let inner = self.inner.lock().expect("lru poisoned");
+        let inner = self.inner.lock_recovered();
         LruStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -219,7 +228,6 @@ mod tests {
             lru.get(2);
         }
         // The lazy queue stays bounded relative to capacity.
-        let inner = lru.inner.lock().unwrap();
-        assert!(inner.order.len() <= 4 * lru.capacity + 16 + 1);
+        assert!(lru.queue_len() <= 4 * lru.capacity + 16 + 1);
     }
 }

@@ -356,11 +356,12 @@ pub fn replay(
     workers: usize,
     budget_micros: Option<u64>,
 ) -> ReplayOutcome {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use conc_check::sync::AtomicUsize;
+    use std::sync::atomic::Ordering;
     use std::time::Instant;
 
     let workers = workers.max(1);
-    let cursor = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new_named(0, "replay.cursor");
     let started = Instant::now();
     let mut per_worker: Vec<(TierCounts, ShedCounts, Vec<u64>)> = Vec::new();
     std::thread::scope(|scope| {

@@ -17,9 +17,11 @@
 //! per key resolves, duplicates are served its response.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
+
+use conc_check::sync::{AtomicU64, Mutex};
 
 use inplane_core::{EvalContext, RoutineDiag};
 use rayon::prelude::*;
@@ -195,8 +197,8 @@ impl TuneServer {
             store,
             lru: HotKeyLru::new(config.lru_capacity),
             pool: ComputePool::new(config.pool_limit),
-            prices: Mutex::new(HashMap::new()),
-            batch_deduped: AtomicU64::new(0),
+            prices: Mutex::new_named(HashMap::new(), "server.prices"),
+            batch_deduped: AtomicU64::new_named(0, "server.batch_deduped"),
         }
     }
 
@@ -225,14 +227,11 @@ impl TuneServer {
     /// The oracle-predicted search cost for `req`, cached per key.
     pub fn predicted_micros(&self, req: &TuneRequest) -> u64 {
         let hash = req.key().stable_hash();
-        if let Some(&p) = self.prices.lock().expect("price cache poisoned").get(&hash) {
+        if let Some(&p) = self.prices.lock_recovered().get(&hash) {
             return p;
         }
         let p = predicted_search_micros(req);
-        self.prices
-            .lock()
-            .expect("price cache poisoned")
-            .insert(hash, p);
+        self.prices.lock_recovered().insert(hash, p);
         p
     }
 

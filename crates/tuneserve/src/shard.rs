@@ -11,7 +11,9 @@
 //! survive the wrapper instead of being summed away.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+use conc_check::sync::AtomicU64;
 
 use stencil_tunestore::{JsonlDiskStore, MemStore, StoreStats, TuneKey, TuneRecord, TuneStore};
 
@@ -78,7 +80,7 @@ impl ShardedStore {
             shards: (0..n)
                 .map(|_| Shard {
                     backend: ShardBackend::Mem(MemStore::new()),
-                    epoch: AtomicU64::new(0),
+                    epoch: AtomicU64::new_named(0, "shard.epoch"),
                 })
                 .collect(),
         }
@@ -98,7 +100,7 @@ impl ShardedStore {
             let store = JsonlDiskStore::open(dir.join(format!("shard-{i:02}.jsonl")))?;
             shards.push(Shard {
                 backend: ShardBackend::Jsonl(store),
-                epoch: AtomicU64::new(0),
+                epoch: AtomicU64::new_named(0, "shard.epoch"),
             });
         }
         Ok(ShardedStore { shards })

@@ -23,6 +23,11 @@
 //! * [`service`] — [`TuneService`], the batch front end: store check →
 //!   single-flight dedup → warm-started or full search over a shared
 //!   evaluation context;
+//! * [`singleflight`] — the generic [`SingleFlight`] collapse the
+//!   service is built on, written against `conc-check`'s modeled
+//!   primitives and proven deadlock- and stranding-free under its
+//!   schedule exploration (leaders that panic fail their flight and
+//!   wake every waiter);
 //! * [`util`] — [`atomic_write`], the tmp+rename writer the disk store
 //!   and the experiment output writers share.
 //!
@@ -56,11 +61,13 @@ pub mod json;
 pub mod key;
 pub mod record;
 pub mod service;
+pub mod singleflight;
 pub mod store;
 pub mod util;
 
 pub use key::{method_from_label, space_fingerprint, TuneKey, TunerKind, SCHEMA_VERSION};
 pub use record::{RecordError, TuneRecord};
 pub use service::{ResolveTrace, ServiceStats, TuneRequest, TuneResponse, TuneService, TunerSpec};
+pub use singleflight::{Joined, LeaderGuard, SingleFlight};
 pub use store::{JsonlDiskStore, MemStore, StoreStats, TuneStore};
 pub use util::atomic_write;

@@ -21,9 +21,11 @@
 //! batch dedup through the same single-flight path.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
+use conc_check::region;
+use conc_check::sync::AtomicU64;
 use gpu_sim::{DeviceSpec, GridDims};
 use inplane_core::RoutineDiag;
 use inplane_core::{EvalContext, KernelSpec, LaunchConfig};
@@ -35,6 +37,7 @@ use stencil_autotune::{
 
 use crate::key::{TuneKey, TunerKind};
 use crate::record::TuneRecord;
+use crate::singleflight::{Joined, SingleFlight};
 use crate::store::TuneStore;
 
 /// Which search strategy a request asks for.
@@ -167,17 +170,11 @@ impl Ctx {
     }
 }
 
-#[derive(Default)]
-struct Flight {
-    slot: Mutex<Option<TuneResponse>>,
-    ready: Condvar,
-}
-
 /// The single-flight tuning service. See the [module docs](self).
 pub struct TuneService {
     store: Arc<dyn TuneStore>,
     ctx: Ctx,
-    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    inflight: SingleFlight<TuneResponse>,
     served_from_store: AtomicU64,
     computed: AtomicU64,
     warm_started: AtomicU64,
@@ -201,11 +198,11 @@ impl TuneService {
         TuneService {
             store,
             ctx,
-            inflight: Mutex::new(HashMap::new()),
-            served_from_store: AtomicU64::new(0),
-            computed: AtomicU64::new(0),
-            warm_started: AtomicU64::new(0),
-            shared: AtomicU64::new(0),
+            inflight: SingleFlight::new(),
+            served_from_store: AtomicU64::new_named(0, "service.served_from_store"),
+            computed: AtomicU64::new_named(0, "service.computed"),
+            warm_started: AtomicU64::new_named(0, "service.warm_started"),
+            shared: AtomicU64::new_named(0, "service.shared"),
         }
     }
 
@@ -217,6 +214,13 @@ impl TuneService {
     /// The evaluation context requests are priced through.
     pub fn ctx(&self) -> &EvalContext {
         self.ctx.get()
+    }
+
+    /// Number of searches currently in flight (leaders computing).
+    /// Failed or published flights are retired immediately, so this
+    /// also regression-checks that a panicking leader cleans up.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.inflight_len()
     }
 
     /// Counter snapshot.
@@ -244,6 +248,11 @@ impl TuneService {
     /// request (store hit, single-flight leader, or condvar sharer) —
     /// the serving layer attributes latency and compute by the trace.
     ///
+    /// If a leader panics mid-search, its flight is marked failed and
+    /// every waiter retries from the store check — one of them leads
+    /// the next attempt. A panicking leader therefore never strands
+    /// its waiters (and its own panic propagates to its caller).
+    ///
     /// # Panics
     /// Same contract as [`Self::resolve`].
     pub fn resolve_traced(&self, req: &TuneRequest) -> (TuneResponse, ResolveTrace) {
@@ -257,43 +266,44 @@ impl TuneService {
         let key = req.key();
         let hash = key.stable_hash();
 
-        if let Some(resp) = self.lookup_store(&key) {
-            return (resp, ResolveTrace::Store);
-        }
-
-        // Single-flight: first miss per key leads, the rest wait.
-        let flight = {
-            let mut inflight = self.inflight.lock().expect("tune service poisoned");
-            match inflight.get(&hash) {
-                Some(flight) => Some(Arc::clone(flight)),
-                None => {
-                    inflight.insert(hash, Arc::new(Flight::default()));
-                    None
+        loop {
+            if let Some(resp) = self.lookup_store(&key) {
+                return (resp, ResolveTrace::Store);
+            }
+            // Single-flight: first miss per key leads, the rest wait.
+            match self.inflight.join(hash) {
+                Joined::Shared(resp) => {
+                    self.shared.fetch_add(1, Ordering::Relaxed);
+                    return (resp, ResolveTrace::Shared);
+                }
+                Joined::Retry => continue,
+                Joined::Lead(leadership) => {
+                    // Re-check the store *under leadership*: between
+                    // this thread's store miss and its election, a
+                    // previous leader may have published and retired
+                    // its flight. Computing here would be a duplicate
+                    // search (the conc-check burst proof finds exactly
+                    // this interleaving); publishing the stored record
+                    // keeps the key at-most-once-computed.
+                    if let Some(resp) = self.lookup_store(&key) {
+                        leadership.publish(resp.clone());
+                        return (resp, ResolveTrace::Store);
+                    }
+                    let response = self.compute(&key, req);
+                    self.store.put(&TuneRecord {
+                        key: key.clone(),
+                        best: response.best.config,
+                        mpoints: response.best.mpoints,
+                        evaluated: response.evaluated,
+                    });
+                    // Persist first, then retire the flight: a request
+                    // arriving after the removal hits the store instead
+                    // of recomputing.
+                    leadership.publish(response.clone());
+                    return (response, ResolveTrace::Led);
                 }
             }
-        };
-        if let Some(flight) = flight {
-            return (self.share(&flight), ResolveTrace::Shared);
         }
-
-        let response = self.compute(&key, req);
-        self.store.put(&TuneRecord {
-            key: key.clone(),
-            best: response.best.config,
-            mpoints: response.best.mpoints,
-            evaluated: response.evaluated,
-        });
-        // Persist first, then retire the flight: a request arriving
-        // after the removal hits the store instead of recomputing.
-        let flight = self
-            .inflight
-            .lock()
-            .expect("tune service poisoned")
-            .remove(&hash)
-            .expect("leader owns the flight");
-        *flight.slot.lock().expect("tune service poisoned") = Some(response.clone());
-        flight.ready.notify_all();
-        (response, ResolveTrace::Led)
     }
 
     /// The store-hit fast path alone: an exact [`TuneKey`] hit is
@@ -325,24 +335,12 @@ impl TuneService {
     /// for it and share its response (counted `shared`); otherwise
     /// return `None` immediately. Blocks only for the remainder of an
     /// *already running* computation — never starts one — which is why
-    /// the serving layer may call it before admission control.
+    /// the serving layer may call it before admission control. A
+    /// leader that panics instead of publishing also yields `None`.
     pub fn wait_if_inflight(&self, hash: u64) -> Option<TuneResponse> {
-        let flight = self
-            .inflight
-            .lock()
-            .expect("tune service poisoned")
-            .get(&hash)
-            .cloned()?;
-        Some(self.share(&flight))
-    }
-
-    fn share(&self, flight: &Flight) -> TuneResponse {
-        let mut slot = flight.slot.lock().expect("tune service poisoned");
-        while slot.is_none() {
-            slot = flight.ready.wait(slot).expect("tune service poisoned");
-        }
+        let resp = self.inflight.wait_existing(hash)?;
         self.shared.fetch_add(1, Ordering::Relaxed);
-        slot.clone().expect("leader published a response")
+        Some(resp)
     }
 
     /// Resolve a batch over the rayon worker pool. Output order matches
@@ -413,7 +411,10 @@ impl TuneService {
 
     fn compute(&self, key: &TuneKey, req: &TuneRequest) -> TuneResponse {
         let ctx = self.ctx.get();
-        let (outcome, evaluated) = match &req.tuner {
+        // The search is the long-running part; `region::compute` marks
+        // it so the model checker warns (CCK-101) if a caller ever
+        // reshapes this path to hold a service lock across it.
+        let (outcome, evaluated) = region::compute(|| match &req.tuner {
             TunerSpec::Exhaustive => {
                 let out = exhaustive_tune_with(
                     ctx,
@@ -454,7 +455,7 @@ impl TuneService {
                 let evaluated = out.executed as u64;
                 (out.into_outcome(), evaluated)
             }
-        };
+        });
         match outcome.provenance {
             Provenance::WarmStarted => self.warm_started.fetch_add(1, Ordering::Relaxed),
             _ => self.computed.fetch_add(1, Ordering::Relaxed),

@@ -1,0 +1,185 @@
+//! Generic single-flight guard: concurrent requests for one key
+//! collapse onto a single leader; the rest wait and share its result.
+//!
+//! Extracted from [`TuneService`](crate::TuneService) so the
+//! collapse/wait protocol is (a) reusable and (b) drivable under the
+//! `conc-check` model with cheap closures — the service wires it to a
+//! full tuner search, the concurrency proofs to a counter bump.
+//!
+//! The panic contract is the part worth the extraction: if a leader
+//! unwinds mid-compute (a tuner assertion, an injected fault), its
+//! [`LeaderGuard`] marks the flight failed, removes it from the map,
+//! and wakes every waiter. Waiters observe the failure and *retry* —
+//! one of them becomes the next leader. The pre-extraction code left
+//! the dead flight in the map, so every later request for that key
+//! blocked forever on a condvar nobody would ever signal.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use conc_check::sync::{fault, Condvar, Mutex};
+
+/// Tags for the fault-injection sites in this module (arbitrary but
+/// stable; they show up in counterexample traces).
+const FAULT_LEADER_ELECTED: u32 = 0x5F01;
+
+enum FlightState<V> {
+    /// The leader is computing.
+    Pending,
+    /// Published; waiters clone this.
+    Ready(V),
+    /// The leader unwound without publishing; waiters must retry.
+    Failed,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new_named(FlightState::Pending, "singleflight.state"),
+            ready: Condvar::new_named("singleflight.ready"),
+        }
+    }
+}
+
+/// The outcome of [`SingleFlight::join`]: lead, or a shared value,
+/// or a failed flight to retry after.
+pub enum Joined<'a, V: Clone> {
+    /// This caller leads: compute, then
+    /// [`publish`](LeaderGuard::publish).
+    Lead(LeaderGuard<'a, V>),
+    /// Another leader published; this is its (cloned) value.
+    Shared(V),
+    /// The flight this caller joined failed (its leader unwound).
+    /// Retry [`join`](SingleFlight::join) — the caller may lead now.
+    Retry,
+}
+
+/// Keyed single-flight collapse. `V` is the published value;
+/// waiters receive clones.
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty guard.
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new_named(HashMap::new(), "singleflight.map"),
+        }
+    }
+
+    /// Join the flight for `key`: the first caller per key leads (and
+    /// must [`publish`](LeaderGuard::publish) or unwind), later
+    /// callers block until the leader resolves. See [`Joined`].
+    pub fn join(&self, key: u64) -> Joined<'_, V> {
+        let existing = {
+            let mut flights = self.flights.lock_recovered();
+            match flights.get(&key) {
+                Some(flight) => Some(Arc::clone(flight)),
+                None => {
+                    flights.insert(key, Arc::new(Flight::new()));
+                    None
+                }
+            }
+        };
+        match existing {
+            None => {
+                let guard = LeaderGuard {
+                    sf: self,
+                    key,
+                    armed: true,
+                };
+                // The window where a dying leader used to strand its
+                // waiters: from here until publish, only the guard's
+                // unwind path keeps the map clean.
+                fault::point(FAULT_LEADER_ELECTED);
+                Joined::Lead(guard)
+            }
+            Some(flight) => match Self::await_flight(&flight) {
+                Some(v) => Joined::Shared(v),
+                None => Joined::Retry,
+            },
+        }
+    }
+
+    /// Wait on an *already running* flight for `key` and share its
+    /// value; `None` when nothing is in flight (or the flight failed
+    /// — this call never starts or restarts a computation).
+    pub fn wait_existing(&self, key: u64) -> Option<V> {
+        let flight = Arc::clone(self.flights.lock_recovered().get(&key)?);
+        Self::await_flight(&flight)
+    }
+
+    /// Number of flights currently pending (for shed heuristics and
+    /// tests).
+    pub fn inflight_len(&self) -> usize {
+        self.flights.lock_recovered().len()
+    }
+
+    fn await_flight(flight: &Flight<V>) -> Option<V> {
+        let mut state = flight.state.lock_recovered();
+        loop {
+            match &*state {
+                FlightState::Pending => state = flight.ready.wait_recovered(state),
+                FlightState::Ready(v) => return Some(v.clone()),
+                FlightState::Failed => return None,
+            }
+        }
+    }
+
+    fn resolve(&self, key: u64, outcome: FlightState<V>) {
+        // Retire the flight first so a request arriving after the
+        // removal starts fresh (for the service: hits the store the
+        // leader just wrote) instead of joining a finished flight.
+        // The leader always owns the map entry; the if-let (rather
+        // than an expect) keeps the unwind path abort-free even if
+        // that invariant is ever broken.
+        let flight = self.flights.lock_recovered().remove(&key);
+        if let Some(flight) = flight {
+            *flight.state.lock_recovered() = outcome;
+            flight.ready.notify_all();
+        }
+    }
+}
+
+/// Leadership of one in-flight key. Dropping without
+/// [`publish`](Self::publish) — i.e. unwinding — marks the flight
+/// failed and wakes all waiters so they can retry.
+pub struct LeaderGuard<'a, V: Clone> {
+    sf: &'a SingleFlight<V>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V: Clone> LeaderGuard<'_, V> {
+    /// Publish the computed value to every waiter and retire the
+    /// flight.
+    pub fn publish(mut self, value: V) {
+        self.armed = false;
+        self.sf.resolve(self.key, FlightState::Ready(value));
+    }
+
+    /// The key this guard leads.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl<V: Clone> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sf.resolve(self.key, FlightState::Failed);
+        }
+    }
+}

@@ -13,8 +13,9 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
+
+use conc_check::sync::{AtomicU64, Mutex, RwLock};
 
 use crate::record::TuneRecord;
 use crate::util::atomic_write;
@@ -117,12 +118,7 @@ impl MemStore {
 
 impl TuneStore for MemStore {
     fn get(&self, key: &TuneKey) -> Option<TuneRecord> {
-        let found = self
-            .map
-            .read()
-            .expect("tune store poisoned")
-            .get(&key.stable_hash())
-            .cloned();
+        let found = self.map.read_recovered().get(&key.stable_hash()).cloned();
         match &found {
             Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
@@ -132,19 +128,13 @@ impl TuneStore for MemStore {
 
     fn put(&self, record: &TuneRecord) {
         self.map
-            .write()
-            .expect("tune store poisoned")
+            .write_recovered()
             .insert(record.key.stable_hash(), record.clone());
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
     }
 
     fn records(&self) -> Vec<TuneRecord> {
-        self.map
-            .read()
-            .expect("tune store poisoned")
-            .values()
-            .cloned()
-            .collect()
+        self.map.read_recovered().values().cloned().collect()
     }
 
     fn stats(&self) -> StoreStats {
@@ -152,7 +142,7 @@ impl TuneStore for MemStore {
     }
 
     fn len(&self) -> usize {
-        self.map.read().expect("tune store poisoned").len()
+        self.map.read_recovered().len()
     }
 }
 
@@ -182,10 +172,10 @@ impl JsonlDiskStore {
         }
         let store = JsonlDiskStore {
             path,
-            map: RwLock::new(HashMap::new()),
-            append_lock: Mutex::new(()),
+            map: RwLock::new_named(HashMap::new(), "diskstore.map"),
+            append_lock: Mutex::new_named((), "diskstore.append"),
             counters: Counters::default(),
-            disk_lines: AtomicU64::new(0),
+            disk_lines: AtomicU64::new_named(0, "diskstore.disk_lines"),
         };
         let text = match std::fs::read_to_string(&store.path) {
             Ok(text) => text,
@@ -212,7 +202,7 @@ impl JsonlDiskStore {
             }
         }
         store.disk_lines.store(lines, Ordering::Relaxed);
-        *store.map.write().expect("tune store poisoned") = map;
+        *store.map.write_recovered() = map;
         Ok(store)
     }
 
@@ -224,8 +214,8 @@ impl JsonlDiskStore {
     /// Rewrite the file to exactly one (newest) record per key, via an
     /// atomic tmp+rename. Returns the number of disk lines reclaimed.
     pub fn compact(&self) -> std::io::Result<usize> {
-        let _guard = self.append_lock.lock().expect("tune store poisoned");
-        let map = self.map.read().expect("tune store poisoned");
+        let _guard = self.append_lock.lock_recovered();
+        let map = self.map.read_recovered();
         let mut entries: Vec<&TuneRecord> = map.values().collect();
         // Deterministic file order, independent of hash-map iteration.
         entries.sort_by_key(|r| r.key.stable_hash());
@@ -244,12 +234,7 @@ impl JsonlDiskStore {
 
 impl TuneStore for JsonlDiskStore {
     fn get(&self, key: &TuneKey) -> Option<TuneRecord> {
-        let found = self
-            .map
-            .read()
-            .expect("tune store poisoned")
-            .get(&key.stable_hash())
-            .cloned();
+        let found = self.map.read_recovered().get(&key.stable_hash()).cloned();
         match &found {
             Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
@@ -259,11 +244,10 @@ impl TuneStore for JsonlDiskStore {
 
     fn put(&self, record: &TuneRecord) {
         self.map
-            .write()
-            .expect("tune store poisoned")
+            .write_recovered()
             .insert(record.key.stable_hash(), record.clone());
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
-        let _guard = self.append_lock.lock().expect("tune store poisoned");
+        let _guard = self.append_lock.lock_recovered();
         let appended = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -284,12 +268,7 @@ impl TuneStore for JsonlDiskStore {
     }
 
     fn records(&self) -> Vec<TuneRecord> {
-        self.map
-            .read()
-            .expect("tune store poisoned")
-            .values()
-            .cloned()
-            .collect()
+        self.map.read_recovered().values().cloned().collect()
     }
 
     fn stats(&self) -> StoreStats {
@@ -297,6 +276,6 @@ impl TuneStore for JsonlDiskStore {
     }
 
     fn len(&self) -> usize {
-        self.map.read().expect("tune store poisoned").len()
+        self.map.read_recovered().len()
     }
 }
